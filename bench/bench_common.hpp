@@ -1,0 +1,113 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary regenerates one table or figure of the paper at a
+// CPU-budget scale: the workload structure (circuits, methods, schedule)
+// matches the paper; episode counts and metaheuristic budgets are scaled
+// down.  Statistics follow the paper's reporting: interquartile mean (IQM)
+// +/- standard deviation over repeated seeds.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/training.hpp"
+#include "netlist/library.hpp"
+
+namespace afp::bench {
+
+/// Interquartile mean: mean of samples between the 25th and 75th
+/// percentiles (inclusive), the paper's headline statistic.
+inline double iqm(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  const std::size_t lo = n / 4;
+  const std::size_t hi = n - n / 4;
+  double sum = 0.0;
+  std::size_t cnt = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    sum += v[i];
+    ++cnt;
+  }
+  return cnt ? sum / static_cast<double>(cnt) : v[n / 2];
+}
+
+inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mean =
+      std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+  double sq = 0.0;
+  for (double x : v) sq += (x - mean) * (x - mean);
+  return std::sqrt(sq / static_cast<double>(v.size()));
+}
+
+/// "12.34±0.56" formatting used in the printed tables.
+inline std::string pm(double mean, double sd, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", prec, mean, prec, sd);
+  return buf;
+}
+
+/// Accumulates per-seed metric samples for one (circuit, method) cell.
+struct MetricSamples {
+  std::vector<double> runtime_s;
+  std::vector<double> dead_space_pct;
+  std::vector<double> hpwl;
+  std::vector<double> reward;
+
+  void add(double rt, const floorplan::Evaluation& ev) {
+    runtime_s.push_back(rt);
+    dead_space_pct.push_back(ev.dead_space * 100.0);
+    hpwl.push_back(ev.hpwl);
+    reward.push_back(ev.reward);
+  }
+};
+
+/// Returns the netlist factory for a registry circuit name.
+inline netlist::Netlist make_circuit(const std::string& name) {
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == name) return e.make();
+  }
+  throw std::invalid_argument("unknown circuit " + name);
+}
+
+/// Training preset for benches: bigger than the unit-test preset, still
+/// CPU-scale.  Structure matches Section V-A (HCL over the five training
+/// circuits with p_circuit = 0.5, p_constraint = 0.3).
+inline core::TrainOptions bench_train_options(unsigned seed,
+                                              int episodes_per_circuit) {
+  core::TrainOptions opt = core::TrainOptions::fast(seed);
+  opt.hcl.circuits = {"ota_small", "bias_small", "ota1", "ota2", "bias1"};
+  opt.hcl.episodes_per_circuit = episodes_per_circuit;
+  opt.ppo.n_envs = 4;
+  opt.ppo.n_steps = 32;
+  opt.ppo.minibatch = 64;
+  opt.ppo.lr = 1e-3f;  // CPU-scale nets converge faster than SB3's default
+  opt.rgcn_samples_per_circuit = 2;
+  opt.rgcn_epochs = 3;
+  return opt;
+}
+
+/// Global budget multiplier for the benches, settable via the
+/// AFP_BENCH_SCALE environment variable (default 1.0).  Values < 1 shrink
+/// every episode / iteration budget proportionally for smoke runs; > 1
+/// approaches paper scale.
+inline double bench_scale() {
+  if (const char* s = std::getenv("AFP_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline int scaled(int base) {
+  return std::max(1, static_cast<int>(base * bench_scale()));
+}
+
+}  // namespace afp::bench

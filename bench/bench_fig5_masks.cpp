@@ -1,0 +1,152 @@
+// Figure 5 — dead-space and wire mask visualizations.
+//
+// Reproduces the paper's mask illustration on a mid-episode OTA-2 state:
+// several blocks are placed, then the fds and fw masks of the next block
+// are rendered as ASCII heat maps (and dumped as PGM images next to the
+// binary).  Shape to compare: darker (lower-increase) regions hug the
+// already-placed blocks; occupied cells saturate at the maximum value.
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "floorplan/grid.hpp"
+
+namespace {
+
+using namespace afp;
+
+void dump_pgm(const std::string& path, const std::vector<float>& mask,
+              int n) {
+  std::ofstream os(path);
+  os << "P2\n" << n << ' ' << n << "\n255\n";
+  // Row 0 is the bottom of the floorplan; PGM rows go top-down.
+  for (int r = n - 1; r >= 0; --r) {
+    for (int c = 0; c < n; ++c) {
+      os << static_cast<int>(mask[static_cast<std::size_t>(r) * n + c] * 255.0f)
+         << (c + 1 == n ? '\n' : ' ');
+    }
+  }
+}
+
+void print_ascii(const std::vector<float>& mask, int n) {
+  static const char* shades = " .:-=+*#%@";
+  for (int r = n - 1; r >= 0; --r) {
+    for (int c = 0; c < n; ++c) {
+      const float v = mask[static_cast<std::size_t>(r) * n + c];
+      const int idx = std::min(9, static_cast<int>(v * 10.0f));
+      std::putchar(shades[idx]);
+    }
+    std::putchar('\n');
+  }
+}
+
+void run_fig5() {
+  std::printf("=== Figure 5: dead-space and wire masks (OTA-2) ===\n");
+  auto nl = bench::make_circuit("ota2");
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  auto inst = floorplan::make_instance(g);
+  floorplan::GridFloorplan fp(inst, 32);
+
+  // Place the first half of the blocks greedily by dead-space mask.
+  const auto order = inst.placement_order();
+  const int half = static_cast<int>(order.size()) / 2;
+  for (int k = 0; k < half; ++k) {
+    const int b = order[static_cast<std::size_t>(k)];
+    const auto fds = fp.dead_space_mask(b, 1);
+    const auto fpmask = fp.position_mask(b, 1);
+    int best = -1;
+    float best_v = 2.0f;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fpmask[i] > 0.5f && fds[i] < best_v) {
+        best_v = fds[i];
+        best = static_cast<int>(i);
+      }
+    }
+    fp.place(b, 1, best % 32, best / 32);
+  }
+  const int next = order[static_cast<std::size_t>(half)];
+  std::printf("placed %d of %zu blocks; masks for next block '%s'\n\n", half,
+              order.size(),
+              inst.blocks[static_cast<std::size_t>(next)].name.c_str());
+
+  const auto fds = fp.dead_space_mask(next, 1);
+  const auto fw = fp.wire_mask(next, 1);
+  std::printf("dead-space mask fds (dark = low increase = preferred):\n");
+  print_ascii(fds, 32);
+  std::printf("\nwire mask fw:\n");
+  print_ascii(fw, 32);
+  dump_pgm("fig5_dead_space_mask.pgm", fds, 32);
+  dump_pgm("fig5_wire_mask.pgm", fw, 32);
+  std::printf("\nwrote fig5_dead_space_mask.pgm and fig5_wire_mask.pgm\n");
+
+  // Quantitative shape check: the best-valued free cell must abut the
+  // placed region (compactness bias), for both masks.
+  auto min_cell = [&](const std::vector<float>& m) {
+    int best = 0;
+    for (std::size_t i = 1; i < m.size(); ++i) {
+      if (m[i] < m[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+    }
+    return best;
+  };
+  std::printf("fds argmin cell: (%d, %d); fw argmin cell: (%d, %d)\n\n",
+              min_cell(fds) % 32, min_cell(fds) / 32, min_cell(fw) % 32,
+              min_cell(fw) / 32);
+}
+
+void BM_DeadSpaceMask(benchmark::State& state) {
+  auto nl = bench::make_circuit("bias2");
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  auto inst = floorplan::make_instance(g);
+  floorplan::GridFloorplan fp(inst, 32);
+  const auto order = inst.placement_order();
+  for (int k = 0; k < 10; ++k) {
+    const int b = order[static_cast<std::size_t>(k)];
+    const auto m = fp.position_mask(b, 1);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] > 0.5f) {
+        fp.place(b, 1, static_cast<int>(i) % 32, static_cast<int>(i) / 32);
+        break;
+      }
+    }
+  }
+  const int next = order[10];
+  for (auto _ : state) {
+    auto m = fp.dead_space_mask(next, 1);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_DeadSpaceMask)->Unit(benchmark::kMicrosecond);
+
+void BM_WireMask(benchmark::State& state) {
+  auto nl = bench::make_circuit("bias2");
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  auto inst = floorplan::make_instance(g);
+  floorplan::GridFloorplan fp(inst, 32);
+  const auto order = inst.placement_order();
+  for (int k = 0; k < 10; ++k) {
+    const int b = order[static_cast<std::size_t>(k)];
+    const auto m = fp.position_mask(b, 1);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] > 0.5f) {
+        fp.place(b, 1, static_cast<int>(i) % 32, static_cast<int>(i) / 32);
+        break;
+      }
+    }
+  }
+  const int next = order[10];
+  for (auto _ : state) {
+    auto m = fp.wire_mask(next, 1);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_WireMask)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Metaheuristic shoot-out: runs SA / GA / PSO / RL-SA[13] / RL[13] on a
+// chosen circuit and prints the Table-I-style metric row for each.
+//
+//   $ ./baseline_shootout [circuit] [seeds]
+//
+// circuit defaults to "driver"; seeds to 3.  Circuits: ota_small, ota1,
+// ota2, bias_small, bias1, bias2, rs_latch, driver, comparator,
+// level_shifter, ring_osc5.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/pipeline.hpp"
+#include "netlist/library.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afp;
+  const std::string circuit = argc > 1 ? argv[1] : "driver";
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  netlist::Netlist nl;
+  bool found = false;
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == circuit) {
+      nl = e.make();
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown circuit '%s'\n", circuit.c_str());
+    return 1;
+  }
+
+  core::FloorplanPipeline pipe;
+  std::printf("%-12s on '%s':\n%-12s %12s %14s %12s %10s\n", "method",
+              circuit.c_str(), "", "runtime(s)", "dead space(%)", "HPWL(um)",
+              "reward");
+  for (core::Method m : {core::Method::kSA, core::Method::kGA,
+                         core::Method::kPSO, core::Method::kRlSa,
+                         core::Method::kRlSp}) {
+    double rt = 0.0, ds = 0.0, hp = 0.0, rw = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      std::mt19937_64 rng(static_cast<unsigned>(s) + 1);
+      const auto res = pipe.run(nl, m, rng);
+      rt += res.timings.floorplan_s;
+      ds += res.eval.dead_space * 100.0;
+      hp += res.eval.hpwl;
+      rw += res.eval.reward;
+    }
+    std::printf("%-12s %12.3f %14.2f %12.1f %10.2f\n",
+                core::to_string(m).c_str(), rt / seeds, ds / seeds, hp / seeds,
+                rw / seeds);
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "core/pipeline.hpp"
+
+namespace afp::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::kRgcnRl: return "R-GCN RL";
+    case Method::kSA: return "SA";
+    case Method::kGA: return "GA";
+    case Method::kPSO: return "PSO";
+    case Method::kRlSa: return "RL-SA[13]";
+    case Method::kRlSp: return "RL[13]";
+  }
+  return "?";
+}
+
+FloorplanPipeline::Prepared FloorplanPipeline::prepare(
+    const netlist::Netlist& nl, std::mt19937_64& rng) const {
+  Prepared prep;
+  const auto t0 = Clock::now();
+  prep.recognition = structrec::recognize(nl);
+  prep.graph = graphir::build_graph(nl, prep.recognition);
+  if (cfg_.constrained) {
+    graphir::apply_constraints(prep.graph,
+                               graphir::default_constraints(prep.graph));
+  }
+  prep.instance = floorplan::make_instance(prep.graph);
+  if (cfg_.hpwl_ref > 0.0) {
+    prep.instance.hpwl_ref = cfg_.hpwl_ref;
+  } else {
+    prep.instance.hpwl_ref = metaheur::estimate_hpwl_min(prep.instance, rng);
+  }
+  prep.recognition_s = since(t0);
+  return prep;
+}
+
+PipelineResult FloorplanPipeline::back_half(Prepared prep,
+                                            std::vector<geom::Rect> rects,
+                                            double floorplan_s,
+                                            double constraint_tol) const {
+  PipelineResult res;
+  res.recognition = std::move(prep.recognition);
+  res.instance = std::move(prep.instance);
+  res.eval = floorplan::evaluate_floorplan(res.instance, rects, {},
+                                           constraint_tol);
+  res.rects = std::move(rects);
+  res.timings.recognition_s = prep.recognition_s;
+  res.timings.floorplan_s = floorplan_s;
+
+  std::vector<int> dirs;
+  dirs.reserve(prep.graph.nodes.size());
+  for (const auto& node : prep.graph.nodes) {
+    dirs.push_back(node.routing_direction);
+  }
+  res.graph = std::move(prep.graph);
+
+  auto t0 = Clock::now();
+  res.route = route::global_route(res.instance, res.rects, dirs);
+  res.timings.route_s = since(t0);
+
+  t0 = Clock::now();
+  res.layout = layoutgen::generate_layout(res.instance, res.rects, res.route,
+                                          cfg_.layout, dirs);
+  res.drc = layoutgen::run_drc(res.layout, cfg_.layout);
+  res.lvs = layoutgen::run_lvs(res.layout);
+  res.timings.layout_s = since(t0);
+  return res;
+}
+
+PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
+                                      const rl::ActorCritic& policy,
+                                      const rgcn::RewardModel& encoder,
+                                      std::mt19937_64& rng) const {
+  Prepared prep = prepare(nl, rng);
+  const auto t0 = Clock::now();
+  rl::TaskContext task =
+      rl::make_task(encoder, prep.graph, prep.instance.hpwl_ref,
+                    prep.instance.target_aspect);
+  rl::EpisodeResult ep = rl::best_of_episodes(policy, task, cfg_.rl_attempts,
+                                              rng, cfg_.env);
+  if (ep.rects.empty()) {
+    throw std::runtime_error(
+        "FloorplanPipeline: agent failed to produce a complete floorplan for " +
+        nl.name());
+  }
+  // Grid-produced rectangles: alignment is exact at grid granularity.
+  const double tol = prep.instance.canvas_w / cfg_.env.grid / 2.0 + 1e-9;
+  return back_half(std::move(prep), std::move(ep.rects), since(t0), tol);
+}
+
+PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
+                                      Method method,
+                                      std::mt19937_64& rng) const {
+  Prepared prep = prepare(nl, rng);
+  const auto t0 = Clock::now();
+  metaheur::BaselineResult base;
+  switch (method) {
+    case Method::kSA: base = metaheur::run_sa(prep.instance, cfg_.sa, rng); break;
+    case Method::kGA: base = metaheur::run_ga(prep.instance, cfg_.ga, rng); break;
+    case Method::kPSO:
+      base = metaheur::run_pso(prep.instance, cfg_.pso, rng);
+      break;
+    case Method::kRlSa:
+      base = metaheur::run_rlsa(prep.instance, cfg_.rlsa, rng);
+      break;
+    case Method::kRlSp:
+      base = metaheur::run_rlsp(prep.instance, cfg_.rlsp, rng);
+      break;
+    case Method::kRgcnRl:
+      throw std::invalid_argument(
+          "FloorplanPipeline: use the ActorCritic overload for R-GCN RL");
+  }
+  return back_half(std::move(prep), std::move(base.rects), since(t0), 1e-6);
+}
+
+}  // namespace afp::core

@@ -1,0 +1,90 @@
+// End-to-end automatic layout pipeline (paper Fig. 1):
+// netlist -> structure recognition -> multi-shape configuration ->
+// floorplanning (R-GCN + RL agent, or a metaheuristic baseline) ->
+// OARSMT global routing -> procedural layout generation -> DRC/LVS checks.
+#pragma once
+
+#include <chrono>
+
+#include "layoutgen/layoutgen.hpp"
+#include "metaheur/baselines.hpp"
+#include "rl/agent.hpp"
+
+namespace afp::core {
+
+enum class Method { kRgcnRl, kSA, kGA, kPSO, kRlSa, kRlSp };
+
+std::string to_string(Method m);
+
+struct StageTimings {
+  double recognition_s = 0.0;
+  double floorplan_s = 0.0;
+  double route_s = 0.0;
+  double layout_s = 0.0;
+  double total() const {
+    return recognition_s + floorplan_s + route_s + layout_s;
+  }
+};
+
+struct PipelineResult {
+  structrec::Recognition recognition;
+  graphir::CircuitGraph graph;
+  floorplan::Instance instance;
+  std::vector<geom::Rect> rects;
+  floorplan::Evaluation eval;
+  route::GlobalRoute route;
+  layoutgen::Layout layout;
+  layoutgen::DrcReport drc;
+  layoutgen::LvsReport lvs;
+  StageTimings timings;
+};
+
+struct PipelineConfig {
+  bool constrained = false;  ///< apply default positional constraints
+  env::EnvConfig env{};
+  layoutgen::LayoutConfig layout{};
+  double hpwl_ref = 0.0;  ///< 0: estimate via short SA
+  /// Sampled-episode attempts when floorplanning with the RL agent.
+  int rl_attempts = 4;
+  // Baseline budgets.
+  metaheur::SAParams sa{};
+  metaheur::GAParams ga{};
+  metaheur::PSOParams pso{};
+  metaheur::RLSAParams rlsa{};
+  metaheur::RLSPParams rlsp{};
+};
+
+class FloorplanPipeline {
+ public:
+  explicit FloorplanPipeline(PipelineConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  /// Front half of the pipeline: recognition, graph, constraints, instance.
+  /// Shared by both floorplanning paths.
+  struct Prepared {
+    structrec::Recognition recognition;
+    graphir::CircuitGraph graph;
+    floorplan::Instance instance;
+    double recognition_s = 0.0;
+  };
+  Prepared prepare(const netlist::Netlist& nl, std::mt19937_64& rng) const;
+
+  /// Full pipeline with the RL agent.
+  PipelineResult run(const netlist::Netlist& nl,
+                     const rl::ActorCritic& policy,
+                     const rgcn::RewardModel& encoder,
+                     std::mt19937_64& rng) const;
+
+  /// Full pipeline with a metaheuristic baseline.
+  PipelineResult run(const netlist::Netlist& nl, Method method,
+                     std::mt19937_64& rng) const;
+
+  const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  PipelineResult back_half(Prepared prep, std::vector<geom::Rect> rects,
+                           double floorplan_s, double constraint_tol) const;
+
+  PipelineConfig cfg_;
+};
+
+}  // namespace afp::core

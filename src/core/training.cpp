@@ -1,0 +1,62 @@
+#include "core/training.hpp"
+
+namespace afp::core {
+
+TrainOptions TrainOptions::fast(unsigned seed) {
+  TrainOptions o;
+  o.seed = seed;
+  o.rgcn_samples_per_circuit = 1;
+  o.rgcn_epochs = 2;
+  o.policy = rl::PolicyConfig::fast();
+  o.ppo.n_envs = 4;
+  o.ppo.n_steps = 16;
+  o.ppo.minibatch = 32;
+  o.hcl.episodes_per_circuit = 8;
+  o.hcl.circuits = {"ota_small", "bias_small", "ota1"};
+  return o;
+}
+
+TrainOptions TrainOptions::paper(unsigned seed) {
+  TrainOptions o;
+  o.seed = seed;
+  o.rgcn_samples_per_circuit = 1964;  // ~21600 samples over 11 circuits
+  o.rgcn_epochs = 50;
+  o.policy = rl::PolicyConfig::paper();
+  o.ppo.n_envs = 16;
+  o.ppo.n_steps = 128;
+  o.hcl.episodes_per_circuit = 4096;
+  return o;
+}
+
+TrainedAgent train_agent(const TrainOptions& opt) {
+  std::mt19937_64 rng(opt.seed);
+  TrainedAgent agent;
+
+  // Stage 1: R-GCN reward-model pre-training (Section IV-C).
+  agent.encoder = std::make_shared<rgcn::RewardModel>(rng);
+  const auto dataset =
+      rgcn::generate_dataset(opt.rgcn_samples_per_circuit, rng);
+  agent.rgcn_history = rgcn::train_reward_model(
+      *agent.encoder, dataset, opt.rgcn_epochs, opt.rgcn_lr, rng);
+
+  // Stage 2: masked PPO with the HCL schedule (Section IV-D5).
+  agent.policy = std::make_shared<rl::ActorCritic>(opt.policy, rng);
+  rl::HclScheduler scheduler(opt.hcl, *agent.encoder, rng);
+
+  std::vector<rl::TaskContext> init;
+  init.reserve(static_cast<std::size_t>(opt.ppo.n_envs));
+  for (int i = 0; i < opt.ppo.n_envs; ++i) {
+    init.push_back(scheduler.next_task(rng));
+  }
+  rl::PPOTrainer trainer(*agent.policy, std::move(init), opt.ppo, opt.env);
+  trainer.next_task = [&scheduler, &rng](int) {
+    return std::optional<rl::TaskContext>(scheduler.next_task(rng));
+  };
+  while (!scheduler.finished()) {
+    agent.rl_history.push_back(trainer.iterate(rng));
+    agent.stage_history.push_back(scheduler.stage());
+  }
+  return agent;
+}
+
+}  // namespace afp::core

@@ -1,0 +1,47 @@
+// Training orchestration: R-GCN pre-training followed by HCL PPO training
+// of the floorplanning agent (Sections IV-C, IV-D5, V-A).
+//
+// The paper trains 4096 episodes per circuit for ~12.7 GPU-hours; the
+// CPU-scale presets here shrink episode counts while preserving the
+// schedule's structure, and every knob can be restored to paper scale.
+#pragma once
+
+#include <memory>
+
+#include "rl/curriculum.hpp"
+#include "rl/ppo.hpp"
+
+namespace afp::core {
+
+struct TrainOptions {
+  unsigned seed = 1;
+  // R-GCN pre-training.
+  int rgcn_samples_per_circuit = 2;
+  int rgcn_epochs = 4;
+  float rgcn_lr = 1e-3f;
+  // RL training.
+  rl::PolicyConfig policy = rl::PolicyConfig::fast();
+  rl::PPOConfig ppo{};
+  rl::HclConfig hcl{};
+  env::EnvConfig env{};
+
+  /// CPU-budget preset used by tests / quick benches.
+  static TrainOptions fast(unsigned seed = 1);
+  /// Paper-scale preset (Section V-A): 16 envs, 4096 episodes/circuit,
+  /// full-width networks.  Hours of CPU time — intended for offline runs.
+  static TrainOptions paper(unsigned seed = 1);
+};
+
+struct TrainedAgent {
+  std::shared_ptr<rgcn::RewardModel> encoder;
+  std::shared_ptr<rl::ActorCritic> policy;
+  std::vector<rgcn::TrainStats> rgcn_history;
+  std::vector<rl::IterationStats> rl_history;
+  /// Curriculum stage at each RL iteration (for Fig. 6 annotations).
+  std::vector<int> stage_history;
+};
+
+/// Full training run: dataset generation, R-GCN pre-training, HCL PPO.
+TrainedAgent train_agent(const TrainOptions& opt);
+
+}  // namespace afp::core

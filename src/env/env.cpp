@@ -1,0 +1,141 @@
+#include "env/env.hpp"
+
+#include <stdexcept>
+
+namespace afp::env {
+
+FloorplanEnv::FloorplanEnv(floorplan::Instance inst, EnvConfig cfg)
+    : inst_(std::move(inst)), cfg_(cfg), grid_(inst_, cfg.grid) {
+  order_ = inst_.placement_order();
+}
+
+Observation FloorplanEnv::reset() {
+  grid_.reset();
+  cursor_ = 0;
+  prev_ds_ = 0.0;
+  prev_hpwl_ = 0.0;
+  done_ = inst_.num_blocks() == 0;
+  return observe();
+}
+
+Observation FloorplanEnv::set_instance(floorplan::Instance inst) {
+  inst_ = std::move(inst);
+  grid_ = floorplan::GridFloorplan(inst_, cfg_.grid);
+  order_ = inst_.placement_order();
+  return reset();
+}
+
+Action FloorplanEnv::decode(int flat_action) const {
+  const int n = cfg_.grid;
+  if (flat_action < 0 || flat_action >= action_space()) {
+    throw std::out_of_range("FloorplanEnv::decode: action out of range");
+  }
+  Action a;
+  a.shape = flat_action / (n * n);
+  const int cell = flat_action % (n * n);
+  a.row = cell / n;
+  a.col = cell % n;
+  return a;
+}
+
+int FloorplanEnv::encode(const Action& a) const {
+  const int n = cfg_.grid;
+  return a.shape * n * n + a.row * n + a.col;
+}
+
+Observation FloorplanEnv::observe() const {
+  const int n = cfg_.grid;
+  const std::size_t plane = static_cast<std::size_t>(n) * n;
+  Observation obs;
+  obs.steps_done = cursor_;
+  obs.done = done_;
+  obs.masks.assign(static_cast<std::size_t>(mask_channels()) * plane, 0.0f);
+  obs.action_mask.assign(3 * plane, 0.0f);
+  if (done_) {
+    obs.current_block = -1;
+    return obs;
+  }
+  const int b = order_[static_cast<std::size_t>(cursor_)];
+  obs.current_block = b;
+
+  const auto fg = grid_.occupancy_mask();
+  std::copy(fg.begin(), fg.end(), obs.masks.begin());
+  if (cfg_.use_wire_mask) {
+    const auto fw = grid_.wire_mask(b, cfg_.representative_shape);
+    std::copy(fw.begin(), fw.end(), obs.masks.begin() + static_cast<long>(plane));
+  }
+  if (cfg_.use_dead_space_mask) {
+    const auto fds = grid_.dead_space_mask(b, cfg_.representative_shape);
+    std::copy(fds.begin(), fds.end(),
+              obs.masks.begin() + static_cast<long>(2 * plane));
+  }
+  for (int s = 0; s < 3; ++s) {
+    const auto fp = grid_.position_mask(b, s);
+    std::copy(fp.begin(), fp.end(),
+              obs.masks.begin() + static_cast<long>((3 + s) * plane));
+    std::copy(fp.begin(), fp.end(),
+              obs.action_mask.begin() + static_cast<long>(s) * static_cast<long>(plane));
+  }
+  if (cfg_.use_congestion_mask) {
+    const auto fcong = grid_.congestion_mask();
+    std::copy(fcong.begin(), fcong.end(),
+              obs.masks.begin() + static_cast<long>(6 * plane));
+  }
+  return obs;
+}
+
+StepResult FloorplanEnv::step(int flat_action) {
+  if (done_) {
+    throw std::logic_error("FloorplanEnv::step called on finished episode");
+  }
+  const Action a = decode(flat_action);
+  const int b = order_[static_cast<std::size_t>(cursor_)];
+  StepResult res;
+  if (!grid_.valid(b, a.shape, a.col, a.row)) {
+    // Should be unreachable under correct action masking; treated as a
+    // constraint violation per Section IV-D4.
+    done_ = true;
+    res.reward = cfg_.weights.violation_penalty;
+    res.done = true;
+    res.violated = true;
+    res.obs = observe();
+    return res;
+  }
+
+  grid_.place(b, a.shape, a.col, a.row);
+  ++cursor_;
+
+  // Eq. (4): negative increase of dead space and (normalized) HPWL.
+  const double ds = grid_.partial_dead_space();
+  const double hp = grid_.partial_hpwl();
+  const double hpwl_norm = inst_.canvas_w + inst_.canvas_h;
+  res.reward = -((ds - prev_ds_) + (hp - prev_hpwl_) / hpwl_norm);
+  prev_ds_ = ds;
+  prev_hpwl_ = hp;
+
+  if (cursor_ == inst_.num_blocks()) {
+    done_ = true;
+    res.done = true;
+    // Constraint tolerance: half a grid cell, the quantum at which the
+    // masks enforce alignment.
+    const double tol = inst_.canvas_w / cfg_.grid / 2.0 + 1e-9;
+    const auto ev = floorplan::evaluate_floorplan(inst_, grid_.rects(),
+                                                  cfg_.weights, tol);
+    res.final_eval = ev;
+    res.violated = !ev.constraints_ok;
+    res.reward += ev.reward;  // Eq. (5) terminal term (or -50 on violation)
+  } else {
+    const int nb = order_[static_cast<std::size_t>(cursor_)];
+    if (!grid_.any_valid_action(nb)) {
+      // Dead end: no admissible action for the next block.
+      done_ = true;
+      res.done = true;
+      res.violated = true;
+      res.reward += cfg_.weights.violation_penalty;
+    }
+  }
+  res.obs = observe();
+  return res;
+}
+
+}  // namespace afp::env

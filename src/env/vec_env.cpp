@@ -1,0 +1,32 @@
+#include "env/vec_env.hpp"
+
+namespace afp::env {
+
+VecEnv::VecEnv(int num_envs,
+               const std::function<floorplan::Instance(int)>& make_instance,
+               EnvConfig cfg) {
+  envs_.reserve(static_cast<std::size_t>(num_envs));
+  for (int i = 0; i < num_envs; ++i) {
+    envs_.push_back(std::make_unique<FloorplanEnv>(make_instance(i), cfg));
+  }
+}
+
+std::vector<Observation> VecEnv::reset_all() {
+  std::vector<Observation> obs;
+  obs.reserve(envs_.size());
+  for (auto& e : envs_) obs.push_back(e->reset());
+  return obs;
+}
+
+StepResult VecEnv::step(int i, int flat_action) {
+  FloorplanEnv& e = *envs_[static_cast<std::size_t>(i)];
+  StepResult res = e.step(flat_action);
+  if (res.done) {
+    std::optional<floorplan::Instance> next;
+    if (on_episode_end) next = on_episode_end(i, res);
+    res.obs = next ? e.set_instance(std::move(*next)) : e.reset();
+  }
+  return res;
+}
+
+}  // namespace afp::env

@@ -1,0 +1,44 @@
+// Synchronous vectorized environment: the paper gathers experience from 16
+// parallel environments; on this single-core target they are stepped
+// round-robin, which preserves the PPO batch statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "env/env.hpp"
+
+namespace afp::env {
+
+class VecEnv {
+ public:
+  /// `make_instance(i)` builds the initial instance of environment i; the
+  /// curriculum may later swap instances on episode boundaries via the
+  /// on_episode_end hook.
+  VecEnv(int num_envs,
+         const std::function<floorplan::Instance(int)>& make_instance,
+         EnvConfig cfg = {});
+
+  int size() const { return static_cast<int>(envs_.size()); }
+  FloorplanEnv& env(int i) { return *envs_[static_cast<std::size_t>(i)]; }
+
+  /// Resets every environment; returns initial observations.
+  std::vector<Observation> reset_all();
+
+  /// Steps environment i.  When the episode ends, `on_episode_end` (if
+  /// set) may supply a fresh instance; the env is then reset and the
+  /// returned StepResult keeps done=true while its obs holds the new
+  /// episode's first observation (standard auto-reset semantics).
+  StepResult step(int i, int flat_action);
+
+  /// Hook: called with (env index, finished StepResult); returns an
+  /// optional replacement instance for the next episode.
+  std::function<std::optional<floorplan::Instance>(int, const StepResult&)>
+      on_episode_end;
+
+ private:
+  std::vector<std::unique_ptr<FloorplanEnv>> envs_;
+};
+
+}  // namespace afp::env

@@ -1,0 +1,188 @@
+#include "floorplan/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace afp::floorplan {
+
+using structrec::StructureType;
+
+std::array<Shape, kNumShapes> candidate_shapes(double area_um2,
+                                               StructureType type) {
+  // Aspect ratios r = w/h; w = sqrt(A * r), h = sqrt(A / r).
+  std::array<double, kNumShapes> ratios{0.5, 1.0, 2.0};
+  if (structrec::is_matched_pair(type) ||
+      type == StructureType::kCurrentMirrorN ||
+      type == StructureType::kCurrentMirrorP) {
+    // Interdigitated / common-centroid rows are wide.
+    ratios = {1.0, 2.25, 4.0};
+  } else if (type == StructureType::kPowerDevice) {
+    ratios = {2.25, 4.0, 6.25};
+  } else if (type == StructureType::kCapSingle ||
+             type == StructureType::kCapArray ||
+             type == StructureType::kDecapCapacitor) {
+    ratios = {0.8, 1.0, 1.25};
+  }
+  std::array<Shape, kNumShapes> shapes{};
+  for (int i = 0; i < kNumShapes; ++i) {
+    shapes[static_cast<std::size_t>(i)] = {
+        std::sqrt(area_um2 * ratios[static_cast<std::size_t>(i)]),
+        std::sqrt(area_um2 / ratios[static_cast<std::size_t>(i)])};
+  }
+  return shapes;
+}
+
+double Instance::total_block_area() const {
+  double a = 0.0;
+  for (const Block& b : blocks) a += b.area_um2;
+  return a;
+}
+
+std::vector<int> Instance::placement_order() const {
+  std::vector<int> order(blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return blocks[static_cast<std::size_t>(a)].area_um2 >
+           blocks[static_cast<std::size_t>(b)].area_um2;
+  });
+  return order;
+}
+
+Instance make_instance(const graphir::CircuitGraph& g, double r_max) {
+  Instance inst;
+  inst.name = g.name;
+  for (const auto& node : g.nodes) {
+    Block b;
+    b.name = node.name;
+    b.type = node.type;
+    b.area_um2 = node.area_um2;
+    b.shapes = candidate_shapes(node.area_um2, node.type);
+    inst.blocks.push_back(std::move(b));
+  }
+  for (const auto& net : g.nets) inst.nets.push_back(net.blocks);
+  inst.constraints = g.constraints;
+  const double side = geom::canvas_side(inst.total_block_area(), r_max);
+  inst.canvas_w = side;
+  inst.canvas_h = side;
+  // Optimistic per-net bound: each net at least spans the half-perimeter of
+  // the smallest square covering its blocks' combined area.
+  double ref = 0.0;
+  for (const auto& net : inst.nets) {
+    double a = 0.0;
+    for (int b : net) a += inst.blocks[static_cast<std::size_t>(b)].area_um2;
+    ref += 2.0 * std::sqrt(a);
+  }
+  inst.hpwl_ref = std::max(1.0, ref);
+  return inst;
+}
+
+double hpwl_of(const Instance& inst, const std::vector<geom::Rect>& rects) {
+  double total = 0.0;
+  for (const auto& net : inst.nets) {
+    if (net.size() < 2) continue;
+    double x0 = 1e300, x1 = -1e300, y0 = 1e300, y1 = -1e300;
+    for (int b : net) {
+      const geom::Point c = rects[static_cast<std::size_t>(b)].center();
+      x0 = std::min(x0, c.x);
+      x1 = std::max(x1, c.x);
+      y0 = std::min(y0, c.y);
+      y1 = std::max(y1, c.y);
+    }
+    total += (x1 - x0) + (y1 - y0);
+  }
+  return total;
+}
+
+bool constraints_satisfied(const Instance& inst,
+                           const std::vector<geom::Rect>& rects, double tol) {
+  const auto& cs = inst.constraints;
+  if (cs.empty()) return true;
+
+  // All vertical-symmetry constraints share one vertical axis; same for
+  // horizontal.  Derive each axis from the first constraint that pins it.
+  auto axis_of = [&](bool vertical) -> std::optional<double> {
+    for (const auto& ss : cs.self_syms) {
+      if (ss.vertical == vertical) {
+        const auto c = rects[static_cast<std::size_t>(ss.block)].center();
+        return vertical ? c.x : c.y;
+      }
+    }
+    for (const auto& sp : cs.sym_pairs) {
+      if (sp.vertical == vertical) {
+        const auto ca = rects[static_cast<std::size_t>(sp.a)].center();
+        const auto cb = rects[static_cast<std::size_t>(sp.b)].center();
+        return vertical ? (ca.x + cb.x) / 2.0 : (ca.y + cb.y) / 2.0;
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (bool vertical : {true, false}) {
+    const auto axis = axis_of(vertical);
+    if (!axis) continue;
+    for (const auto& ss : cs.self_syms) {
+      if (ss.vertical != vertical) continue;
+      const auto c = rects[static_cast<std::size_t>(ss.block)].center();
+      if (std::abs((vertical ? c.x : c.y) - *axis) > tol) return false;
+    }
+    for (const auto& sp : cs.sym_pairs) {
+      if (sp.vertical != vertical) continue;
+      const auto& ra = rects[static_cast<std::size_t>(sp.a)];
+      const auto& rb = rects[static_cast<std::size_t>(sp.b)];
+      if (vertical) {
+        // Mirrored about x = axis, same row.
+        if (std::abs((ra.center().x + rb.center().x) / 2.0 - *axis) > tol)
+          return false;
+        if (std::abs(ra.y - rb.y) > tol) return false;
+      } else {
+        if (std::abs((ra.center().y + rb.center().y) / 2.0 - *axis) > tol)
+          return false;
+        if (std::abs(ra.x - rb.x) > tol) return false;
+      }
+    }
+  }
+
+  for (const auto& ag : cs.align_groups) {
+    if (ag.blocks.size() < 2) continue;
+    const auto& r0 = rects[static_cast<std::size_t>(ag.blocks[0])];
+    for (std::size_t i = 1; i < ag.blocks.size(); ++i) {
+      const auto& ri = rects[static_cast<std::size_t>(ag.blocks[i])];
+      if (ag.horizontal) {
+        if (std::abs(ri.y - r0.y) > tol) return false;  // common bottom edge
+      } else {
+        if (std::abs(ri.x - r0.x) > tol) return false;  // common left edge
+      }
+    }
+  }
+  return true;
+}
+
+Evaluation evaluate_floorplan(const Instance& inst,
+                              const std::vector<geom::Rect>& rects,
+                              const RewardWeights& w, double constraint_tol) {
+  Evaluation ev;
+  const geom::Rect bb = geom::bounding_box(rects);
+  ev.area = bb.area();
+  const double total = inst.total_block_area();
+  ev.dead_space = ev.area > 0.0 ? 1.0 - total / ev.area : 1.0;
+  ev.hpwl = hpwl_of(inst, rects);
+  ev.aspect = geom::aspect_ratio(bb);
+  ev.constraints_ok = constraints_satisfied(inst, rects, constraint_tol);
+  if (!ev.constraints_ok) {
+    ev.reward = w.violation_penalty;
+    return ev;
+  }
+  // Zero-referenced Eq. (5): a perfect packing (zero dead space) at the
+  // reference wirelength and target aspect ratio scores 0.
+  double r = w.alpha * (ev.area / std::max(1e-12, total) - 1.0) +
+             w.beta * (ev.hpwl / inst.hpwl_ref - 1.0);
+  if (inst.target_aspect) {
+    const double d = *inst.target_aspect - ev.aspect;
+    r += w.gamma * d * d;
+  }
+  ev.reward = -r;
+  return ev;
+}
+
+}  // namespace afp::floorplan

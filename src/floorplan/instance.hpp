@@ -1,0 +1,102 @@
+// Floorplanning problem instance: blocks with candidate shapes, block-level
+// nets, positional constraints and the placement canvas.
+//
+// Shared by the RL environment and all metaheuristic baselines so that
+// every algorithm is scored by exactly the same metric code.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "graphir/graph.hpp"
+
+namespace afp::floorplan {
+
+/// Continuous block dimensions in um.
+struct Shape {
+  double w = 0.0;
+  double h = 0.0;
+  double area() const { return w * h; }
+};
+
+constexpr int kNumShapes = 3;  ///< candidate shapes per block (Section IV-A)
+
+/// Three area-preserving aspect-ratio variants for a block, reflecting the
+/// internal placement styles (common-centroid, interdigitated, stacked) the
+/// multi-shape configuration step generates.  Matched pairs and mirrors
+/// prefer wide layouts; power devices are strongly widened.
+std::array<Shape, kNumShapes> candidate_shapes(double area_um2,
+                                               structrec::StructureType type);
+
+struct Block {
+  std::string name;
+  structrec::StructureType type = structrec::StructureType::kUnknown;
+  double area_um2 = 0.0;
+  std::array<Shape, kNumShapes> shapes{};
+};
+
+/// The full problem instance.
+struct Instance {
+  std::string name;
+  std::vector<Block> blocks;
+  std::vector<std::vector<int>> nets;  ///< block indices per net
+  graphir::ConstraintSpec constraints;
+  double canvas_w = 0.0;  ///< W (um), Section IV-D1
+  double canvas_h = 0.0;  ///< H (um)
+  double hpwl_ref = 1.0;  ///< HPWLmin estimate for reward standardization
+  std::optional<double> target_aspect;  ///< optional fixed-outline R*
+
+  int num_blocks() const { return static_cast<int>(blocks.size()); }
+  double total_block_area() const;
+
+  /// Placement order heuristic: indices by decreasing area (Section IV-D1).
+  std::vector<int> placement_order() const;
+};
+
+/// Builds an instance from a circuit graph (Rmax = 11 per the paper).
+/// hpwl_ref defaults to a per-net lower-bound estimate and is typically
+/// overwritten with a metaheuristic estimate by the caller.
+Instance make_instance(const graphir::CircuitGraph& g, double r_max = 11.0);
+
+/// Metric record of a finished floorplan.
+struct Evaluation {
+  double area = 0.0;         ///< bounding-box area (um^2)
+  double dead_space = 0.0;   ///< 1 - sum(Ai)/area
+  double hpwl = 0.0;         ///< block-center half-perimeter wirelength (um)
+  double aspect = 1.0;       ///< bounding-box aspect ratio
+  double reward = 0.0;       ///< Eq. (5) with alpha=1, beta=5, gamma=5
+  bool constraints_ok = true;
+};
+
+/// Reward weights of Eq. (5).
+struct RewardWeights {
+  double alpha = 1.0;
+  double beta = 5.0;
+  double gamma = 5.0;
+  double violation_penalty = -50.0;
+};
+
+/// Scores continuous block rectangles (one per block, all placed).
+/// The Eq. (5) terms are zero-referenced (perfect packing at reference
+/// wirelength scores 0) so rewards are comparable across circuits.
+/// `constraint_tol` is the geometric tolerance for constraint checking:
+/// exact (1e-6) for continuous optimizers; grid-produced floorplans pass
+/// half a grid cell, the alignment quantum of the 32x32 discretization.
+Evaluation evaluate_floorplan(const Instance& inst,
+                              const std::vector<geom::Rect>& rects,
+                              const RewardWeights& w = {},
+                              double constraint_tol = 1e-6);
+
+/// HPWL over block centers for the instance's nets.
+double hpwl_of(const Instance& inst, const std::vector<geom::Rect>& rects);
+
+/// Checks the instance's symmetry / alignment constraints on continuous
+/// rectangles with tolerance `tol` (um).
+bool constraints_satisfied(const Instance& inst,
+                           const std::vector<geom::Rect>& rects,
+                           double tol = 1e-6);
+
+}  // namespace afp::floorplan

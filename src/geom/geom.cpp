@@ -1,0 +1,104 @@
+#include "geom/geom.hpp"
+
+namespace afp::geom {
+
+Rect intersection(const Rect& a, const Rect& b) {
+  const double x0 = std::max(a.x, b.x);
+  const double y0 = std::max(a.y, b.y);
+  const double x1 = std::min(a.right(), b.right());
+  const double y1 = std::min(a.top(), b.top());
+  if (x1 <= x0 || y1 <= y0) return {};
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+Rect bounding_union(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const double x0 = std::min(a.x, b.x);
+  const double y0 = std::min(a.y, b.y);
+  const double x1 = std::max(a.right(), b.right());
+  const double y1 = std::max(a.top(), b.top());
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+Rect bounding_box(std::span<const Rect> rects) {
+  Rect bb{};
+  bool first = true;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    bb = first ? r : bounding_union(bb, r);
+    first = false;
+  }
+  return bb;
+}
+
+Rect bounding_box_points(std::span<const Point> pts) {
+  if (pts.empty()) return {};
+  double x0 = pts[0].x, y0 = pts[0].y, x1 = pts[0].x, y1 = pts[0].y;
+  for (const Point& p : pts) {
+    x0 = std::min(x0, p.x);
+    y0 = std::min(y0, p.y);
+    x1 = std::max(x1, p.x);
+    y1 = std::max(y1, p.y);
+  }
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+double total_pairwise_overlap(std::span<const Rect> rects) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      total += intersection(rects[i], rects[j]).area();
+    }
+  }
+  return total;
+}
+
+double hpwl_net(std::span<const Point> pins) {
+  if (pins.size() < 2) return 0.0;
+  const Rect bb = bounding_box_points(pins);
+  return bb.w + bb.h;
+}
+
+double hpwl_total(std::span<const std::vector<Point>> nets) {
+  double total = 0.0;
+  for (const auto& net : nets) total += hpwl_net(net);
+  return total;
+}
+
+double dead_space(std::span<const Rect> blocks) {
+  const Rect bb = bounding_box(blocks);
+  if (bb.area() <= 0.0) return 0.0;
+  double used = 0.0;
+  for (const Rect& r : blocks) used += r.area();
+  return 1.0 - used / bb.area();
+}
+
+double aspect_ratio(const Rect& r) {
+  if (r.w <= 0.0 || r.h <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(r.w, r.h) / std::min(r.w, r.h);
+}
+
+Interval intersect(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Cell GridMapper::cell_of(double x, double y) const {
+  int col = static_cast<int>(std::floor(x * n / world_w));
+  int row = static_cast<int>(std::floor(y * n / world_h));
+  col = std::clamp(col, 0, n - 1);
+  row = std::clamp(row, 0, n - 1);
+  return {col, row};
+}
+
+double canvas_side(double total_area, double r_max) {
+  // The canvas must accommodate any floorplan with aspect ratio up to
+  // r_max: the long side of such a floorplan is at most
+  // sqrt(total_area * r_max) (when the floorplan is a perfect r_max:1
+  // rectangle).  The paper's W = H = sqrt(sum Ai / Rmax) typeset reads
+  // ambiguously; a canvas smaller than sqrt(total_area) cannot fit the
+  // blocks, so we use the only consistent interpretation.
+  return std::sqrt(std::max(0.0, total_area) * std::max(1.0, r_max));
+}
+
+}  // namespace afp::geom

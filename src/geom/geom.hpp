@@ -1,0 +1,165 @@
+// Geometry primitives for analog floorplanning.
+//
+// All coordinates are in micrometers (double) unless stated otherwise.
+// Rectangles are axis-aligned, closed on the lower-left and open on the
+// upper-right edge, i.e. [x, x+w) x [y, y+h), so that abutting blocks do
+// not "overlap".
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace afp::geom {
+
+/// A 2-D point in micrometers.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan (L1) distance between two points.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean (L2) distance between two points.
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Axis-aligned rectangle described by lower-left corner and size.
+struct Rect {
+  double x = 0.0;  ///< lower-left x
+  double y = 0.0;  ///< lower-left y
+  double w = 0.0;  ///< width  (>= 0)
+  double h = 0.0;  ///< height (>= 0)
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  double left() const { return x; }
+  double right() const { return x + w; }
+  double bottom() const { return y; }
+  double top() const { return y + h; }
+  double area() const { return w * h; }
+  Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+  Point lower_left() const { return {x, y}; }
+  Point upper_right() const { return {x + w, y + h}; }
+  bool empty() const { return w <= 0.0 || h <= 0.0; }
+
+  /// True when `p` lies inside the half-open rectangle.
+  bool contains(const Point& p) const {
+    return p.x >= x && p.x < x + w && p.y >= y && p.y < y + h;
+  }
+
+  /// True when `other` is fully inside (or equal to) this rectangle.
+  bool contains(const Rect& other) const {
+    return other.x >= x && other.y >= y && other.right() <= right() &&
+           other.top() <= top();
+  }
+
+  /// True when interiors intersect (shared edges do not count).
+  bool overlaps(const Rect& other) const {
+    return x < other.right() && other.x < right() && y < other.top() &&
+           other.y < top();
+  }
+
+  /// Rectangle translated by (dx, dy).
+  Rect translated(double dx, double dy) const { return {x + dx, y + dy, w, h}; }
+
+  /// Rectangle grown by `margin` on every side (may be negative).
+  Rect inflated(double margin) const {
+    return {x - margin, y - margin, w + 2 * margin, h + 2 * margin};
+  }
+};
+
+/// Intersection of two rectangles; empty rect (w=h=0) when disjoint.
+Rect intersection(const Rect& a, const Rect& b);
+
+/// Smallest rectangle covering both inputs.
+Rect bounding_union(const Rect& a, const Rect& b);
+
+/// Smallest rectangle covering all inputs; empty rect for an empty span.
+Rect bounding_box(std::span<const Rect> rects);
+
+/// Smallest rectangle covering all points; empty rect for an empty span.
+Rect bounding_box_points(std::span<const Point> pts);
+
+/// Total overlap area over all unordered pairs in `rects`.
+double total_pairwise_overlap(std::span<const Rect> rects);
+
+/// Half-perimeter wirelength of a single net given its pin locations.
+/// Zero for nets with fewer than two pins.
+double hpwl_net(std::span<const Point> pins);
+
+/// Sum of `hpwl_net` over a collection of nets.
+double hpwl_total(std::span<const std::vector<Point>> nets);
+
+/// Dead space of a floorplan: 1 - sum(block areas) / bbox area.
+/// Returns 0 when the bounding box is degenerate.
+double dead_space(std::span<const Rect> blocks);
+
+/// Aspect ratio (max(w,h)/min(w,h)) of a rectangle; >= 1. Returns +inf for
+/// degenerate rectangles.
+double aspect_ratio(const Rect& r);
+
+/// One-dimensional closed interval helper.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool valid() const { return lo <= hi; }
+  double length() const { return hi - lo; }
+  bool contains(double v) const { return v >= lo && v <= hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Intersection of two intervals; invalid (lo > hi) when disjoint.
+Interval intersect(const Interval& a, const Interval& b);
+
+/// Integer grid cell coordinate.
+struct Cell {
+  int col = 0;  ///< x index
+  int row = 0;  ///< y index
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// Maps continuous block dimensions onto an integer grid following the
+/// paper's quantization: wg = ceil(w * n / W) (Section IV-D1).
+struct GridMapper {
+  double world_w = 1.0;  ///< floorplan canvas width W in um
+  double world_h = 1.0;  ///< floorplan canvas height H in um
+  int n = 32;            ///< grid resolution (n x n)
+
+  /// Grid width in cells of a block of continuous width `w`.
+  int cells_w(double w) const {
+    return std::max(1, static_cast<int>(std::ceil(w * n / world_w)));
+  }
+  /// Grid height in cells of a block of continuous height `h`.
+  int cells_h(double h) const {
+    return std::max(1, static_cast<int>(std::ceil(h * n / world_h)));
+  }
+  /// Continuous x coordinate of the left edge of column `col`.
+  double world_x(int col) const { return col * world_w / n; }
+  /// Continuous y coordinate of the bottom edge of row `row`.
+  double world_y(int row) const { return row * world_h / n; }
+  /// Cell containing the continuous point (x, y); clamped to the grid.
+  Cell cell_of(double x, double y) const;
+};
+
+/// Canvas side length from total block area and maximum aspect ratio,
+/// W = H = sqrt(sum Ai / Rmax) scaled so the canvas fits Rmax-elongated
+/// floorplans (Section IV-D1, Rmax = 11).
+double canvas_side(double total_area, double r_max);
+
+}  // namespace afp::geom

@@ -1,0 +1,189 @@
+#include "graphir/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace afp::graphir {
+
+double CircuitGraph::total_area() const {
+  double a = 0.0;
+  for (const Node& n : nodes) a += n.area_um2;
+  return a;
+}
+
+num::Tensor CircuitGraph::feature_matrix() const {
+  const int n = num_nodes();
+  std::vector<float> feat(static_cast<std::size_t>(n) * kNodeFeatureDim, 0.0f);
+  const double total = std::max(1e-12, total_area());
+  double max_stripe = 1e-12;
+  for (const Node& nd : nodes) max_stripe = std::max(max_stripe, nd.stripe_width_um);
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = nodes[static_cast<std::size_t>(i)];
+    float* f = feat.data() + static_cast<std::size_t>(i) * kNodeFeatureDim;
+    f[0] = static_cast<float>(nd.area_um2 / total);
+    f[1] = static_cast<float>(nd.stripe_width_um / max_stripe);
+    f[2] = static_cast<float>(nd.pin_count) / 10.0f;
+    const int dir = std::clamp(nd.routing_direction, 0, 3);
+    f[3 + dir] = 1.0f;
+    const int t = std::clamp(static_cast<int>(nd.type), 0,
+                             structrec::kNumStructureTypes - 1);
+    f[7 + t] = 1.0f;
+  }
+  return num::Tensor::from_vector({n, kNodeFeatureDim}, std::move(feat));
+}
+
+std::vector<num::Tensor> CircuitGraph::adjacency() const {
+  return nn::build_adjacency(num_nodes(), kNumRelations, edges);
+}
+
+CircuitGraph build_graph(const netlist::Netlist& nl,
+                         const structrec::Recognition& rec) {
+  CircuitGraph g;
+  g.name = nl.name();
+  for (const auto& s : rec.structures) {
+    Node n;
+    n.name = s.name;
+    n.type = s.type;
+    n.area_um2 = s.area_um2;
+    n.stripe_width_um = s.stripe_width_um;
+    n.pin_count = s.pin_count;
+    n.routing_direction = s.routing_direction;
+    g.nodes.push_back(std::move(n));
+  }
+
+  // Block-level nets: map each non-supply netlist net onto the distinct
+  // blocks it touches; keep nets spanning >= 2 blocks.
+  std::set<std::pair<int, int>> conn;
+  for (const auto& net : nl.nets()) {
+    if (net.is_supply()) continue;
+    std::set<int> blocks;
+    for (const auto& [di, ti] : net.pins) {
+      blocks.insert(rec.device_to_structure[static_cast<std::size_t>(di)]);
+    }
+    if (blocks.size() < 2) continue;
+    BlockNet bn;
+    bn.name = net.name;
+    bn.blocks.assign(blocks.begin(), blocks.end());
+    g.nets.push_back(std::move(bn));
+    for (auto it = blocks.begin(); it != blocks.end(); ++it) {
+      for (auto jt = std::next(it); jt != blocks.end(); ++jt) {
+        conn.emplace(*it, *jt);
+      }
+    }
+  }
+  auto& conn_edges =
+      g.edges[static_cast<std::size_t>(Relation::kConnectivity)];
+  conn_edges.assign(conn.begin(), conn.end());
+  return g;
+}
+
+void apply_constraints(CircuitGraph& g, ConstraintSpec spec) {
+  const int n = g.num_nodes();
+  auto check = [n](int b, const char* what) {
+    if (b < 0 || b >= n) {
+      throw std::invalid_argument(std::string("apply_constraints: ") + what +
+                                  " block index out of range");
+    }
+  };
+  for (const auto& sp : spec.sym_pairs) {
+    check(sp.a, "sym_pair");
+    check(sp.b, "sym_pair");
+  }
+  for (const auto& ss : spec.self_syms) check(ss.block, "self_sym");
+  for (const auto& ag : spec.align_groups) {
+    for (int b : ag.blocks) check(b, "align_group");
+  }
+
+  g.constraints = std::move(spec);
+  auto& hsym = g.edges[static_cast<std::size_t>(Relation::kHorizontalSymmetry)];
+  auto& vsym = g.edges[static_cast<std::size_t>(Relation::kVerticalSymmetry)];
+  auto& halign = g.edges[static_cast<std::size_t>(Relation::kHorizontalAlign)];
+  auto& valign = g.edges[static_cast<std::size_t>(Relation::kVerticalAlign)];
+  hsym.clear();
+  vsym.clear();
+  halign.clear();
+  valign.clear();
+  for (const auto& sp : g.constraints.sym_pairs) {
+    (sp.vertical ? vsym : hsym).emplace_back(sp.a, sp.b);
+  }
+  for (const auto& ss : g.constraints.self_syms) {
+    (ss.vertical ? vsym : hsym).emplace_back(ss.block, ss.block);
+  }
+  for (const auto& ag : g.constraints.align_groups) {
+    auto& bucket = ag.horizontal ? halign : valign;
+    for (std::size_t i = 0; i + 1 < ag.blocks.size(); ++i) {
+      bucket.emplace_back(ag.blocks[i], ag.blocks[i + 1]);
+    }
+  }
+}
+
+ConstraintSpec default_constraints(const CircuitGraph& g) {
+  ConstraintSpec spec;
+  const int n = g.num_nodes();
+
+  std::vector<int> pairs;  // matched-pair block indices
+  for (int i = 0; i < n; ++i) {
+    if (structrec::is_matched_pair(g.nodes[static_cast<std::size_t>(i)].type)) {
+      spec.self_syms.push_back({i, /*vertical=*/true});
+      pairs.push_back(i);
+    }
+  }
+
+  auto connected = [&](int a, int b) {
+    const auto& ce =
+        g.edges[static_cast<std::size_t>(Relation::kConnectivity)];
+    return std::any_of(ce.begin(), ce.end(), [&](const auto& e) {
+      return (e.first == a && e.second == b) ||
+             (e.first == b && e.second == a);
+    });
+  };
+
+  // Same-type equal-area blocks hanging off the same matched pair mirror
+  // each other (e.g. matched diodes on a diff pair's outputs).
+  std::set<int> paired;
+  for (int p : pairs) {
+    for (int a = 0; a < n; ++a) {
+      if (a == p || paired.count(a) || !connected(a, p)) continue;
+      for (int b = a + 1; b < n; ++b) {
+        if (b == p || paired.count(a) || paired.count(b) || !connected(b, p))
+          continue;
+        const Node& na = g.nodes[static_cast<std::size_t>(a)];
+        const Node& nb = g.nodes[static_cast<std::size_t>(b)];
+        if (na.type == nb.type &&
+            std::abs(na.area_um2 - nb.area_um2) < 1e-9 &&
+            !structrec::is_matched_pair(na.type)) {
+          spec.sym_pairs.push_back({a, b, /*vertical=*/true});
+          paired.insert(a);
+          paired.insert(b);
+        }
+      }
+    }
+  }
+
+  // Current mirrors align in a row with the diff pair they load.
+  for (int p : pairs) {
+    if (g.nodes[static_cast<std::size_t>(p)].type !=
+            structrec::StructureType::kDiffPairN &&
+        g.nodes[static_cast<std::size_t>(p)].type !=
+            structrec::StructureType::kDiffPairP)
+      continue;
+    ConstraintSpec::AlignGroup group;
+    group.horizontal = true;
+    group.blocks.push_back(p);
+    for (int a = 0; a < n; ++a) {
+      const auto t = g.nodes[static_cast<std::size_t>(a)].type;
+      if ((t == structrec::StructureType::kCurrentMirrorN ||
+           t == structrec::StructureType::kCurrentMirrorP) &&
+          connected(a, p)) {
+        group.blocks.push_back(a);
+      }
+    }
+    if (group.blocks.size() >= 2) spec.align_groups.push_back(std::move(group));
+  }
+  return spec;
+}
+
+}  // namespace afp::graphir

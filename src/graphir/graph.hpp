@@ -1,0 +1,114 @@
+// Heterogeneous circuit-graph intermediate representation (paper Fig. 2).
+//
+// Nodes are functional blocks (structure-recognition output); edges carry
+// one of five relations: netlist connectivity, horizontal/vertical
+// alignment, horizontal/vertical symmetry.  Node features follow
+// Section IV-C: block area, stripe width, terminal routing direction, pin
+// count, and a 28-dim one-hot of the functional structure type.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "nn/rgcn_layer.hpp"
+#include "numeric/tensor.hpp"
+#include "structrec/structrec.hpp"
+
+namespace afp::graphir {
+
+/// Edge relations; order defines the relation index used by the R-GCN.
+enum class Relation : int {
+  kConnectivity = 0,
+  kHorizontalAlign,
+  kVerticalAlign,
+  kHorizontalSymmetry,
+  kVerticalSymmetry,
+};
+constexpr int kNumRelations = 5;
+
+/// Node feature layout: [area, stripe_width, pin_count,
+/// routing_dir one-hot(4), structure one-hot(28)] = 35 dims.
+constexpr int kNodeFeatureDim = 3 + 4 + structrec::kNumStructureTypes;
+
+/// Positional constraints over blocks.  Axes are floorplan-relative: a
+/// "vertical" symmetry mirrors across a vertical line (x = const).
+struct ConstraintSpec {
+  struct SymPair {
+    int a = -1;
+    int b = -1;
+    bool vertical = true;  ///< mirror across a vertical axis
+  };
+  struct SelfSym {
+    int block = -1;
+    bool vertical = true;  ///< block centered on a vertical axis
+  };
+  struct AlignGroup {
+    std::vector<int> blocks;
+    bool horizontal = true;  ///< align bottom edges in a row (else left edges)
+  };
+
+  std::vector<SymPair> sym_pairs;
+  std::vector<SelfSym> self_syms;
+  std::vector<AlignGroup> align_groups;
+
+  bool empty() const {
+    return sym_pairs.empty() && self_syms.empty() && align_groups.empty();
+  }
+};
+
+/// A block-level net: the blocks it connects (>= 2, non-supply).
+struct BlockNet {
+  std::string name;
+  std::vector<int> blocks;
+};
+
+struct Node {
+  std::string name;
+  structrec::StructureType type = structrec::StructureType::kUnknown;
+  double area_um2 = 0.0;
+  double stripe_width_um = 0.0;
+  int pin_count = 0;
+  int routing_direction = 0;
+};
+
+class CircuitGraph {
+ public:
+  CircuitGraph() = default;
+
+  std::string name;
+  std::vector<Node> nodes;
+  /// edges[relation] = list of undirected (u, v) pairs.
+  std::vector<std::vector<std::pair<int, int>>> edges =
+      std::vector<std::vector<std::pair<int, int>>>(kNumRelations);
+  std::vector<BlockNet> nets;
+  ConstraintSpec constraints;
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  double total_area() const;
+
+  /// Node feature matrix [N, kNodeFeatureDim]; areas and widths are
+  /// normalized within the circuit so features are scale free.
+  num::Tensor feature_matrix() const;
+
+  /// Per-relation normalized adjacency matrices for the R-GCN.
+  std::vector<num::Tensor> adjacency() const;
+};
+
+/// Builds the graph from a netlist and its recognition result.
+/// Connectivity edges link blocks sharing at least one non-supply net;
+/// constraint relations are added by apply_constraints.
+CircuitGraph build_graph(const netlist::Netlist& nl,
+                         const structrec::Recognition& rec);
+
+/// Installs `spec` into the graph: records it and materializes the
+/// corresponding symmetry / alignment edges (replacing previous ones).
+void apply_constraints(CircuitGraph& g, ConstraintSpec spec);
+
+/// Derives a plausible default constraint set: matched-pair blocks become
+/// self-symmetric about a vertical axis; same-type equal-area blocks that
+/// both connect to a matched pair become symmetric pairs; current mirrors
+/// connected to a diff pair align horizontally with it.
+ConstraintSpec default_constraints(const CircuitGraph& g);
+
+}  // namespace afp::graphir

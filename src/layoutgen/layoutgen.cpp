@@ -1,0 +1,219 @@
+#include "layoutgen/layoutgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace afp::layoutgen {
+
+double Layout::dead_space(const floorplan::Instance& inst) const {
+  if (outline.area() <= 0.0) return 1.0;
+  return 1.0 - inst.total_block_area() / outline.area();
+}
+
+namespace {
+
+geom::Rect conduit_rect(const route::Conduit& c, double width) {
+  const double hw = width / 2.0;
+  if (c.layer == 1) {  // horizontal
+    return {std::min(c.a.x, c.b.x) - hw, c.a.y - hw,
+            std::abs(c.b.x - c.a.x) + width, width};
+  }
+  return {c.a.x - hw, std::min(c.a.y, c.b.y) - hw, width,
+          std::abs(c.b.y - c.a.y) + width};
+}
+
+/// Deterministic lane offset for a net: nets are shifted rigidly by a
+/// sub-pitch amount so wires that global routing placed on the same Hanan
+/// line separate without breaking intra-net connectivity.  Offsets stay
+/// below half the pin pad so pin contact is preserved.
+geom::Point net_lane_offset(std::size_t net_index, double lane_step) {
+  // Four quantized lanes per axis: {-1.5, -0.5, +0.5, +1.5} * lane_step.
+  // Distinct lanes differ by at least lane_step, which exceeds the wire
+  // width, so same-line wires of different nets cannot overlap.  Nets
+  // sharing both lanes (more than 16 nets) may still crowd; DRC reports
+  // those as the manual-refinement cases of Section V-C.
+  const double lx = static_cast<double>((net_index / 4) % 4) - 1.5;
+  const double ly = static_cast<double>(net_index % 4) - 1.5;
+  return {lx * lane_step, ly * lane_step};
+}
+
+}  // namespace
+
+Layout generate_layout(const floorplan::Instance& inst,
+                       const std::vector<geom::Rect>& rects,
+                       const route::GlobalRoute& gr,
+                       const LayoutConfig& cfg,
+                       const std::vector<int>& routing_dirs) {
+  Layout layout;
+  layout.blocks = rects;
+
+  // Stage 1: pin shapes on each block's preferred routing edge (template
+  // realization keeps pins where the multi-shape configuration routed the
+  // structure's terminals) — the same convention global routing used.
+  // Pin pads are sized to cover the maximum net-lane shift applied during
+  // detailed routing, so lane assignment can never disconnect a pin.
+  const double lane_step = cfg.wire_width * 1.25;
+  const double pin_half = 1.5 * lane_step + cfg.wire_width;
+  for (std::size_t ni = 0; ni < inst.nets.size(); ++ni) {
+    for (int b : inst.nets[ni]) {
+      const int dir = b < static_cast<int>(routing_dirs.size())
+                          ? routing_dirs[static_cast<std::size_t>(b)]
+                          : 0;
+      const geom::Point p =
+          route::block_pin_for_net(rects[static_cast<std::size_t>(b)], dir, ni);
+      layout.pins.push_back(
+          {{p.x - pin_half, p.y - pin_half, 2 * pin_half, 2 * pin_half},
+           b,
+           "net" + std::to_string(ni)});
+    }
+  }
+
+  // Stage 2: channels from conduits.
+  for (const auto& c : gr.conduits) {
+    layout.channels.push_back(
+        {conduit_rect(c, cfg.wire_width + 2.0 * cfg.channel_pad), c.layer});
+  }
+
+  // Stage 3: detailed wires.  Each net is shifted rigidly onto its own
+  // lane (net_lane_offset), which keeps the net's geometry connected by
+  // construction while separating wires that global routing placed on the
+  // same Hanan line.  Residual crowding shows up as DRC spacing
+  // violations — the cases Section V-C attributes to manual channel
+  // refinement.
+  const double pitch = cfg.wire_width + cfg.wire_spacing;
+  std::map<std::string, std::size_t> net_index;
+  for (const auto& c : gr.conduits) {
+    net_index.emplace(c.net, net_index.size());
+  }
+  for (const auto& c : gr.conduits) {
+    const geom::Point off = net_lane_offset(net_index[c.net], lane_step);
+    const geom::Rect w = conduit_rect(c, cfg.wire_width).translated(off.x, off.y);
+    layout.wires.push_back({w, c.layer, c.net});
+  }
+  for (const auto& c : gr.conduits) {
+    const geom::Point off = net_lane_offset(net_index[c.net], lane_step);
+    for (const geom::Point& p : {c.a, c.b}) {
+      layout.vias.push_back(
+          {{p.x + off.x - cfg.via_size / 2.0, p.y + off.y - cfg.via_size / 2.0,
+            cfg.via_size, cfg.via_size},
+           c.net});
+    }
+  }
+
+  // Outline covers blocks and channels.
+  geom::Rect bb = geom::bounding_box(layout.blocks);
+  for (const auto& ch : layout.channels) bb = geom::bounding_union(bb, ch.rect);
+  layout.outline = bb.inflated(cfg.outline_margin);
+  return layout;
+}
+
+DrcReport run_drc(const Layout& layout, const LayoutConfig& cfg) {
+  DrcReport report;
+  for (std::size_t i = 0; i < layout.wires.size(); ++i) {
+    const auto& a = layout.wires[i];
+    if (!layout.outline.contains(a.rect)) {
+      report.violations.push_back(
+          {"outline", "wire of " + a.net + " escapes the outline"});
+    }
+    for (std::size_t j = i + 1; j < layout.wires.size(); ++j) {
+      const auto& b = layout.wires[j];
+      if (a.layer != b.layer || a.net == b.net) continue;
+      if (a.rect.inflated(cfg.wire_spacing / 2.0)
+              .overlaps(b.rect.inflated(cfg.wire_spacing / 2.0))) {
+        report.violations.push_back(
+            {"spacing", "layer " + std::to_string(a.layer) + ": " + a.net +
+                            " vs " + b.net});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < layout.blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < layout.blocks.size(); ++j) {
+      if (layout.blocks[i].overlaps(layout.blocks[j])) {
+        report.violations.push_back(
+            {"block_overlap", "blocks " + std::to_string(i) + " and " +
+                                  std::to_string(j)});
+      }
+    }
+  }
+  return report;
+}
+
+LvsReport run_lvs(const Layout& layout) {
+  LvsReport report;
+  // Gather geometry per net: wires, vias and pins.
+  std::map<std::string, std::vector<geom::Rect>> net_geom;
+  for (const auto& w : layout.wires) net_geom[w.net].push_back(w.rect);
+  for (const auto& v : layout.vias) net_geom[v.net].push_back(v.rect);
+  for (const auto& p : layout.pins) net_geom[p.net].push_back(p.rect);
+
+  // Connectivity: union-find over touching rectangles (inflated slightly
+  // so abutting shapes connect).
+  for (const auto& [net, shapes] : net_geom) {
+    const std::size_t n = shapes.size();
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (shapes[i].inflated(1e-6).overlaps(shapes[j].inflated(1e-6))) {
+          parent[find(i)] = find(j);
+        }
+      }
+    }
+    std::set<std::size_t> roots;
+    for (std::size_t i = 0; i < n; ++i) roots.insert(find(i));
+    if (roots.size() > 1) report.open_nets.push_back(net);
+  }
+
+  // Shorts: same-layer wire contact between different nets.
+  for (std::size_t i = 0; i < layout.wires.size(); ++i) {
+    for (std::size_t j = i + 1; j < layout.wires.size(); ++j) {
+      const auto& a = layout.wires[i];
+      const auto& b = layout.wires[j];
+      if (a.net == b.net || a.layer != b.layer) continue;
+      if (a.rect.overlaps(b.rect)) {
+        report.shorted.push_back(a.net + "/" + b.net);
+      }
+    }
+  }
+  return report;
+}
+
+void write_svg(const std::string& path, const Layout& layout) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_svg: cannot open " + path);
+  const geom::Rect& o = layout.outline;
+  const double scale = 20.0;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+     << o.w * scale << "' height='" << o.h * scale << "' viewBox='0 0 "
+     << o.w * scale << ' ' << o.h * scale << "'>\n";
+  auto emit = [&](const geom::Rect& r, const std::string& fill,
+                  double opacity) {
+    // Flip y: SVG origin is top-left.
+    os << "<rect x='" << (r.x - o.x) * scale << "' y='"
+       << (o.top() - r.top()) * scale << "' width='" << r.w * scale
+       << "' height='" << r.h * scale << "' fill='" << fill
+       << "' fill-opacity='" << opacity << "' stroke='black' stroke-width='0.5'/>\n";
+  };
+  emit(o, "#f8f8f8", 1.0);
+  for (const auto& ch : layout.channels) {
+    emit(ch.rect, ch.layer == 1 ? "#ffe9b3" : "#d0e8ff", 0.5);
+  }
+  for (const auto& b : layout.blocks) emit(b, "#b8c4ce", 0.9);
+  for (const auto& w : layout.wires) {
+    emit(w.rect, w.layer == 1 ? "#d97706" : "#2563eb", 0.95);
+  }
+  for (const auto& v : layout.vias) emit(v.rect, "#111111", 1.0);
+  for (const auto& p : layout.pins) emit(p.rect, "#16a34a", 1.0);
+  os << "</svg>\n";
+}
+
+}  // namespace afp::layoutgen

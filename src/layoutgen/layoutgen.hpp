@@ -1,0 +1,102 @@
+// Procedural layout generation — the ANAGEN [11,12] substitute.
+//
+// Pipeline stages mirroring Section IV-E / Fig. 7:
+//   1. Template realization: placed blocks become layout templates with pin
+//      geometry on their preferred routing edge.
+//   2. Channel definition: every global-routing conduit expands into a
+//      routing channel (a padded corridor on its layer).
+//   3. Detailed routing: conduits become wire rectangles; parallel
+//      same-layer wires of different nets are separated by a greedy track
+//      assignment; layer changes get via squares.
+//   4. Verification: DRC-style checks (same-layer spacing between
+//      different nets, wires within the outline) and an LVS-style check
+//      (each net's wires + pins form one connected component).
+//   5. SVG export for visual inspection (Fig. 7 panels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/oarsmt.hpp"
+
+namespace afp::layoutgen {
+
+struct LayoutConfig {
+  double wire_width = 0.2;    ///< um
+  double wire_spacing = 0.25; ///< um, min same-layer spacing
+  double channel_pad = 0.3;   ///< um, channel padding around conduits
+  double via_size = 0.26;     ///< um
+  double outline_margin = 1.0;///< um around everything
+};
+
+struct WireSegment {
+  geom::Rect rect;
+  int layer = 1;
+  std::string net;
+};
+
+struct Via {
+  geom::Rect rect;
+  std::string net;
+};
+
+struct Channel {
+  geom::Rect rect;
+  int layer = 1;
+};
+
+struct PinShape {
+  geom::Rect rect;
+  int block = -1;
+  std::string net;
+};
+
+struct Layout {
+  std::vector<geom::Rect> blocks;
+  std::vector<PinShape> pins;
+  std::vector<Channel> channels;
+  std::vector<WireSegment> wires;
+  std::vector<Via> vias;
+  geom::Rect outline;
+
+  double area() const { return outline.area(); }
+  /// Dead space of the completed layout: 1 - block area / outline area.
+  double dead_space(const floorplan::Instance& inst) const;
+};
+
+/// Runs stages 1-3.  `routing_dirs` gives each block's preferred pin edge
+/// (0=N,1=E,2=S,3=W) and must match what global routing used so pin
+/// shapes land on the routed terminals; empty means north for all.
+Layout generate_layout(const floorplan::Instance& inst,
+                       const std::vector<geom::Rect>& rects,
+                       const route::GlobalRoute& gr,
+                       const LayoutConfig& cfg = {},
+                       const std::vector<int>& routing_dirs = {});
+
+struct DrcViolation {
+  std::string rule;
+  std::string detail;
+};
+
+struct DrcReport {
+  std::vector<DrcViolation> violations;
+  bool clean() const { return violations.empty(); }
+};
+
+/// Same-layer spacing between different nets; geometry inside outline.
+DrcReport run_drc(const Layout& layout, const LayoutConfig& cfg = {});
+
+struct LvsReport {
+  std::vector<std::string> open_nets;   ///< nets whose geometry is split
+  std::vector<std::string> shorted;     ///< net pairs in contact
+  bool clean() const { return open_nets.empty() && shorted.empty(); }
+};
+
+/// Connectivity extraction: wires + vias + pins per net must form a single
+/// connected component, and no two nets may touch.
+LvsReport run_lvs(const Layout& layout);
+
+/// Writes an SVG rendering (blocks, channels, wires per layer, vias).
+void write_svg(const std::string& path, const Layout& layout);
+
+}  // namespace afp::layoutgen

@@ -1,0 +1,263 @@
+#include "metaheur/bstar.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stack>
+
+namespace afp::metaheur {
+
+namespace {
+
+/// Horizontal contour: max height per x interval.  Linear-scan segment
+/// list — exact and ample for tens of blocks.
+class Contour {
+ public:
+  /// Max height over [x0, x1).
+  double query(double x0, double x1) const {
+    double y = 0.0;
+    for (const auto& s : segs_) {
+      if (s.x1 <= x0 || s.x0 >= x1) continue;
+      y = std::max(y, s.y);
+    }
+    return y;
+  }
+  /// Raises [x0, x1) to height y.
+  void update(double x0, double x1, double y) {
+    std::vector<Seg> next;
+    for (const auto& s : segs_) {
+      if (s.x1 <= x0 || s.x0 >= x1) {
+        next.push_back(s);
+        continue;
+      }
+      if (s.x0 < x0) next.push_back({s.x0, x0, s.y});
+      if (s.x1 > x1) next.push_back({x1, s.x1, s.y});
+    }
+    next.push_back({x0, x1, y});
+    std::sort(next.begin(), next.end(),
+              [](const Seg& a, const Seg& b) { return a.x0 < b.x0; });
+    segs_ = std::move(next);
+  }
+
+ private:
+  struct Seg {
+    double x0, x1, y;
+  };
+  std::vector<Seg> segs_;
+};
+
+}  // namespace
+
+BStarTree BStarTree::random(int num_blocks, std::mt19937_64& rng) {
+  BStarTree t;
+  t.left.assign(static_cast<std::size_t>(num_blocks), -1);
+  t.right.assign(static_cast<std::size_t>(num_blocks), -1);
+  t.parent.assign(static_cast<std::size_t>(num_blocks), -1);
+  std::uniform_int_distribution<int> shape(0, floorplan::kNumShapes - 1);
+  t.shapes.resize(static_cast<std::size_t>(num_blocks));
+  for (int& s : t.shapes) s = shape(rng);
+
+  std::vector<int> order(static_cast<std::size_t>(num_blocks));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  t.root = order[0];
+  std::vector<int> in_tree{t.root};
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const int b = order[k];
+    // Pick a random node with a free slot.
+    while (true) {
+      std::uniform_int_distribution<int> pick(
+          0, static_cast<int>(in_tree.size()) - 1);
+      const int host = in_tree[static_cast<std::size_t>(pick(rng))];
+      const bool lfree = t.left[static_cast<std::size_t>(host)] < 0;
+      const bool rfree = t.right[static_cast<std::size_t>(host)] < 0;
+      if (!lfree && !rfree) continue;
+      const bool use_left = lfree && (!rfree || coin(rng) < 0.5);
+      (use_left ? t.left : t.right)[static_cast<std::size_t>(host)] = b;
+      t.parent[static_cast<std::size_t>(b)] = host;
+      break;
+    }
+    in_tree.push_back(b);
+  }
+  return t;
+}
+
+bool BStarTree::valid() const {
+  const int n = size();
+  if (n == 0) return true;
+  if (root < 0 || root >= n || parent[static_cast<std::size_t>(root)] != -1) {
+    return false;
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::stack<int> st;
+  st.push(root);
+  int count = 0;
+  while (!st.empty()) {
+    const int b = st.top();
+    st.pop();
+    if (b < 0 || b >= n || seen[static_cast<std::size_t>(b)]) return false;
+    seen[static_cast<std::size_t>(b)] = true;
+    ++count;
+    for (int c : {left[static_cast<std::size_t>(b)],
+                  right[static_cast<std::size_t>(b)]}) {
+      if (c >= 0) {
+        if (parent[static_cast<std::size_t>(c)] != b) return false;
+        st.push(c);
+      }
+    }
+  }
+  return count == n;
+}
+
+std::vector<geom::Rect> pack_bstar(const floorplan::Instance& inst,
+                                   const BStarTree& tree, double spacing_um) {
+  const int n = tree.size();
+  std::vector<geom::Rect> rects(static_cast<std::size_t>(n));
+  std::vector<double> w(static_cast<std::size_t>(n)), h(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    const auto& sh = inst.blocks[static_cast<std::size_t>(b)]
+                         .shapes[static_cast<std::size_t>(
+                             tree.shapes[static_cast<std::size_t>(b)])];
+    w[static_cast<std::size_t>(b)] = sh.w + 2.0 * spacing_um;
+    h[static_cast<std::size_t>(b)] = sh.h + 2.0 * spacing_um;
+  }
+  Contour contour;
+  // Preorder DFS; children carry their packed x position.
+  std::stack<std::pair<int, double>> st;
+  st.emplace(tree.root, 0.0);
+  while (!st.empty()) {
+    const auto [b, x] = st.top();
+    st.pop();
+    const double y = contour.query(x, x + w[static_cast<std::size_t>(b)]);
+    contour.update(x, x + w[static_cast<std::size_t>(b)],
+                   y + h[static_cast<std::size_t>(b)]);
+    const auto& sh = inst.blocks[static_cast<std::size_t>(b)]
+                         .shapes[static_cast<std::size_t>(
+                             tree.shapes[static_cast<std::size_t>(b)])];
+    rects[static_cast<std::size_t>(b)] = {x + spacing_um, y + spacing_um,
+                                          sh.w, sh.h};
+    const int l = tree.left[static_cast<std::size_t>(b)];
+    const int r = tree.right[static_cast<std::size_t>(b)];
+    // Right child keeps x (stacks above); left child starts at x + w.
+    if (r >= 0) st.emplace(r, x);
+    if (l >= 0) st.emplace(l, x + w[static_cast<std::size_t>(b)]);
+  }
+  return rects;
+}
+
+void apply_bstar_move(BStarTree& tree, BStarMove move, std::mt19937_64& rng) {
+  const int n = tree.size();
+  if (n < 2) return;
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  switch (move) {
+    case BStarMove::kChangeShape: {
+      std::uniform_int_distribution<int> shape(0, floorplan::kNumShapes - 1);
+      tree.shapes[static_cast<std::size_t>(pick(rng))] = shape(rng);
+      return;
+    }
+    case BStarMove::kSwapBlocks: {
+      const int a = pick(rng);
+      int b = pick(rng);
+      while (b == a) b = pick(rng);
+      auto relabel = [a, b](int x) { return x == a ? b : (x == b ? a : x); };
+      BStarTree next = tree;
+      auto link = [&](int x) { return x < 0 ? -1 : relabel(x); };
+      for (int i = 0; i < n; ++i) {
+        const int src = relabel(i);  // block i takes block src's slot
+        next.left[static_cast<std::size_t>(i)] =
+            link(tree.left[static_cast<std::size_t>(src)]);
+        next.right[static_cast<std::size_t>(i)] =
+            link(tree.right[static_cast<std::size_t>(src)]);
+        next.parent[static_cast<std::size_t>(i)] =
+            link(tree.parent[static_cast<std::size_t>(src)]);
+      }
+      next.root = relabel(tree.root);
+      // Shapes travel with the block, not the slot.
+      tree.left = std::move(next.left);
+      tree.right = std::move(next.right);
+      tree.parent = std::move(next.parent);
+      tree.root = next.root;
+      return;
+    }
+    case BStarMove::kMoveLeaf: {
+      std::vector<int> leaves;
+      for (int b = 0; b < n; ++b) {
+        if (b != tree.root && tree.left[static_cast<std::size_t>(b)] < 0 &&
+            tree.right[static_cast<std::size_t>(b)] < 0) {
+          leaves.push_back(b);
+        }
+      }
+      if (leaves.empty()) return;
+      std::uniform_int_distribution<int> lp(
+          0, static_cast<int>(leaves.size()) - 1);
+      const int leaf = leaves[static_cast<std::size_t>(lp(rng))];
+      // Detach.
+      const int par = tree.parent[static_cast<std::size_t>(leaf)];
+      if (tree.left[static_cast<std::size_t>(par)] == leaf) {
+        tree.left[static_cast<std::size_t>(par)] = -1;
+      } else {
+        tree.right[static_cast<std::size_t>(par)] = -1;
+      }
+      tree.parent[static_cast<std::size_t>(leaf)] = -1;
+      // Reattach at a random free slot.
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      while (true) {
+        const int host = pick(rng);
+        if (host == leaf) continue;
+        const bool lfree = tree.left[static_cast<std::size_t>(host)] < 0;
+        const bool rfree = tree.right[static_cast<std::size_t>(host)] < 0;
+        if (!lfree && !rfree) continue;
+        const bool use_left = lfree && (!rfree || coin(rng) < 0.5);
+        (use_left ? tree.left
+                  : tree.right)[static_cast<std::size_t>(host)] = leaf;
+        tree.parent[static_cast<std::size_t>(leaf)] = host;
+        return;
+      }
+    }
+  }
+}
+
+BaselineResult run_sa_bstar(const floorplan::Instance& inst,
+                            const BStarSAParams& p, std::mt19937_64& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double spacing =
+      p.spacing_um >= 0.0 ? p.spacing_um : inst.canvas_w / 32.0;
+  BStarTree cur = BStarTree::random(inst.num_blocks(), rng);
+  double cur_cost = sp_cost(inst, pack_bstar(inst, cur, spacing));
+  BStarTree best = cur;
+  double best_cost = cur_cost;
+  long evals = 1;
+
+  const double decay =
+      std::pow(p.t_end / p.t_start, 1.0 / std::max(1, p.iterations - 1));
+  double temp = p.t_start;
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::uniform_int_distribution<int> mv(0, kNumBStarMoves - 1);
+  for (int it = 0; it < p.iterations; ++it, temp *= decay) {
+    BStarTree cand = cur;
+    apply_bstar_move(cand, static_cast<BStarMove>(mv(rng)), rng);
+    const double cost = sp_cost(inst, pack_bstar(inst, cand, spacing));
+    ++evals;
+    if (cost < cur_cost || unif(rng) < std::exp((cur_cost - cost) / temp)) {
+      cur = std::move(cand);
+      cur_cost = cost;
+      if (cur_cost < best_cost) {
+        best = cur;
+        best_cost = cur_cost;
+      }
+    }
+  }
+  BaselineResult r;
+  r.method = "SA-B*[15]";
+  r.rects = pack_bstar(inst, best, spacing);
+  r.eval = floorplan::evaluate_floorplan(inst, r.rects);
+  r.runtime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.evaluations = evals;
+  return r;
+}
+
+}  // namespace afp::metaheur

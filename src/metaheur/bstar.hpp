@@ -1,0 +1,64 @@
+// B*-tree floorplan representation (Chang et al.; used with SA by [15],
+// cited in the paper's related work as the other classic topological
+// model next to Sequence-Pair).
+//
+// A B*-tree node is a block; the left child is packed immediately to the
+// right of its parent, the right child directly above it at the same x.
+// y coordinates come from a horizontal contour.  B*-trees represent
+// exactly the admissible *compacted* floorplans, so packings are always
+// overlap-free and left/bottom compacted.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "floorplan/instance.hpp"
+#include "metaheur/baselines.hpp"
+
+namespace afp::metaheur {
+
+struct BStarTree {
+  /// Per-slot child links (block indices; -1 = none) and tree root.
+  std::vector<int> left;
+  std::vector<int> right;
+  std::vector<int> parent;
+  int root = 0;
+  /// Candidate-shape index per block.
+  std::vector<int> shapes;
+
+  int size() const { return static_cast<int>(left.size()); }
+
+  /// Random topology + shapes over `num_blocks` blocks.
+  static BStarTree random(int num_blocks, std::mt19937_64& rng);
+
+  /// Structural invariant check (every block reachable exactly once).
+  bool valid() const;
+};
+
+/// Packs the tree into rectangles using the contour algorithm.
+/// `spacing_um` pads every block on all sides (congestion margin).
+std::vector<geom::Rect> pack_bstar(const floorplan::Instance& inst,
+                                   const BStarTree& tree,
+                                   double spacing_um = 0.0);
+
+/// B*-tree local moves for annealing.
+enum class BStarMove : int {
+  kChangeShape = 0,  ///< re-roll one block's shape
+  kSwapBlocks,       ///< swap two blocks' tree positions
+  kMoveLeaf,         ///< detach a leaf and reattach at a random free slot
+};
+constexpr int kNumBStarMoves = 3;
+
+void apply_bstar_move(BStarTree& tree, BStarMove move, std::mt19937_64& rng);
+
+/// Simulated annealing over B*-trees; same cost as the SP baselines.
+struct BStarSAParams {
+  int iterations = 4000;
+  double t_start = 2.0;
+  double t_end = 1e-3;
+  double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
+};
+BaselineResult run_sa_bstar(const floorplan::Instance& inst,
+                            const BStarSAParams& p, std::mt19937_64& rng);
+
+}  // namespace afp::metaheur

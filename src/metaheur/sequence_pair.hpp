@@ -1,0 +1,58 @@
+// Sequence-Pair floorplan representation (Murata et al.; symmetry context
+// per Balasa & Lampaert [14]).
+//
+// A candidate solution is (s1, s2, shapes): two permutations of the block
+// indices plus one candidate-shape index per block.  Packing follows the
+// classic rule — a before b in both sequences places a left of b; a before
+// b in s1 and after b in s2 places a above b — and computes coordinates by
+// longest-path relaxation (O(n^2), ample for block counts <= ~50).
+//
+// Congestion-aware spacing: blocks are packed with a margin added on every
+// side (reserving routing channels, as the paper applies to all baseline
+// methods), then the original rectangles are centered in their padded
+// slots.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "floorplan/instance.hpp"
+
+namespace afp::metaheur {
+
+struct SequencePair {
+  std::vector<int> s1;
+  std::vector<int> s2;
+  std::vector<int> shapes;
+
+  /// Identity sequence pair with the middle shape everywhere.
+  static SequencePair initial(int num_blocks);
+  /// Uniformly random sequence pair.
+  static SequencePair random(int num_blocks, std::mt19937_64& rng);
+
+  int size() const { return static_cast<int>(s1.size()); }
+};
+
+/// Packs the sequence pair into continuous rectangles (lower-left at the
+/// origin).  `spacing_um` is the per-side congestion margin.
+std::vector<geom::Rect> pack(const floorplan::Instance& inst,
+                             const SequencePair& sp, double spacing_um = 0.0);
+
+/// Local move vocabulary shared by SA / GA mutation / the [13] agents.
+enum class Move : int {
+  kSwapS1 = 0,    ///< swap two blocks in s1
+  kSwapS2,        ///< swap two blocks in s2
+  kSwapBoth,      ///< swap the same two blocks in both sequences
+  kChangeShape,   ///< re-roll one block's candidate shape
+};
+constexpr int kNumMoves = 4;
+
+/// Applies a random instance of `move` in place.
+void apply_move(SequencePair& sp, Move move, std::mt19937_64& rng);
+
+/// Cost of a packed floorplan: the negated Eq. (5) reward plus a soft
+/// penalty for constraint violations (lower is better).
+double sp_cost(const floorplan::Instance& inst,
+               const std::vector<geom::Rect>& rects);
+
+}  // namespace afp::metaheur

@@ -1,0 +1,368 @@
+#include "netlist/library.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace afp::netlist {
+
+namespace {
+
+/// Small helper for composing circuits from canonical analog motifs.  The
+/// motifs are wired exactly the way the structure-recognition rules expect
+/// (see src/structrec), mirroring how real schematics express them.
+struct Builder {
+  Netlist nl;
+
+  explicit Builder(std::string name) : nl(std::move(name)) {}
+
+  void nmos(const std::string& name, const std::string& d,
+            const std::string& g, const std::string& s, double w,
+            double l = 0.18, int nf = 1) {
+    nl.add_device({name, DeviceType::kNmos, {d, g, s, "VSS"}, w, l, nf, 0.0});
+  }
+  void pmos(const std::string& name, const std::string& d,
+            const std::string& g, const std::string& s, double w,
+            double l = 0.18, int nf = 1) {
+    nl.add_device({name, DeviceType::kPmos, {d, g, s, "VDD"}, w, l, nf, 0.0});
+  }
+  void res(const std::string& name, const std::string& a,
+           const std::string& b, double ohms) {
+    nl.add_device(
+        {name, DeviceType::kResistor, {a, b}, 0, 0, 1, ohms});
+  }
+  void cap(const std::string& name, const std::string& a,
+           const std::string& b, double farads) {
+    nl.add_device(
+        {name, DeviceType::kCapacitor, {a, b}, 0, 0, 1, farads});
+  }
+
+  /// NMOS differential pair: matched, shared (non-supply) source.
+  void ndiff_pair(const std::string& base, const std::string& inp,
+                  const std::string& inn, const std::string& outp,
+                  const std::string& outn, const std::string& tail, double w) {
+    nmos(base + "a", outp, inp, tail, w, 0.18, 2);
+    nmos(base + "b", outn, inn, tail, w, 0.18, 2);
+  }
+
+  /// PMOS current mirror: diode-connected reference plus outputs, all
+  /// sharing gate and the VDD source rail.
+  void pmirror(const std::string& base, const std::string& ref,
+               const std::vector<std::string>& outs, double w) {
+    pmos(base + "ref", ref, ref, "VDD", w, 0.36, 2);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      pmos(base + "o" + std::to_string(i), outs[i], ref, "VDD", w, 0.36, 2);
+    }
+  }
+
+  /// NMOS current mirror referenced to VSS.
+  void nmirror(const std::string& base, const std::string& ref,
+               const std::vector<std::string>& outs, double w) {
+    nmos(base + "ref", ref, ref, "VSS", w, 0.36, 2);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      nmos(base + "o" + std::to_string(i), outs[i], ref, "VSS", w, 0.36, 2);
+    }
+  }
+
+  /// NMOS cascode pair: matched devices sharing a gate bias, each stacked
+  /// on a distinct lower node.
+  void ncascode_pair(const std::string& base, const std::string& bias,
+                     const std::string& topa, const std::string& bota,
+                     const std::string& topb, const std::string& botb,
+                     double w) {
+    nmos(base + "a", topa, bias, bota, w, 0.18, 2);
+    nmos(base + "b", topb, bias, botb, w, 0.18, 2);
+  }
+
+  /// PMOS cascode pair: matched devices sharing a gate bias, each stacked
+  /// on a distinct lower node.
+  void pcascode_pair(const std::string& base, const std::string& bias,
+                     const std::string& topa, const std::string& bota,
+                     const std::string& topb, const std::string& botb,
+                     double w) {
+    pmos(base + "a", topa, bias, bota, w, 0.18, 2);
+    pmos(base + "b", topb, bias, botb, w, 0.18, 2);
+  }
+
+  /// Cross-coupled NMOS pair (latch core / level-shifter core).
+  void ncross_coupled(const std::string& base, const std::string& qa,
+                      const std::string& qb, const std::string& s,
+                      double w) {
+    nmos(base + "a", qa, qb, s, w);
+    nmos(base + "b", qb, qa, s, w);
+  }
+  /// Cross-coupled PMOS pair.
+  void pcross_coupled(const std::string& base, const std::string& qa,
+                      const std::string& qb, const std::string& s,
+                      double w) {
+    pmos(base + "a", qa, qb, s, w);
+    pmos(base + "b", qb, qa, s, w);
+  }
+};
+
+}  // namespace
+
+Netlist make_ota_small() {
+  Builder b("ota_small");
+  b.nl.set_ports({"VDD", "VSS", "inp", "inn", "out", "vbn"});
+  b.ndiff_pair("MDP", "inp", "inn", "d1", "out", "tail", 8.0);
+  b.pmirror("MPL", "d1", {"out"}, 6.0);
+  b.nmos("MT", "tail", "vbn", "VSS", 10.0, 0.36, 2);  // tail source
+  return b.nl;
+}
+
+Netlist make_ota1() {
+  Builder b("ota1");
+  b.nl.set_ports({"VDD", "VSS", "inp", "inn", "out", "vbn"});
+  b.ndiff_pair("MDP", "inp", "inn", "d1", "d2", "tail", 12.0);
+  b.pmirror("MPL", "d1", {"d2"}, 8.0);
+  b.nmos("MT", "tail", "vbn", "VSS", 16.0, 0.36, 4);  // tail source
+  b.pmos("MPO", "out", "d2", "VDD", 24.0, 0.18, 4);   // output stage
+  b.cap("CC", "d2", "out", 0.4e-12);                  // Miller compensation
+  return b.nl;
+}
+
+Netlist make_ota2() {
+  // The paper's Fig. 2 OTA: diff pair, cascode pair, mirror load plus five
+  // standalone structures (tail, output stage, compensation).
+  Builder b("ota2");
+  b.nl.set_ports({"VDD", "VSS", "inp", "inn", "out", "vbn", "vcasc"});
+  b.ndiff_pair("MDP", "inp", "inn", "d1", "d2", "tail", 10.0);
+  b.ncascode_pair("MCA", "vcasc", "o1", "d1", "o2", "d2", 10.0);
+  b.pmirror("MPL", "o1", {"o2"}, 7.0);
+  b.nmos("MT", "tail", "vbn", "VSS", 14.0, 0.36, 2);   // tail source
+  b.pmos("MPO", "out", "o2", "VDD", 28.0, 0.18, 4);    // output PMOS
+  b.nmos("MNO", "out", "vbn", "VSS", 12.0, 0.36, 2);   // output sink
+  b.res("RZ", "o2", "zc", 2200.0);                      // zero-nulling R
+  b.cap("CC", "zc", "out", 0.5e-12);                    // Miller cap
+  return b.nl;
+}
+
+Netlist make_bias_small() {
+  Builder b("bias_small");
+  b.nl.set_ports({"VDD", "VSS", "iref", "vbn"});
+  b.pmirror("MPM", "iref", {"vbn"}, 5.0);
+  b.nmos("MND", "vbn", "vbn", "VSS", 4.0, 0.36, 1);  // diode load
+  b.res("RR", "iref", "VSS", 12000.0);               // reference resistor
+  return b.nl;
+}
+
+Netlist make_bias1() {
+  // Beta-multiplier bias core with cascodes and startup, 9 structures:
+  // PMOS mirror, NMOS mirror, cascode pair, R, C and four singletons.
+  Builder b("bias1");
+  b.nl.set_ports({"VDD", "VSS", "vbn", "vbp", "en"});
+  b.pmirror("MPM", "vbp", {"n1"}, 6.0);
+  b.nmirror("MNM", "vbn", {"n2"}, 5.0);
+  b.ncascode_pair("MCA", "vcas", "vbp2", "n1", "n2b", "n2", 5.0);
+  b.res("RS", "srcdeg", "VSS", 8000.0);            // degeneration R
+  b.cap("CF", "vbn", "VSS", 0.8e-12);              // filter cap
+  b.nmos("MS1", "vbn", "en", "VSS", 2.0);          // startup pull
+  b.pmos("MS2", "vbp", "en", "VDD", 2.0);          // startup pull
+  b.nmos("MSD", "srcdeg", "vbn2", "VSS", 6.0, 0.36, 2);  // degenerated leg
+  b.pmos("MPC", "vcas", "vcas", "VDD", 3.0, 0.72, 1);    // cascode bias diode
+  return b.nl;
+}
+
+Netlist make_rs_latch() {
+  // RS latch / clock-synchronizer cell: cross-coupled core plus set/reset
+  // and output buffer devices; 7 structures.
+  Builder b("rs_latch");
+  b.nl.set_ports({"VDD", "VSS", "s", "r", "q", "qb"});
+  b.ncross_coupled("MCC", "q", "qb", "VSS", 4.0);
+  b.nmos("MS", "q", "s", "VSS", 3.0);    // set
+  b.nmos("MR", "qb", "r", "VSS", 3.0);   // reset
+  b.pmos("MLA", "q", "r", "VDD", 5.0);   // load a
+  b.pmos("MLB", "qb", "s", "VDD", 5.0);  // load b
+  b.nmos("MQB", "qbuf", "q", "VSS", 2.0);  // output buffer
+  b.cap("CQ", "q", "VSS", 0.2e-12);      // balance cap
+  return b.nl;
+}
+
+Netlist make_driver() {
+  // Low-side MOSFET driver per [12]: level shifter, bias mirrors,
+  // comparator front-end, predriver inverter chain, power device and
+  // sensing network; 17 structures.
+  Builder b("driver");
+  b.nl.set_ports({"VDD", "VSS", "in", "inb", "gate", "pad", "en"});
+  b.ncross_coupled("MLS", "lsq", "lsqb", "VSS", 3.0);     // level shifter core
+  b.pmos("MLP1", "lsq", "in", "VDD", 4.0);                // LS pull a
+  b.pmos("MLP2", "lsqb", "inb", "VDD", 4.0);              // LS pull b
+  b.ndiff_pair("MDP", "fb", "vref", "c1", "c2", "ctail", 8.0);  // comparator
+  b.nmos("MCT", "ctail", "vbc", "VSS", 10.0, 0.36, 2);    // comparator tail
+  b.pmirror("MPM", "c1", {"c2"}, 6.0);                     // comparator load
+  b.nmirror("MNB", "vbn", {"pre1"}, 5.0);                  // bias mirror
+  // Predriver inverter chain (three stages, increasing strength).
+  b.pmos("MI1P", "s1", "lsq", "VDD", 6.0);
+  b.nmos("MI1N", "s1", "lsq", "VSS", 3.0);
+  b.pmos("MI2P", "s2", "s1", "VDD", 12.0, 0.18, 2);
+  b.nmos("MI2N", "s2", "s1", "VSS", 6.0, 0.18, 2);
+  b.pmos("MI3P", "gate", "s2", "VDD", 24.0, 0.18, 4);
+  b.nmos("MI3N", "gate", "s2", "VSS", 12.0, 0.18, 4);
+  b.nmos("MPWR", "pad", "gate", "VSS", 200.0, 0.6, 20);   // power device
+  b.res("RSNS", "pad", "fb", 500.0);                      // sense resistor
+  b.cap("CD", "gate", "VSS", 1.0e-12);                    // damping cap
+  b.cap("CB", "vbn", "VSS", 0.5e-12);                     // bias decap
+  return b.nl;
+}
+
+Netlist make_bias2() {
+  // Bias distribution network: mirror tree with cascoding, reference
+  // branch and decoupling; 19 structures.
+  Builder b("bias2");
+  b.nl.set_ports({"VDD", "VSS", "iref", "vb1", "vb2", "vb3", "vb4", "en"});
+  b.pmirror("MPM", "iref", {"m1", "m2", "m3"}, 8.0);      // PMOS mirror tree
+  b.nmirror("MN1", "vb1", {"t1"}, 6.0);                    // NMOS mirror 1
+  b.nmirror("MN2", "vb2", {"t2"}, 6.0);                    // NMOS mirror 2
+  b.ncascode_pair("MCA", "vcas", "vb3", "m1", "vb4", "m2", 5.0);
+  b.ndiff_pair("MDP", "vb1", "vb2", "e1", "e2", "etail", 6.0);  // equalizer
+  b.res("RD1", "iref", "rmid", 5000.0);                   // reference string
+  b.res("RD2", "rmid", "VSS", 5000.0);
+  b.nmos("MET", "etail", "vbet", "VSS", 8.0, 0.36, 2);    // equalizer tail
+  b.pmos("MEQ", "e1", "e1", "VDD", 4.0);                  // equalizer diode a
+  b.pmos("MER", "e2", "e2", "VDD", 4.0);                  // equalizer diode b
+  b.nmos("MS1", "vb1", "en", "VSS", 2.0);                 // enable pull 1
+  b.nmos("MS2", "vb2", "en", "VSS", 2.0);                 // enable pull 2
+  b.pmos("MS3", "m3", "en", "VDD", 2.0);                  // enable pull 3
+  b.pmos("MPC", "vcas", "vcas", "VDD", 3.0, 0.72, 1);     // cascode diode
+  b.cap("CB1", "vb1", "VSS", 0.6e-12);
+  b.cap("CB2", "vb2", "VSS", 0.6e-12);
+  b.cap("CB3", "vb3", "VSS", 0.4e-12);
+  b.res("RST", "en", "VDD", 20000.0);                     // startup pull-up R
+  b.nmos("MB1", "vb4", "t1", "VSS", 3.0);                 // buffer leg 1
+  b.pmos("MB2", "vb3", "t2", "VDD", 3.0);                 // buffer leg 2
+  return b.nl;
+}
+
+Netlist make_comparator() {
+  Builder b("comparator");
+  b.nl.set_ports({"VDD", "VSS", "inp", "inn", "clk", "outp", "outn"});
+  b.ndiff_pair("MDP", "inp", "inn", "x1", "x2", "tail", 10.0);
+  b.ncross_coupled("MCC", "outp", "outn", "VSS", 5.0);   // regeneration
+  b.pcross_coupled("MPC", "outp", "outn", "VDD", 7.0);   // PMOS latch
+  b.nmos("MT", "tail", "clk", "VSS", 12.0, 0.18, 2);     // clocked tail
+  b.pmos("MR1", "outp", "clk", "VDD", 3.0);              // reset a
+  b.pmos("MR2", "outn", "clk", "VDD", 3.0);              // reset b
+  return b.nl;
+}
+
+Netlist make_level_shifter() {
+  Builder b("level_shifter");
+  b.nl.set_ports({"VDD", "VSS", "in", "inb", "out", "outb"});
+  b.pcross_coupled("MPC", "out", "outb", "VDD", 5.0);
+  b.nmos("MNA", "out", "in", "VSS", 4.0);
+  b.nmos("MNB", "outb", "inb", "VSS", 4.0);
+  b.cap("CL", "out", "VSS", 0.1e-12);
+  return b.nl;
+}
+
+Netlist make_ring_oscillator(int stages) {
+  Builder b("ring_osc" + std::to_string(stages));
+  b.nl.set_ports({"VDD", "VSS", "osc"});
+  // Odd inverter count; output of stage i drives stage i+1.
+  for (int i = 0; i < stages; ++i) {
+    const std::string in = i == 0 ? "osc" : "n" + std::to_string(i);
+    const std::string out =
+        i + 1 == stages ? "osc" : "n" + std::to_string(i + 1);
+    b.pmos("MP" + std::to_string(i), out, in, "VDD", 2.0);
+    b.nmos("MN" + std::to_string(i), out, in, "VSS", 1.0);
+  }
+  return b.nl;
+}
+
+Netlist make_folded_cascode() {
+  // Folded-cascode OTA: NMOS input pair folded into PMOS sources, both
+  // cascode pairs, mirror loads, bias diodes; 10 structures.
+  Builder b("folded_cascode");
+  b.nl.set_ports({"VDD", "VSS", "inp", "inn", "out", "vbn1"});
+  b.ndiff_pair("MDP", "inp", "inn", "f1", "f2", "tail", 12.0);
+  b.nmos("MT", "tail", "vbn1", "VSS", 16.0, 0.36, 4);     // tail source
+  b.pmirror("MPF", "pmb", {"f1", "f2"}, 9.0);             // folding sources
+  b.pcascode_pair("MPC", "vcp", "o1", "f1", "out", "f2", 9.0);
+  b.ncascode_pair("MNC", "vcn", "o1", "n1", "out", "n2", 7.0);
+  b.nmirror("MNM", "nmb", {"n1", "n2"}, 7.0);             // bottom mirror
+  b.pmos("MBC1", "vcp", "vcp", "VDD", 3.0, 0.72, 1);      // cascode bias P
+  b.nmos("MBC2", "vcn", "vcn", "VSS", 3.0, 0.72, 1);      // cascode bias N
+  b.res("RB", "nmb", "VDD", 30000.0);                     // bias current R
+  b.cap("CL", "out", "VSS", 0.6e-12);                     // load cap
+  return b.nl;
+}
+
+Netlist make_charge_pump() {
+  // PLL charge pump: biasing mirrors, up/down switches, loop filter front;
+  // 6 structures.
+  Builder b("charge_pump");
+  b.nl.set_ports({"VDD", "VSS", "upb", "dn", "out", "ibp", "ibn"});
+  b.pmirror("MPM", "ibp", {"srcp"}, 6.0);
+  b.nmirror("MNM", "ibn", {"srcn"}, 5.0);
+  b.pmos("MSW1", "out", "upb", "srcp", 4.0);  // up switch
+  b.nmos("MSW2", "out", "dn", "srcn", 4.0);   // down switch
+  b.cap("CP", "out", "VSS", 1.0e-12);          // loop filter cap
+  b.res("RF", "out", "fb", 10000.0);           // loop filter R
+  return b.nl;
+}
+
+Netlist make_bandgap() {
+  // Bandgap-style reference core (MOS flavour): mirror, diode loads, a
+  // resistor divider and an error-amplifier input pair; 8 structures.
+  Builder b("bandgap");
+  b.nl.set_ports({"VDD", "VSS", "vref", "en"});
+  b.pmirror("MPM", "vbp", {"b1", "b2"}, 7.0);
+  b.nmos("MD1", "b1", "b1", "VSS", 5.0, 0.5, 1);   // diode leg 1
+  b.nmos("MD2", "rb", "rb", "VSS", 10.0, 0.5, 2);  // diode leg 2
+  b.res("RD1", "b2", "rmid", 6000.0);              // divider string
+  b.res("RD2", "rmid", "rb", 6000.0);
+  b.ndiff_pair("MDP", "b1", "b2", "vbp", "ea2", "tail2", 6.0);  // error amp
+  b.nmos("MT2", "tail2", "vbn2", "VSS", 8.0, 0.36, 2);
+  b.nmos("MS", "vbp", "en", "VSS", 2.0);           // startup pull
+  b.cap("CC", "vbp", "VSS", 0.5e-12);              // compensation
+  return b.nl;
+}
+
+const std::vector<CircuitEntry>& circuit_registry() {
+  static const std::vector<CircuitEntry> reg = {
+      {"ota_small", make_ota_small, 3, true},
+      {"ota1", make_ota1, 5, true},
+      {"ota2", make_ota2, 8, true},
+      {"bias_small", make_bias_small, 3, true},
+      {"bias1", make_bias1, 9, true},
+      {"rs_latch", make_rs_latch, 7, false},
+      {"driver", make_driver, 17, false},
+      {"bias2", make_bias2, 19, false},
+      {"comparator", make_comparator, 6, false},
+      {"level_shifter", make_level_shifter, 4, false},
+      {"ring_osc5", [] { return make_ring_oscillator(5); }, 10, false},
+      {"folded_cascode", make_folded_cascode, 10, false},
+      {"charge_pump", make_charge_pump, 6, false},
+      {"bandgap", make_bandgap, 8, false},
+  };
+  return reg;
+}
+
+Netlist perturb_sizes(const Netlist& nl, std::mt19937_64& rng,
+                      double max_scale) {
+  // One log-uniform factor per matched group, keyed by (type, W, L) so that
+  // matched devices stay matched after perturbation.
+  std::uniform_real_distribution<double> unif(-std::log(max_scale),
+                                              std::log(max_scale));
+  std::map<std::tuple<int, double, double>, double> group_scale;
+  Netlist out(nl.name());
+  out.set_ports(nl.ports());
+  for (const Device& d : nl.devices()) {
+    const auto key = std::make_tuple(static_cast<int>(d.type), d.width_um,
+                                     d.is_mos() ? d.length_um : d.value);
+    auto it = group_scale.find(key);
+    if (it == group_scale.end()) {
+      it = group_scale.emplace(key, std::exp(unif(rng))).first;
+    }
+    Device nd = d;
+    if (nd.is_mos()) {
+      nd.width_um = d.width_um * it->second;
+    } else {
+      nd.value = d.value * it->second;
+    }
+    out.add_device(std::move(nd));
+  }
+  return out;
+}
+
+}  // namespace afp::netlist

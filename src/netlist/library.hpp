@@ -1,0 +1,65 @@
+// Synthetic circuit generators.
+//
+// The paper evaluates on six Infineon industrial designs (OTA-1, OTA-2,
+// Bias-1, RS-Latch, Driver, Bias-2 with 5/8/9/7/17/19 functional blocks)
+// plus five RL-training circuits (OTAs with 3/5/8 blocks, bias circuits
+// with 3/9 blocks).  Those netlists are proprietary, so this module
+// generates transistor-level circuits with the same functional-block
+// counts, block-type mix (diff pairs, current mirrors, cascodes,
+// cross-coupled pairs, passives, singletons) and constraint structure.
+// Downstream code (structure recognition -> graph -> floorplanning) sees
+// exactly the interface the industrial circuits would provide.
+#pragma once
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace afp::netlist {
+
+// Evaluation circuits (Table I).
+Netlist make_ota1();      ///< 5-block single-stage OTA
+Netlist make_ota2();      ///< 8-block cascoded OTA (paper Fig. 2)
+Netlist make_bias1();     ///< 9-block bias generator
+Netlist make_rs_latch();  ///< 7-block RS latch / clock synchronizer cell
+Netlist make_driver();    ///< 17-block low-side driver (per [12])
+Netlist make_bias2();     ///< 19-block bias distribution network
+
+// Additional RL-training circuits (Section IV-D5: 3/5/8-block OTAs and
+// 3/9-block bias circuits; OTA-1 and Bias-1 double as the 5- and 9-block
+// members).
+Netlist make_ota_small();   ///< 3-block OTA
+Netlist make_bias_small();  ///< 3-block bias cell
+
+// Extra circuit families used to diversify the R-GCN pre-training dataset
+// (Section IV-C lists OTAs, bias circuits, drivers, level shifters, clock
+// synchronizers, comparators and oscillators).
+Netlist make_comparator();     ///< latched comparator
+Netlist make_level_shifter();  ///< cross-coupled level shifter
+Netlist make_ring_oscillator(int stages = 5);
+Netlist make_folded_cascode();  ///< 10-block folded-cascode OTA
+Netlist make_charge_pump();     ///< 6-block PLL charge pump
+Netlist make_bandgap();         ///< 8-block bandgap-style reference
+
+/// A named circuit generator entry.
+struct CircuitEntry {
+  std::string name;
+  std::function<Netlist()> make;
+  int expected_blocks;  ///< functional blocks after structure recognition
+  bool in_training_set; ///< part of the RL training circuits
+};
+
+/// All circuits of the reproduction, in a stable order.
+const std::vector<CircuitEntry>& circuit_registry();
+
+/// Randomly rescales device widths / passive values (same topology) to
+/// synthesize dataset variety for R-GCN pre-training.  Scale factors are
+/// drawn log-uniformly from [1/max_scale, max_scale] per matched group so
+/// intra-structure matching is preserved.
+Netlist perturb_sizes(const Netlist& nl, std::mt19937_64& rng,
+                      double max_scale = 2.0);
+
+}  // namespace afp::netlist

@@ -1,0 +1,25 @@
+// Module-level checkpointing: saves/restores every named parameter of a
+// Module tree using the afp::num binary tensor format.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+#include "numeric/serialize.hpp"
+
+namespace afp::nn {
+
+/// Writes all named parameters of `m` to `path`.
+inline void save_module(const Module& m, const std::string& path) {
+  num::save_tensors(path, m.named_parameters());
+}
+
+/// Loads a checkpoint written by save_module into `m`.  Throws
+/// std::runtime_error when a parameter is missing or has a different
+/// shape (architecture mismatch).
+inline void load_module(Module& m, const std::string& path) {
+  auto params = m.named_parameters();
+  num::load_into(num::load_tensors(path), params);
+}
+
+}  // namespace afp::nn

@@ -1,0 +1,42 @@
+// Masked categorical distribution for invalid-action masking
+// (Huang & Ontañón, FLAIRS 2022): invalid logits are replaced with a large
+// negative constant so their probability underflows to exactly zero, which
+// also zeroes their gradient contributions.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "numeric/ops.hpp"
+
+namespace afp::nn {
+
+/// Batched masked categorical over the columns of a [B, N] logits tensor.
+class MaskedCategorical {
+ public:
+  /// `mask` is row-major [B, N] with 1 = valid, 0 = invalid.  Each row must
+  /// contain at least one valid entry.
+  MaskedCategorical(const num::Tensor& logits, const std::vector<float>& mask);
+
+  /// Samples one action per row (no gradient).
+  std::vector<int> sample(std::mt19937_64& rng) const;
+
+  /// Most likely action per row (no gradient).
+  std::vector<int> mode() const;
+
+  /// log pi(a | s) for the given per-row actions: differentiable [B].
+  num::Tensor log_prob(const std::vector<int>& actions) const;
+
+  /// Per-row entropy: differentiable [B].
+  num::Tensor entropy() const;
+
+  /// Masked logits (differentiable), for diagnostics.
+  const num::Tensor& masked_logits() const { return masked_logits_; }
+
+ private:
+  num::Tensor masked_logits_;  ///< [B, N]
+  num::Tensor log_probs_;      ///< [B, N]
+  int batch_, n_;
+};
+
+}  // namespace afp::nn

@@ -1,0 +1,79 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace afp::nn {
+
+num::Tensor activate(const num::Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return num::relu(x);
+    case Activation::kTanh:
+      return num::tanh_op(x);
+    case Activation::kSigmoid:
+      return num::sigmoid(x);
+  }
+  return x;
+}
+
+Linear::Linear(int in_features, int out_features, std::mt19937_64& rng)
+    : in_(in_features), out_(out_features) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight = register_param(
+      "weight", num::Tensor::uniform({in_features, out_features}, rng, -bound,
+                                     bound, /*requires_grad=*/true));
+  bias = register_param("bias", num::Tensor::uniform({out_features}, rng,
+                                                     -bound, bound, true));
+}
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, std::mt19937_64& rng)
+    : stride_(stride), pad_(pad) {
+  const int fan_in = in_channels * kernel * kernel;
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  weight = register_param(
+      "weight",
+      num::Tensor::uniform({out_channels, in_channels, kernel, kernel}, rng,
+                           -bound, bound, true));
+  bias = register_param(
+      "bias", num::Tensor::uniform({out_channels}, rng, -bound, bound, true));
+}
+
+ConvTranspose2d::ConvTranspose2d(int in_channels, int out_channels, int kernel,
+                                 int stride, int pad, std::mt19937_64& rng)
+    : stride_(stride), pad_(pad) {
+  const int fan_in = in_channels * kernel * kernel;
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  weight = register_param(
+      "weight",
+      num::Tensor::uniform({in_channels, out_channels, kernel, kernel}, rng,
+                           -bound, bound, true));
+  bias = register_param(
+      "bias", num::Tensor::uniform({out_channels}, rng, -bound, bound, true));
+}
+
+MLP::MLP(const std::vector<int>& dims, Activation hidden, Activation output,
+         std::mt19937_64& rng)
+    : hidden_(hidden), output_(output) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("MLP: need at least input and output dims");
+  }
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    register_module("fc" + std::to_string(i), layers_.back().get());
+  }
+}
+
+num::Tensor MLP::forward(const num::Tensor& x) const {
+  num::Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    const bool last = (i + 1 == layers_.size());
+    h = activate(h, last ? output_ : hidden_);
+  }
+  return h;
+}
+
+}  // namespace afp::nn

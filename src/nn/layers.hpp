@@ -1,0 +1,86 @@
+// Standard neural-network layers built on the afp::num autograd engine.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "numeric/ops.hpp"
+
+namespace afp::nn {
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// Applies an Activation to a tensor.
+num::Tensor activate(const num::Tensor& x, Activation act);
+
+/// Fully connected layer y = x @ W + b with W: [in, out].
+/// Initialization: U(-1/sqrt(in), 1/sqrt(in)) for both W and b.
+class Linear final : public Module {
+ public:
+  Linear(int in_features, int out_features, std::mt19937_64& rng);
+
+  num::Tensor forward(const num::Tensor& x) const {
+    return num::linear(x, weight, bias);
+  }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+  num::Tensor weight;
+  num::Tensor bias;
+
+ private:
+  int in_, out_;
+};
+
+/// 2-D convolution layer over NCHW inputs.
+class Conv2d final : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+         std::mt19937_64& rng);
+
+  num::Tensor forward(const num::Tensor& x) const {
+    return num::conv2d(x, weight, bias, stride_, pad_);
+  }
+
+  num::Tensor weight;  ///< [OC, IC, K, K]
+  num::Tensor bias;    ///< [OC]
+
+ private:
+  int stride_, pad_;
+};
+
+/// 2-D transposed convolution layer over NCHW inputs.
+class ConvTranspose2d final : public Module {
+ public:
+  ConvTranspose2d(int in_channels, int out_channels, int kernel, int stride,
+                  int pad, std::mt19937_64& rng);
+
+  num::Tensor forward(const num::Tensor& x) const {
+    return num::conv_transpose2d(x, weight, bias, stride_, pad_);
+  }
+
+  num::Tensor weight;  ///< [IC, OC, K, K]
+  num::Tensor bias;    ///< [OC]
+
+ private:
+  int stride_, pad_;
+};
+
+/// Multi-layer perceptron with a uniform hidden activation and an optional
+/// output activation.
+class MLP final : public Module {
+ public:
+  /// `dims` = {in, h1, ..., out}; requires at least {in, out}.
+  MLP(const std::vector<int>& dims, Activation hidden, Activation output,
+      std::mt19937_64& rng);
+
+  num::Tensor forward(const num::Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_, output_;
+};
+
+}  // namespace afp::nn

@@ -1,0 +1,74 @@
+// Lightweight module/parameter registry, in the spirit of torch.nn.Module.
+//
+// Parameters are Tensors with requires_grad=true that live for the lifetime
+// of the module; submodules are registered by non-owning pointer (the
+// parent owns them as data members).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace afp::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its submodules.
+  std::vector<num::Tensor> parameters() const {
+    std::vector<num::Tensor> out;
+    collect(out);
+    return out;
+  }
+
+  /// Named parameters ("sub.weight" style), for checkpoints.
+  std::map<std::string, num::Tensor> named_parameters(
+      const std::string& prefix = "") const {
+    std::map<std::string, num::Tensor> out;
+    collect_named(prefix, out);
+    return out;
+  }
+
+  /// Total scalar parameter count.
+  std::int64_t parameter_count() const {
+    std::int64_t n = 0;
+    for (const auto& p : parameters()) n += p.size();
+    return n;
+  }
+
+ protected:
+  num::Tensor register_param(std::string name, num::Tensor t) {
+    params_.emplace_back(std::move(name), t);
+    return t;
+  }
+  void register_module(std::string name, const Module* m) {
+    children_.emplace_back(std::move(name), m);
+  }
+
+ private:
+  void collect(std::vector<num::Tensor>& out) const {
+    for (const auto& [name, p] : params_) out.push_back(p);
+    for (const auto& [name, c] : children_) c->collect(out);
+  }
+  void collect_named(const std::string& prefix,
+                     std::map<std::string, num::Tensor>& out) const {
+    for (const auto& [name, p] : params_) {
+      out.emplace(prefix.empty() ? name : prefix + "." + name, p);
+    }
+    for (const auto& [name, c] : children_) {
+      c->collect_named(prefix.empty() ? name : prefix + "." + name, out);
+    }
+  }
+
+  std::vector<std::pair<std::string, num::Tensor>> params_;
+  std::vector<std::pair<std::string, const Module*>> children_;
+};
+
+}  // namespace afp::nn

@@ -1,0 +1,75 @@
+#include "nn/rgcn_layer.hpp"
+
+#include <cmath>
+
+namespace afp::nn {
+
+RGCNLayer::RGCNLayer(int in_dim, int out_dim, int num_relations,
+                     Activation act, std::mt19937_64& rng)
+    : act_(act) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  self_weight_ = register_param(
+      "self_weight",
+      num::Tensor::uniform({in_dim, out_dim}, rng, -bound, bound, true));
+  bias_ = register_param(
+      "bias", num::Tensor::uniform({out_dim}, rng, -bound, bound, true));
+  for (int r = 0; r < num_relations; ++r) {
+    rel_weights_.push_back(register_param(
+        "rel_weight" + std::to_string(r),
+        num::Tensor::uniform({in_dim, out_dim}, rng, -bound, bound, true)));
+  }
+}
+
+num::Tensor RGCNLayer::forward(
+    const num::Tensor& h, const std::vector<num::Tensor>& adj_norm) const {
+  if (static_cast<int>(adj_norm.size()) != num_relations()) {
+    throw std::invalid_argument(
+        "RGCNLayer: expected one adjacency per relation");
+  }
+  num::Tensor out = num::add_rowvec(num::matmul(h, self_weight_), bias_);
+  for (std::size_t r = 0; r < rel_weights_.size(); ++r) {
+    // A_r @ H @ W_r; A_r is [N, N] constant.
+    out = num::add(out,
+                   num::matmul(num::matmul(adj_norm[r], h), rel_weights_[r]));
+  }
+  return activate(out, act_);
+}
+
+std::vector<num::Tensor> build_adjacency(
+    int num_nodes, int num_relations,
+    const std::vector<std::vector<std::pair<int, int>>>& edges_per_relation) {
+  if (static_cast<int>(edges_per_relation.size()) != num_relations) {
+    throw std::invalid_argument("build_adjacency: relation count mismatch");
+  }
+  std::vector<num::Tensor> adj;
+  adj.reserve(edges_per_relation.size());
+  for (const auto& edges : edges_per_relation) {
+    std::vector<float> a(static_cast<std::size_t>(num_nodes) * num_nodes,
+                         0.0f);
+    std::vector<int> degree(num_nodes, 0);
+    for (const auto& [u, v] : edges) {
+      if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+        throw std::invalid_argument("build_adjacency: node index out of range");
+      }
+      // Undirected: message flows both ways.
+      a[static_cast<std::size_t>(u) * num_nodes + v] = 1.0f;
+      a[static_cast<std::size_t>(v) * num_nodes + u] = 1.0f;
+    }
+    for (int u = 0; u < num_nodes; ++u) {
+      int deg = 0;
+      for (int v = 0; v < num_nodes; ++v)
+        if (a[static_cast<std::size_t>(u) * num_nodes + v] > 0.0f) ++deg;
+      degree[u] = deg;
+    }
+    for (int u = 0; u < num_nodes; ++u) {
+      if (degree[u] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(degree[u]);
+      for (int v = 0; v < num_nodes; ++v)
+        a[static_cast<std::size_t>(u) * num_nodes + v] *= inv;
+    }
+    adj.push_back(num::Tensor::from_vector({num_nodes, num_nodes}, std::move(a)));
+  }
+  return adj;
+}
+
+}  // namespace afp::nn

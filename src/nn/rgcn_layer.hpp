@@ -1,0 +1,46 @@
+// Relational graph convolution layer (Schlichtkrull et al., ESWC 2018),
+// equation (2) of the paper:
+//
+//   h'_u = act( W0 h_u + sum_r sum_{v in N_r(u)} (1/c_{u,r}) W_r h_v )
+//
+// Implemented densely: the caller supplies, per relation, a normalized
+// adjacency matrix A_r with A_r[u][v] = 1/c_{u,r} for v in N_r(u), so the
+// layer computes act(H W0 + sum_r A_r H W_r).  Circuit graphs are small
+// (tens of nodes), making the dense form both simple and fast.
+#pragma once
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace afp::nn {
+
+class RGCNLayer final : public Module {
+ public:
+  RGCNLayer(int in_dim, int out_dim, int num_relations, Activation act,
+            std::mt19937_64& rng);
+
+  /// h: [N, in_dim]; adj_norm: one [N, N] normalized adjacency per relation
+  /// (constant, no grad).  Returns [N, out_dim].
+  num::Tensor forward(const num::Tensor& h,
+                      const std::vector<num::Tensor>& adj_norm) const;
+
+  int num_relations() const { return static_cast<int>(rel_weights_.size()); }
+
+ private:
+  num::Tensor self_weight_;  ///< W0 [in, out]
+  num::Tensor bias_;         ///< [out]
+  std::vector<num::Tensor> rel_weights_;
+  Activation act_;
+};
+
+/// Builds the per-relation normalized adjacency matrices A_r (constant
+/// tensors) from edge lists.  Normalization c_{u,r} = |N_r(u)| (mean
+/// aggregation per relation), the standard R-GCN choice.
+std::vector<num::Tensor> build_adjacency(
+    int num_nodes, int num_relations,
+    const std::vector<std::vector<std::pair<int, int>>>& edges_per_relation);
+
+}  // namespace afp::nn

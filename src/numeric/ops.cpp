@@ -1,0 +1,741 @@
+#include "numeric/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace afp::num {
+
+namespace {
+
+using detail::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  check(a.shape() == b.shape(), std::string(op) + ": shape mismatch " +
+                                    shape_str(a.shape()) + " vs " +
+                                    shape_str(b.shape()));
+}
+
+/// Accumulates g into n->grad (buffer guaranteed allocated by make_result).
+void acc(const NodePtr& n, std::size_t i, float g) { n->grad[i] += g; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- binary ---
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) + b.at(i);
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i) {
+                         acc(an, i, g[i]);
+                         acc(bn, i, g[i]);
+                       }
+                     });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) - b.at(i);
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i) {
+                         acc(an, i, g[i]);
+                         acc(bn, i, -g[i]);
+                       }
+                     });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) * b.at(i);
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i) {
+                         acc(an, i, g[i] * bn->value[i]);
+                         acc(bn, i, g[i] * an->value[i]);
+                       }
+                     });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "div");
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) / b.at(i);
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i) {
+                         const float inv = 1.0f / bn->value[i];
+                         acc(an, i, g[i] * inv);
+                         acc(bn, i, -g[i] * an->value[i] * inv * inv);
+                       }
+                     });
+}
+
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "minimum");
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = std::min(a.at(i), b.at(i));
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i) {
+                         if (an->value[i] <= bn->value[i]) acc(an, i, g[i]);
+                         else acc(bn, i, g[i]);
+                       }
+                     });
+}
+
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "maximum");
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = std::max(a.at(i), b.at(i));
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i) {
+                         if (an->value[i] >= bn->value[i]) acc(an, i, g[i]);
+                         else acc(bn, i, g[i]);
+                       }
+                     });
+}
+
+// ---------------------------------------------------------------- scalar ---
+
+Tensor add_scalar(const Tensor& a, float s) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) + s;
+  NodePtr an = a.node();
+  return make_result(a.shape(), std::move(out), {a},
+                     [an](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i]);
+                     });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) * s;
+  NodePtr an = a.node();
+  return make_result(a.shape(), std::move(out), {a},
+                     [an, s](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i] * s);
+                     });
+}
+
+// ----------------------------------------------------------------- unary ---
+
+Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+Tensor relu(const Tensor& a) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, a.at(i));
+  NodePtr an = a.node();
+  return make_result(a.shape(), std::move(out), {a},
+                     [an](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         if (an->value[i] > 0.0f) acc(an, i, g[i]);
+                     });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(a.at(i));
+  NodePtr an = a.node();
+  std::vector<float> saved = out;  // tanh'(x) = 1 - tanh(x)^2
+  return make_result(a.shape(), std::move(out), {a},
+                     [an, saved = std::move(saved)](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i] * (1.0f - saved[i] * saved[i]));
+                     });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-a.at(i)));
+  NodePtr an = a.node();
+  std::vector<float> saved = out;
+  return make_result(a.shape(), std::move(out), {a},
+                     [an, saved = std::move(saved)](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i] * saved[i] * (1.0f - saved[i]));
+                     });
+}
+
+Tensor exp_op(const Tensor& a) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::exp(a.at(i));
+  NodePtr an = a.node();
+  std::vector<float> saved = out;
+  return make_result(a.shape(), std::move(out), {a},
+                     [an, saved = std::move(saved)](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i] * saved[i]);
+                     });
+}
+
+Tensor log_op(const Tensor& a, float eps) {
+  std::vector<float> out(a.values().size());
+  std::vector<float> safe(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    safe[i] = std::max(a.at(i), eps);
+    out[i] = std::log(safe[i]);
+  }
+  NodePtr an = a.node();
+  return make_result(a.shape(), std::move(out), {a},
+                     [an, safe = std::move(safe)](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i] / safe[i]);
+                     });
+}
+
+Tensor square(const Tensor& a) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) * a.at(i);
+  NodePtr an = a.node();
+  return make_result(a.shape(), std::move(out), {a},
+                     [an](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, 2.0f * g[i] * an->value[i]);
+                     });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  std::vector<float> out(a.values().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = std::clamp(a.at(i), lo, hi);
+  NodePtr an = a.node();
+  return make_result(a.shape(), std::move(out), {a},
+                     [an, lo, hi](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         if (an->value[i] > lo && an->value[i] < hi)
+                           acc(an, i, g[i]);
+                     });
+}
+
+// ------------------------------------------------------------------ shape ---
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  check(numel(new_shape) == a.size(),
+        "reshape: element count mismatch " + shape_str(a.shape()) + " -> " +
+            shape_str(new_shape));
+  std::vector<float> out = a.values();
+  NodePtr an = a.node();
+  return make_result(std::move(new_shape), std::move(out), {a},
+                     [an](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < g.size(); ++i)
+                         acc(an, i, g[i]);
+                     });
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat_cols: no inputs");
+  const int rows = parts[0].shape()[0];
+  int total_cols = 0;
+  for (const Tensor& p : parts) {
+    check(p.dim() == 2, "concat_cols: inputs must be 2-D");
+    check(p.shape()[0] == rows, "concat_cols: row count mismatch");
+    total_cols += p.shape()[1];
+  }
+  std::vector<float> out(static_cast<std::size_t>(rows) * total_cols);
+  std::vector<NodePtr> nodes;
+  std::vector<int> widths;
+  for (const Tensor& p : parts) {
+    nodes.push_back(p.node());
+    widths.push_back(p.shape()[1]);
+  }
+  int col0 = 0;
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    const int w = widths[k];
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < w; ++c)
+        out[static_cast<std::size_t>(r) * total_cols + col0 + c] =
+            parts[k].at(static_cast<std::int64_t>(r) * w + c);
+    col0 += w;
+  }
+  return make_result(
+      {rows, total_cols}, std::move(out), parts,
+      [nodes, widths, rows, total_cols](const std::vector<float>& g) {
+        int c0 = 0;
+        for (std::size_t k = 0; k < nodes.size(); ++k) {
+          const int w = widths[k];
+          for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < w; ++c)
+              acc(nodes[k], static_cast<std::size_t>(r) * w + c,
+                  g[static_cast<std::size_t>(r) * total_cols + c0 + c]);
+          c0 += w;
+        }
+      });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat_rows: no inputs");
+  const int cols = parts[0].shape()[1];
+  int total_rows = 0;
+  for (const Tensor& p : parts) {
+    check(p.dim() == 2, "concat_rows: inputs must be 2-D");
+    check(p.shape()[1] == cols, "concat_rows: column count mismatch");
+    total_rows += p.shape()[0];
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(total_rows) * cols);
+  std::vector<NodePtr> nodes;
+  std::vector<int> heights;
+  for (const Tensor& p : parts) {
+    nodes.push_back(p.node());
+    heights.push_back(p.shape()[0]);
+    out.insert(out.end(), p.values().begin(), p.values().end());
+  }
+  return make_result({total_rows, cols}, std::move(out), parts,
+                     [nodes, heights, cols](const std::vector<float>& g) {
+                       std::size_t off = 0;
+                       for (std::size_t k = 0; k < nodes.size(); ++k) {
+                         const std::size_t n =
+                             static_cast<std::size_t>(heights[k]) * cols;
+                         for (std::size_t i = 0; i < n; ++i)
+                           acc(nodes[k], i, g[off + i]);
+                         off += n;
+                       }
+                     });
+}
+
+// --------------------------------------------------------------- lin. alg ---
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 2 && b.dim() == 2, "matmul: inputs must be 2-D");
+  const int m = a.shape()[0], k = a.shape()[1];
+  check(b.shape()[0] == k, "matmul: inner dimension mismatch " +
+                               shape_str(a.shape()) + " x " +
+                               shape_str(b.shape()));
+  const int n = b.shape()[1];
+  std::vector<float> out(static_cast<std::size_t>(m) * n, 0.0f);
+  const float* A = a.data();
+  const float* B = b.data();
+  // ikj loop order: streams over B rows, cache friendly.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = A[static_cast<std::size_t>(i) * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = B + static_cast<std::size_t>(kk) * n;
+      float* orow = out.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(
+      {m, n}, std::move(out), {a, b},
+      [an, bn, m, k, n](const std::vector<float>& g) {
+        // dA = g @ B^T ; dB = A^T @ g
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            const float gv = g[static_cast<std::size_t>(i) * n + j];
+            if (gv == 0.0f) continue;
+            for (int kk = 0; kk < k; ++kk) {
+              an->grad[static_cast<std::size_t>(i) * k + kk] +=
+                  gv * bn->value[static_cast<std::size_t>(kk) * n + j];
+              bn->grad[static_cast<std::size_t>(kk) * n + j] +=
+                  gv * an->value[static_cast<std::size_t>(i) * k + kk];
+            }
+          }
+        }
+      });
+}
+
+Tensor add_rowvec(const Tensor& x, const Tensor& v) {
+  check(x.dim() == 2, "add_rowvec: x must be 2-D");
+  const int rows = x.shape()[0], cols = x.shape()[1];
+  check(v.size() == cols, "add_rowvec: vector length mismatch");
+  std::vector<float> out(x.values().size());
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      out[static_cast<std::size_t>(r) * cols + c] =
+          x.at(static_cast<std::int64_t>(r) * cols + c) + v.at(c);
+  NodePtr xn = x.node(), vn = v.node();
+  return make_result({rows, cols}, std::move(out), {x, v},
+                     [xn, vn, rows, cols](const std::vector<float>& g) {
+                       for (int r = 0; r < rows; ++r)
+                         for (int c = 0; c < cols; ++c) {
+                           const float gv =
+                               g[static_cast<std::size_t>(r) * cols + c];
+                           xn->grad[static_cast<std::size_t>(r) * cols + c] += gv;
+                           vn->grad[static_cast<std::size_t>(c)] += gv;
+                         }
+                     });
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return add_rowvec(matmul(x, w), b);
+}
+
+// -------------------------------------------------------------- reductions ---
+
+Tensor sum_all(const Tensor& a) {
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) s += a.at(i);
+  NodePtr an = a.node();
+  return make_result({1}, {s}, {a}, [an](const std::vector<float>& g) {
+    for (std::size_t i = 0; i < an->grad.size(); ++i) acc(an, i, g[0]);
+  });
+}
+
+Tensor mean_all(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.size());
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) s += a.at(i);
+  NodePtr an = a.node();
+  return make_result({1}, {s * inv}, {a},
+                     [an, inv](const std::vector<float>& g) {
+                       for (std::size_t i = 0; i < an->grad.size(); ++i)
+                         acc(an, i, g[0] * inv);
+                     });
+}
+
+Tensor mean_axis0(const Tensor& a) {
+  check(a.dim() == 2, "mean_axis0: input must be 2-D");
+  const int rows = a.shape()[0], cols = a.shape()[1];
+  const float inv = 1.0f / static_cast<float>(rows);
+  std::vector<float> out(static_cast<std::size_t>(cols), 0.0f);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      out[static_cast<std::size_t>(c)] +=
+          a.at(static_cast<std::int64_t>(r) * cols + c);
+  for (float& v : out) v *= inv;
+  NodePtr an = a.node();
+  return make_result({1, cols}, std::move(out), {a},
+                     [an, rows, cols, inv](const std::vector<float>& g) {
+                       for (int r = 0; r < rows; ++r)
+                         for (int c = 0; c < cols; ++c)
+                           an->grad[static_cast<std::size_t>(r) * cols + c] +=
+                               g[static_cast<std::size_t>(c)] * inv;
+                     });
+}
+
+Tensor sum_axis1(const Tensor& a) {
+  check(a.dim() == 2, "sum_axis1: input must be 2-D");
+  const int rows = a.shape()[0], cols = a.shape()[1];
+  std::vector<float> out(static_cast<std::size_t>(rows), 0.0f);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      out[static_cast<std::size_t>(r)] +=
+          a.at(static_cast<std::int64_t>(r) * cols + c);
+  NodePtr an = a.node();
+  return make_result({rows}, std::move(out), {a},
+                     [an, rows, cols](const std::vector<float>& g) {
+                       for (int r = 0; r < rows; ++r)
+                         for (int c = 0; c < cols; ++c)
+                           an->grad[static_cast<std::size_t>(r) * cols + c] +=
+                               g[static_cast<std::size_t>(r)];
+                     });
+}
+
+// ----------------------------------------------------------------- softmax ---
+
+Tensor softmax_rows(const Tensor& a) {
+  check(a.dim() == 2, "softmax_rows: input must be 2-D");
+  const int rows = a.shape()[0], cols = a.shape()[1];
+  std::vector<float> out(a.values().size());
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data() + static_cast<std::size_t>(r) * cols;
+    float* o = out.data() + static_cast<std::size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  NodePtr an = a.node();
+  std::vector<float> saved = out;
+  return make_result(
+      a.shape(), std::move(out), {a},
+      [an, rows, cols, saved = std::move(saved)](const std::vector<float>& g) {
+        // dx = p * (g - sum(g * p)) per row.
+        for (int r = 0; r < rows; ++r) {
+          const float* p = saved.data() + static_cast<std::size_t>(r) * cols;
+          const float* gr = g.data() + static_cast<std::size_t>(r) * cols;
+          float dot = 0.0f;
+          for (int c = 0; c < cols; ++c) dot += gr[c] * p[c];
+          for (int c = 0; c < cols; ++c)
+            an->grad[static_cast<std::size_t>(r) * cols + c] +=
+                p[c] * (gr[c] - dot);
+        }
+      });
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  check(a.dim() == 2, "log_softmax_rows: input must be 2-D");
+  const int rows = a.shape()[0], cols = a.shape()[1];
+  std::vector<float> out(a.values().size());
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data() + static_cast<std::size_t>(r) * cols;
+    float* o = out.data() + static_cast<std::size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) denom += std::exp(in[c] - mx);
+    const float lse = mx + std::log(denom);
+    for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
+  }
+  NodePtr an = a.node();
+  std::vector<float> saved = out;  // log p
+  return make_result(
+      a.shape(), std::move(out), {a},
+      [an, rows, cols, saved = std::move(saved)](const std::vector<float>& g) {
+        // dx = g - softmax * sum(g) per row.
+        for (int r = 0; r < rows; ++r) {
+          const float* lp = saved.data() + static_cast<std::size_t>(r) * cols;
+          const float* gr = g.data() + static_cast<std::size_t>(r) * cols;
+          float gsum = 0.0f;
+          for (int c = 0; c < cols; ++c) gsum += gr[c];
+          for (int c = 0; c < cols; ++c)
+            an->grad[static_cast<std::size_t>(r) * cols + c] +=
+                gr[c] - std::exp(lp[c]) * gsum;
+        }
+      });
+}
+
+// ---------------------------------------------------------------- indexing ---
+
+Tensor gather_rows(const Tensor& x, const std::vector<int>& rows) {
+  check(x.dim() == 2, "gather_rows: x must be 2-D");
+  const int n = x.shape()[0], d = x.shape()[1];
+  for (int r : rows)
+    check(r >= 0 && r < n, "gather_rows: row index out of range");
+  std::vector<float> out(rows.size() * static_cast<std::size_t>(d));
+  for (std::size_t k = 0; k < rows.size(); ++k)
+    for (int c = 0; c < d; ++c)
+      out[k * d + c] = x.at(static_cast<std::int64_t>(rows[k]) * d + c);
+  NodePtr xn = x.node();
+  return make_result({static_cast<int>(rows.size()), d}, std::move(out), {x},
+                     [xn, rows, d](const std::vector<float>& g) {
+                       for (std::size_t k = 0; k < rows.size(); ++k)
+                         for (int c = 0; c < d; ++c)
+                           xn->grad[static_cast<std::size_t>(rows[k]) * d + c] +=
+                               g[k * d + c];
+                     });
+}
+
+Tensor gather_per_row(const Tensor& x, const std::vector<int>& cols) {
+  check(x.dim() == 2, "gather_per_row: x must be 2-D");
+  const int b = x.shape()[0], n = x.shape()[1];
+  check(static_cast<int>(cols.size()) == b,
+        "gather_per_row: one column index per row required");
+  for (int c : cols)
+    check(c >= 0 && c < n, "gather_per_row: column index out of range");
+  std::vector<float> out(static_cast<std::size_t>(b));
+  for (int r = 0; r < b; ++r)
+    out[static_cast<std::size_t>(r)] =
+        x.at(static_cast<std::int64_t>(r) * n + cols[static_cast<std::size_t>(r)]);
+  NodePtr xn = x.node();
+  return make_result({b}, std::move(out), {x},
+                     [xn, cols, n](const std::vector<float>& g) {
+                       for (std::size_t r = 0; r < cols.size(); ++r)
+                         xn->grad[r * n + cols[r]] += g[r];
+                     });
+}
+
+// ------------------------------------------------------------ convolutions ---
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
+              int pad) {
+  check(x.dim() == 4, "conv2d: input must be NCHW");
+  check(w.dim() == 4, "conv2d: weight must be [OC, IC, KH, KW]");
+  const int B = x.shape()[0], IC = x.shape()[1], H = x.shape()[2],
+            W = x.shape()[3];
+  const int OC = w.shape()[0], KH = w.shape()[2], KW = w.shape()[3];
+  check(w.shape()[1] == IC, "conv2d: channel mismatch");
+  check(b.size() == OC, "conv2d: bias size mismatch");
+  const int OH = (H + 2 * pad - KH) / stride + 1;
+  const int OW = (W + 2 * pad - KW) / stride + 1;
+  check(OH > 0 && OW > 0, "conv2d: output would be empty");
+
+  std::vector<float> out(
+      static_cast<std::size_t>(B) * OC * OH * OW, 0.0f);
+  const float* X = x.data();
+  const float* Wt = w.data();
+  const float* Bs = b.data();
+  auto xi = [&](int bb, int c, int i, int j) {
+    return ((static_cast<std::size_t>(bb) * IC + c) * H + i) * W + j;
+  };
+  auto wi = [&](int oc, int ic, int i, int j) {
+    return ((static_cast<std::size_t>(oc) * IC + ic) * KH + i) * KW + j;
+  };
+  auto oi = [&](int bb, int oc, int i, int j) {
+    return ((static_cast<std::size_t>(bb) * OC + oc) * OH + i) * OW + j;
+  };
+  for (int bb = 0; bb < B; ++bb)
+    for (int oc = 0; oc < OC; ++oc)
+      for (int oh = 0; oh < OH; ++oh)
+        for (int ow = 0; ow < OW; ++ow) {
+          float accv = Bs[oc];
+          const int ih0 = oh * stride - pad;
+          const int iw0 = ow * stride - pad;
+          for (int ic = 0; ic < IC; ++ic)
+            for (int kh = 0; kh < KH; ++kh) {
+              const int ih = ih0 + kh;
+              if (ih < 0 || ih >= H) continue;
+              for (int kw = 0; kw < KW; ++kw) {
+                const int iw = iw0 + kw;
+                if (iw < 0 || iw >= W) continue;
+                accv += X[xi(bb, ic, ih, iw)] * Wt[wi(oc, ic, kh, kw)];
+              }
+            }
+          out[oi(bb, oc, oh, ow)] = accv;
+        }
+
+  NodePtr xn = x.node(), wn = w.node(), bn = b.node();
+  return make_result(
+      {B, OC, OH, OW}, std::move(out), {x, w, b},
+      [xn, wn, bn, B, IC, H, W, OC, KH, KW, OH, OW, stride,
+       pad](const std::vector<float>& g) {
+        auto xi = [&](int bb, int c, int i, int j) {
+          return ((static_cast<std::size_t>(bb) * IC + c) * H + i) * W + j;
+        };
+        auto wi = [&](int oc, int ic, int i, int j) {
+          return ((static_cast<std::size_t>(oc) * IC + ic) * KH + i) * KW + j;
+        };
+        auto oi = [&](int bb, int oc, int i, int j) {
+          return ((static_cast<std::size_t>(bb) * OC + oc) * OH + i) * OW + j;
+        };
+        for (int bb = 0; bb < B; ++bb)
+          for (int oc = 0; oc < OC; ++oc)
+            for (int oh = 0; oh < OH; ++oh)
+              for (int ow = 0; ow < OW; ++ow) {
+                const float gv = g[oi(bb, oc, oh, ow)];
+                if (gv == 0.0f) continue;
+                bn->grad[static_cast<std::size_t>(oc)] += gv;
+                const int ih0 = oh * stride - pad;
+                const int iw0 = ow * stride - pad;
+                for (int ic = 0; ic < IC; ++ic)
+                  for (int kh = 0; kh < KH; ++kh) {
+                    const int ih = ih0 + kh;
+                    if (ih < 0 || ih >= H) continue;
+                    for (int kw = 0; kw < KW; ++kw) {
+                      const int iw = iw0 + kw;
+                      if (iw < 0 || iw >= W) continue;
+                      xn->grad[xi(bb, ic, ih, iw)] +=
+                          gv * wn->value[wi(oc, ic, kh, kw)];
+                      wn->grad[wi(oc, ic, kh, kw)] +=
+                          gv * xn->value[xi(bb, ic, ih, iw)];
+                    }
+                  }
+              }
+      });
+}
+
+Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
+                        int stride, int pad) {
+  check(x.dim() == 4, "conv_transpose2d: input must be NCHW");
+  check(w.dim() == 4, "conv_transpose2d: weight must be [IC, OC, KH, KW]");
+  const int B = x.shape()[0], IC = x.shape()[1], H = x.shape()[2],
+            W = x.shape()[3];
+  const int OC = w.shape()[1], KH = w.shape()[2], KW = w.shape()[3];
+  check(w.shape()[0] == IC, "conv_transpose2d: channel mismatch");
+  check(b.size() == OC, "conv_transpose2d: bias size mismatch");
+  const int OH = (H - 1) * stride - 2 * pad + KH;
+  const int OW = (W - 1) * stride - 2 * pad + KW;
+  check(OH > 0 && OW > 0, "conv_transpose2d: output would be empty");
+
+  std::vector<float> out(static_cast<std::size_t>(B) * OC * OH * OW, 0.0f);
+  auto xi = [&](int bb, int c, int i, int j) {
+    return ((static_cast<std::size_t>(bb) * IC + c) * H + i) * W + j;
+  };
+  auto wi = [&](int ic, int oc, int i, int j) {
+    return ((static_cast<std::size_t>(ic) * OC + oc) * KH + i) * KW + j;
+  };
+  auto oi = [&](int bb, int oc, int i, int j) {
+    return ((static_cast<std::size_t>(bb) * OC + oc) * OH + i) * OW + j;
+  };
+  for (int bb = 0; bb < B; ++bb)
+    for (int oc = 0; oc < OC; ++oc)
+      for (int oh = 0; oh < OH; ++oh)
+        for (int ow = 0; ow < OW; ++ow) out[oi(bb, oc, oh, ow)] = b.at(oc);
+  for (int bb = 0; bb < B; ++bb)
+    for (int ic = 0; ic < IC; ++ic)
+      for (int ih = 0; ih < H; ++ih)
+        for (int iw = 0; iw < W; ++iw) {
+          const float xv = x.at(static_cast<std::int64_t>(xi(bb, ic, ih, iw)));
+          if (xv == 0.0f) continue;
+          for (int oc = 0; oc < OC; ++oc)
+            for (int kh = 0; kh < KH; ++kh) {
+              const int oh = ih * stride - pad + kh;
+              if (oh < 0 || oh >= OH) continue;
+              for (int kw = 0; kw < KW; ++kw) {
+                const int ow = iw * stride - pad + kw;
+                if (ow < 0 || ow >= OW) continue;
+                out[oi(bb, oc, oh, ow)] += xv * w.at(static_cast<std::int64_t>(
+                                                wi(ic, oc, kh, kw)));
+              }
+            }
+        }
+
+  NodePtr xn = x.node(), wn = w.node(), bn = b.node();
+  return make_result(
+      {B, OC, OH, OW}, std::move(out), {x, w, b},
+      [xn, wn, bn, B, IC, H, W, OC, KH, KW, OH, OW, stride,
+       pad](const std::vector<float>& g) {
+        auto xi = [&](int bb, int c, int i, int j) {
+          return ((static_cast<std::size_t>(bb) * IC + c) * H + i) * W + j;
+        };
+        auto wi = [&](int ic, int oc, int i, int j) {
+          return ((static_cast<std::size_t>(ic) * OC + oc) * KH + i) * KW + j;
+        };
+        auto oi = [&](int bb, int oc, int i, int j) {
+          return ((static_cast<std::size_t>(bb) * OC + oc) * OH + i) * OW + j;
+        };
+        // Bias gradient: sum over batch and spatial dims.
+        for (int bb = 0; bb < B; ++bb)
+          for (int oc = 0; oc < OC; ++oc)
+            for (int oh = 0; oh < OH; ++oh)
+              for (int ow = 0; ow < OW; ++ow)
+                bn->grad[static_cast<std::size_t>(oc)] += g[oi(bb, oc, oh, ow)];
+        for (int bb = 0; bb < B; ++bb)
+          for (int ic = 0; ic < IC; ++ic)
+            for (int ih = 0; ih < H; ++ih)
+              for (int iw = 0; iw < W; ++iw) {
+                const float xv = xn->value[xi(bb, ic, ih, iw)];
+                float dx = 0.0f;
+                for (int oc = 0; oc < OC; ++oc)
+                  for (int kh = 0; kh < KH; ++kh) {
+                    const int oh = ih * stride - pad + kh;
+                    if (oh < 0 || oh >= OH) continue;
+                    for (int kw = 0; kw < KW; ++kw) {
+                      const int ow = iw * stride - pad + kw;
+                      if (ow < 0 || ow >= OW) continue;
+                      const float gv = g[oi(bb, oc, oh, ow)];
+                      dx += gv * wn->value[wi(ic, oc, kh, kw)];
+                      wn->grad[wi(ic, oc, kh, kw)] += gv * xv;
+                    }
+                  }
+                xn->grad[xi(bb, ic, ih, iw)] += dx;
+              }
+      });
+}
+
+// ------------------------------------------------------------------- losses ---
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "mse_loss");
+  return mean_all(square(sub(pred, target)));
+}
+
+}  // namespace afp::num

@@ -1,0 +1,77 @@
+#include "numeric/optim.hpp"
+
+#include <cmath>
+
+namespace afp::num {
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    if (p.grad().empty()) continue;
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Tensor& p : params_) {
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+SGD::SGD(std::vector<Tensor> params, float lr_, float momentum)
+    : Optimizer(std::move(params)), lr(lr_), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    velocity_[i].assign(params_[i].values().size(), 0.0f);
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.values().size(); ++j) {
+      vel[j] = momentum_ * vel[j] + p.grad()[j];
+      p.values()[j] -= lr * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr_, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr(lr_),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].values().size(), 0.0f);
+    v_[i].assign(params_[i].values().size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < p.values().size(); ++j) {
+      const float g = p.grad()[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mh = m[j] / bc1;
+      const float vh = v[j] / bc2;
+      p.values()[j] -= lr * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+}  // namespace afp::num

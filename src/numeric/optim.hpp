@@ -1,0 +1,62 @@
+// First-order optimizers over lists of parameter tensors.
+#pragma once
+
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace afp::num {
+
+/// Base interface; parameters are captured by shared storage handle, so the
+/// optimizer sees gradient updates made by backward().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clears gradients of all managed parameters.
+  void zero_grad() {
+    for (Tensor& p : params_) p.zero_grad();
+  }
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+  float lr;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+  float lr;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace afp::num

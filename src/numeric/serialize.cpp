@@ -1,0 +1,88 @@
+#include "numeric/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace afp::num {
+
+namespace {
+constexpr char kMagic[4] = {'A', 'F', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+}  // namespace
+
+void save_tensors(const std::string& path,
+                  const std::map<std::string, Tensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  os.write(kMagic, 4);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint32_t>(t.shape().size()));
+    for (int d : t.shape()) write_pod(os, static_cast<std::int32_t>(d));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.values().size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+std::map<std::string, Tensor> load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  const auto count = read_pod<std::uint32_t>(is);
+  std::map<std::string, Tensor> out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(is);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int32_t>(is);
+    std::vector<float> data(static_cast<std::size_t>(numel(shape)));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated tensor " + name);
+    out.emplace(name, Tensor::from_vector(shape, std::move(data)));
+  }
+  return out;
+}
+
+void load_into(const std::map<std::string, Tensor>& src,
+               std::map<std::string, Tensor>& dst) {
+  for (auto& [name, t] : dst) {
+    auto it = src.find(name);
+    if (it == src.end()) {
+      throw std::runtime_error("checkpoint: missing tensor " + name);
+    }
+    if (it->second.shape() != t.shape()) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + name);
+    }
+    t.values() = it->second.values();
+  }
+}
+
+}  // namespace afp::num

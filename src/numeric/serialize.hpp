@@ -1,0 +1,29 @@
+// Binary save/load of named parameter sets (model checkpoints).
+//
+// Format: magic "AFPT", u32 version, u32 count, then per tensor:
+// u32 name length, name bytes, u32 rank, i32 dims..., float32 data.
+// Little-endian, as produced by the writing host (the project targets a
+// single host; no cross-endian support is attempted).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "numeric/tensor.hpp"
+
+namespace afp::num {
+
+/// Writes `tensors` to `path`. Throws std::runtime_error on I/O failure.
+void save_tensors(const std::string& path,
+                  const std::map<std::string, Tensor>& tensors);
+
+/// Reads a checkpoint written by save_tensors.  Throws std::runtime_error
+/// on I/O or format errors.
+std::map<std::string, Tensor> load_tensors(const std::string& path);
+
+/// Copies values from `src` into the same-named, same-shaped tensors of
+/// `dst`; throws if a name is missing or shapes differ.
+void load_into(const std::map<std::string, Tensor>& src,
+               std::map<std::string, Tensor>& dst);
+
+}  // namespace afp::num

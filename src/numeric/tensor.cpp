@@ -1,0 +1,155 @@
+#include "numeric/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace afp::num {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float v, bool requires_grad) {
+  auto n = std::make_shared<detail::Node>();
+  n->shape = std::move(shape);
+  n->value.assign(static_cast<std::size_t>(numel(n->shape)), v);
+  n->requires_grad = requires_grad;
+  return wrap(std::move(n));
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> data,
+                           bool requires_grad) {
+  if (static_cast<std::int64_t>(data.size()) != numel(shape)) {
+    throw std::invalid_argument("from_vector: data size " +
+                                std::to_string(data.size()) +
+                                " does not match shape " + shape_str(shape));
+  }
+  auto n = std::make_shared<detail::Node>();
+  n->shape = std::move(shape);
+  n->value = std::move(data);
+  n->requires_grad = requires_grad;
+  return wrap(std::move(n));
+}
+
+Tensor Tensor::scalar(float v, bool requires_grad) {
+  return from_vector({1}, {v}, requires_grad);
+}
+
+Tensor Tensor::randn(Shape shape, std::mt19937_64& rng, float std,
+                     bool requires_grad) {
+  std::normal_distribution<float> dist(0.0f, std);
+  auto n = std::make_shared<detail::Node>();
+  n->shape = std::move(shape);
+  n->value.resize(static_cast<std::size_t>(numel(n->shape)));
+  for (float& v : n->value) v = dist(rng);
+  n->requires_grad = requires_grad;
+  return wrap(std::move(n));
+}
+
+Tensor Tensor::uniform(Shape shape, std::mt19937_64& rng, float lo, float hi,
+                       bool requires_grad) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  auto n = std::make_shared<detail::Node>();
+  n->shape = std::move(shape);
+  n->value.resize(static_cast<std::size_t>(numel(n->shape)));
+  for (float& v : n->value) v = dist(rng);
+  n->requires_grad = requires_grad;
+  return wrap(std::move(n));
+}
+
+float Tensor::item() const {
+  if (!node_ || node_->value.size() != 1) {
+    throw std::logic_error("item(): tensor is not a scalar");
+  }
+  return node_->value[0];
+}
+
+Tensor Tensor::detach() const {
+  auto n = std::make_shared<detail::Node>();
+  n->shape = node_->shape;
+  n->value = node_->value;
+  n->requires_grad = false;
+  return wrap(std::move(n));
+}
+
+void Tensor::backward() {
+  if (!node_) throw std::logic_error("backward(): undefined tensor");
+  if (node_->value.size() != 1) {
+    throw std::logic_error("backward(): only scalar roots are supported");
+  }
+  // Topological order by DFS.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->parents.size()) {
+      detail::Node* p = n->parents[idx++].get();
+      if (!visited.count(p) && (p->backward_fn || p->requires_grad)) {
+        visited.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // Seed the root gradient and run closures in reverse topological order.
+  for (detail::Node* n : order) n->ensure_grad();
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn((*it)->grad);
+  }
+}
+
+Tensor make_result(Shape shape, std::vector<float> value,
+                   std::vector<Tensor> parents,
+                   std::function<void(const std::vector<float>&)> backward_fn) {
+  auto n = std::make_shared<detail::Node>();
+  n->shape = std::move(shape);
+  n->value = std::move(value);
+  bool track = grad_enabled();
+  if (track) {
+    bool any = false;
+    for (const Tensor& p : parents) any = any || p.requires_grad();
+    track = any;
+  }
+  if (track) {
+    n->requires_grad = true;
+    n->parents.reserve(parents.size());
+    for (Tensor& p : parents) n->parents.push_back(p.node());
+    // Parents must have gradient buffers before the closure runs.
+    for (auto& p : n->parents) p->ensure_grad();
+    n->backward_fn = std::move(backward_fn);
+  }
+  return Tensor::wrap(std::move(n));
+}
+
+}  // namespace afp::num

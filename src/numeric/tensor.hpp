@@ -1,0 +1,146 @@
+// Minimal dense float32 tensor with reverse-mode automatic
+// differentiation.
+//
+// Design: a Tensor is a value-semantic handle (shared_ptr) to a Node that
+// owns the value buffer, the gradient buffer, and — when the tensor was
+// produced by a differentiable operation — the list of parent nodes plus a
+// closure that propagates the output gradient into the parents.  Calling
+// Tensor::backward() on a scalar performs a topological sort of the
+// recorded graph and runs the closures in reverse order.
+//
+// The engine supports exactly the operations needed by the paper's models
+// (R-GCN encoder, CNN feature extractor, deconvolutional policy head,
+// masked-categorical PPO losses); it does not attempt NumPy-style general
+// broadcasting.  Shapes are row-major.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace afp::num {
+
+using Shape = std::vector<int>;
+
+/// Number of elements described by a shape.
+inline std::int64_t numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (int d : s) n *= d;
+  return n;
+}
+
+/// Human-readable shape, e.g. "[3, 32, 32]".
+std::string shape_str(const Shape& s);
+
+class Tensor;
+
+namespace detail {
+
+struct Node {
+  std::vector<float> value;
+  std::vector<float> grad;  ///< same size as value once backward touches it
+  Shape shape;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates the node's output gradient (passed as argument to avoid a
+  /// closure->node reference cycle) into the parents' grad buffers.
+  std::function<void(const std::vector<float>&)> backward_fn;
+
+  void ensure_grad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+/// Returns true when gradient recording is currently enabled (default).
+bool grad_enabled();
+
+/// RAII guard that disables gradient recording in its scope.  Used for
+/// action sampling and evaluation rollouts.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Dense float tensor; cheap to copy (shared storage).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // -- construction -------------------------------------------------------
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  static Tensor ones(Shape shape, bool requires_grad = false);
+  static Tensor full(Shape shape, float v, bool requires_grad = false);
+  static Tensor from_vector(Shape shape, std::vector<float> data,
+                            bool requires_grad = false);
+  static Tensor scalar(float v, bool requires_grad = false);
+  /// i.i.d. N(0, std^2) entries.
+  static Tensor randn(Shape shape, std::mt19937_64& rng, float std = 1.0f,
+                      bool requires_grad = false);
+  /// i.i.d. U(lo, hi) entries.
+  static Tensor uniform(Shape shape, std::mt19937_64& rng, float lo, float hi,
+                        bool requires_grad = false);
+
+  // -- inspection ---------------------------------------------------------
+  bool defined() const { return node_ != nullptr; }
+  const Shape& shape() const { return node_->shape; }
+  int dim() const { return static_cast<int>(node_->shape.size()); }
+  std::int64_t size() const { return static_cast<std::int64_t>(node_->value.size()); }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  float* data() { return node_->value.data(); }
+  const float* data() const { return node_->value.data(); }
+  std::vector<float>& values() { return node_->value; }
+  const std::vector<float>& values() const { return node_->value; }
+
+  /// Value of a scalar (1-element) tensor.
+  float item() const;
+
+  /// Element access by flat index (no autograd tracking).
+  float at(std::int64_t i) const { return node_->value[static_cast<std::size_t>(i)]; }
+  void set(std::int64_t i, float v) { node_->value[static_cast<std::size_t>(i)] = v; }
+
+  // -- autograd -----------------------------------------------------------
+  /// Gradient buffer (valid after backward()).
+  const std::vector<float>& grad() const { return node_->grad; }
+  std::vector<float>& grad() { return node_->grad; }
+  void zero_grad() {
+    if (node_) node_->grad.assign(node_->value.size(), 0.0f);
+  }
+  /// Runs reverse-mode AD from this scalar tensor.
+  void backward();
+  /// Same value, detached from the autograd graph.
+  Tensor detach() const;
+
+  // internal: used by ops
+  std::shared_ptr<detail::Node> node() const { return node_; }
+  static Tensor wrap(std::shared_ptr<detail::Node> n) {
+    Tensor t;
+    t.node_ = std::move(n);
+    return t;
+  }
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+/// Creates a result node for an op.  `track` decides whether the node
+/// participates in the autograd graph.
+Tensor make_result(Shape shape, std::vector<float> value,
+                   std::vector<Tensor> parents,
+                   std::function<void(const std::vector<float>&)> backward_fn);
+
+}  // namespace afp::num

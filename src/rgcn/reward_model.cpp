@@ -1,0 +1,130 @@
+#include "rgcn/reward_model.hpp"
+
+#include <algorithm>
+
+#include "metaheur/baselines.hpp"
+#include "netlist/library.hpp"
+#include "numeric/optim.hpp"
+
+namespace afp::rgcn {
+
+RewardModel::RewardModel(std::mt19937_64& rng) {
+  using nn::Activation;
+  const int f = graphir::kNodeFeatureDim;
+  const int r = graphir::kNumRelations;
+  l1_ = std::make_unique<nn::RGCNLayer>(f, kEmbeddingDim, r,
+                                        Activation::kRelu, rng);
+  l2_ = std::make_unique<nn::RGCNLayer>(kEmbeddingDim, kEmbeddingDim, r,
+                                        Activation::kRelu, rng);
+  l3_ = std::make_unique<nn::RGCNLayer>(kEmbeddingDim, kEmbeddingDim, r,
+                                        Activation::kRelu, rng);
+  l4_ = std::make_unique<nn::RGCNLayer>(kEmbeddingDim, kEmbeddingDim, r,
+                                        Activation::kRelu, rng);
+  head_ = std::make_unique<nn::MLP>(std::vector<int>{kEmbeddingDim, 64, 64, 32, 16, 1},
+                                    Activation::kRelu, Activation::kNone, rng);
+  register_module("rgcn1", l1_.get());
+  register_module("rgcn2", l2_.get());
+  register_module("rgcn3", l3_.get());
+  register_module("rgcn4", l4_.get());
+  register_module("head", head_.get());
+}
+
+CircuitEncoding RewardModel::encode(const graphir::CircuitGraph& g) const {
+  const auto adj = g.adjacency();
+  num::Tensor h = g.feature_matrix();
+  h = l1_->forward(h, adj);
+  h = l2_->forward(h, adj);
+  h = l3_->forward(h, adj);
+  h = l4_->forward(h, adj);
+  CircuitEncoding enc;
+  enc.node_embeddings = h;
+  enc.graph_embedding = num::mean_axis0(h);
+  return enc;
+}
+
+num::Tensor RewardModel::predict(const graphir::CircuitGraph& g) const {
+  return head_->forward(encode(g).graph_embedding);
+}
+
+std::vector<num::Tensor> RewardModel::encoder_parameters() const {
+  std::vector<num::Tensor> out;
+  for (const auto* layer : {l1_.get(), l2_.get(), l3_.get(), l4_.get()}) {
+    const auto p = layer->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<Sample> generate_dataset(int samples_per_circuit,
+                                     std::mt19937_64& rng) {
+  std::vector<Sample> data;
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (const auto& entry : netlist::circuit_registry()) {
+    for (int k = 0; k < samples_per_circuit; ++k) {
+      netlist::Netlist nl = entry.make();
+      if (k > 0) nl = netlist::perturb_sizes(nl, rng);
+      const auto rec = structrec::recognize(nl);
+      graphir::CircuitGraph g = graphir::build_graph(nl, rec);
+      // Balance constrained and unconstrained floorplans (Section IV-C).
+      if (unif(rng) < 0.5) {
+        graphir::apply_constraints(g, graphir::default_constraints(g));
+      } else {
+        graphir::apply_constraints(g, {});
+      }
+      floorplan::Instance inst = floorplan::make_instance(g);
+
+      // Mixture of SA / GA / PSO with randomized budgets to spread the
+      // achieved-reward distribution.
+      metaheur::BaselineResult res;
+      const double pick = unif(rng);
+      if (pick < 0.4) {
+        metaheur::SAParams p;
+        p.iterations = 200 + static_cast<int>(unif(rng) * 1200);
+        res = metaheur::run_sa(inst, p, rng);
+      } else if (pick < 0.7) {
+        metaheur::GAParams p;
+        p.population = 12;
+        p.generations = 8 + static_cast<int>(unif(rng) * 24);
+        res = metaheur::run_ga(inst, p, rng);
+      } else {
+        metaheur::PSOParams p;
+        p.particles = 10;
+        p.iterations = 8 + static_cast<int>(unif(rng) * 24);
+        res = metaheur::run_pso(inst, p, rng);
+      }
+      data.push_back({std::move(g), res.eval.reward});
+    }
+  }
+  return data;
+}
+
+std::vector<TrainStats> train_reward_model(RewardModel& model,
+                                           const std::vector<Sample>& data,
+                                           int epochs, float lr,
+                                           std::mt19937_64& rng) {
+  num::Adam opt(model.parameters(), lr);
+  std::vector<TrainStats> stats;
+  std::vector<int> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int e = 0; e < epochs; ++e) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double mse = 0.0;
+    for (int idx : order) {
+      const Sample& s = data[static_cast<std::size_t>(idx)];
+      opt.zero_grad();
+      num::Tensor pred = model.predict(s.graph);
+      num::Tensor target =
+          num::Tensor::scalar(static_cast<float>(s.reward));
+      num::Tensor loss =
+          num::mse_loss(num::reshape(pred, {1}), target);
+      loss.backward();
+      opt.clip_grad_norm(5.0);
+      opt.step();
+      mse += loss.item();
+    }
+    stats.push_back({mse / std::max<std::size_t>(1, data.size())});
+  }
+  return stats;
+}
+
+}  // namespace afp::rgcn

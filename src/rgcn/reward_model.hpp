@@ -1,0 +1,68 @@
+// R-GCN circuit reward model (paper Fig. 3): four R-GCN layers producing
+// 32-dim node embeddings, mean aggregation into a graph embedding, and a
+// five-layer fully connected head regressing the floorplan reward.
+//
+// After pre-training, the FC head is dropped and the remaining network is
+// used as a frozen circuit encoder for the RL agent (Section IV-D).
+#pragma once
+
+#include <random>
+
+#include "graphir/graph.hpp"
+#include "nn/rgcn_layer.hpp"
+
+namespace afp::rgcn {
+
+constexpr int kEmbeddingDim = 32;
+
+/// Node + graph embeddings of one circuit.
+struct CircuitEncoding {
+  num::Tensor node_embeddings;   ///< [N, 32]
+  num::Tensor graph_embedding;   ///< [1, 32]
+};
+
+class RewardModel final : public nn::Module {
+ public:
+  explicit RewardModel(std::mt19937_64& rng);
+
+  /// Encoder part: 4 R-GCN layers + mean aggregation.
+  CircuitEncoding encode(const graphir::CircuitGraph& g) const;
+
+  /// Full forward: encoder + FC head -> scalar reward prediction [1, 1].
+  num::Tensor predict(const graphir::CircuitGraph& g) const;
+
+  /// Encoder-only parameters (for freezing checks / fine-tuning splits).
+  std::vector<num::Tensor> encoder_parameters() const;
+
+ private:
+  std::unique_ptr<nn::RGCNLayer> l1_, l2_, l3_, l4_;
+  std::unique_ptr<nn::MLP> head_;  ///< 5 FC layers: 32-64-64-32-16-1
+};
+
+/// One supervised sample: a circuit graph (with constraint relations
+/// materialized) and the reward achieved by a metaheuristic floorplanner.
+struct Sample {
+  graphir::CircuitGraph graph;
+  double reward = 0.0;
+};
+
+/// Training statistics per epoch.
+struct TrainStats {
+  double mse = 0.0;
+};
+
+/// Generates a pre-training dataset following Section IV-C: for every
+/// registry circuit, size-perturbed variants are floorplanned by a mixture
+/// of SA / GA / PSO under varying budgets, with and without constraints,
+/// and labeled with the achieved Eq. (5) reward.
+std::vector<Sample> generate_dataset(int samples_per_circuit,
+                                     std::mt19937_64& rng);
+
+/// Minimizes MSE between predicted and ground-truth reward with Adam.
+/// Returns per-epoch stats.
+std::vector<TrainStats> train_reward_model(RewardModel& model,
+                                           const std::vector<Sample>& data,
+                                           int epochs, float lr,
+                                           std::mt19937_64& rng);
+
+}  // namespace afp::rgcn

@@ -1,0 +1,40 @@
+// Inference and fine-tuning helpers around the trained agent:
+// zero-shot episode rollout (Table I columns "0-shot") and k-episode
+// fine-tuning (the "1/100/1000-shot" columns).
+#pragma once
+
+#include "rl/ppo.hpp"
+
+namespace afp::rl {
+
+struct EpisodeResult {
+  floorplan::Evaluation eval;
+  std::vector<geom::Rect> rects;
+  double total_reward = 0.0;
+  bool violated = false;
+  double runtime_s = 0.0;
+};
+
+/// Runs one greedy (or sampled) episode of `policy` on `task`.
+/// `deterministic` picks argmax actions; otherwise actions are sampled.
+EpisodeResult run_episode(const ActorCritic& policy, const TaskContext& task,
+                          std::mt19937_64& rng, bool deterministic = true,
+                          env::EnvConfig env_cfg = {});
+
+/// Best of `attempts` sampled episodes (first attempt is deterministic);
+/// mirrors how a fine-tuned agent is queried for a single floorplan.
+EpisodeResult best_of_episodes(const ActorCritic& policy,
+                               const TaskContext& task, int attempts,
+                               std::mt19937_64& rng,
+                               env::EnvConfig env_cfg = {});
+
+/// Continues PPO training of `policy` on a single circuit until roughly
+/// `episodes` more episodes have finished (few-shot fine-tuning).
+/// Returns per-iteration stats.
+std::vector<IterationStats> fine_tune(ActorCritic& policy,
+                                      const TaskContext& task, long episodes,
+                                      std::mt19937_64& rng,
+                                      PPOConfig cfg = {},
+                                      env::EnvConfig env_cfg = {});
+
+}  // namespace afp::rl

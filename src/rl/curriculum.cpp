@@ -1,0 +1,73 @@
+#include "rl/curriculum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metaheur/baselines.hpp"
+#include "netlist/library.hpp"
+
+namespace afp::rl {
+
+namespace {
+
+const netlist::CircuitEntry& find_entry(const std::string& name) {
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("HclScheduler: unknown circuit " + name);
+}
+
+}  // namespace
+
+HclScheduler::HclScheduler(HclConfig cfg, const rgcn::RewardModel& encoder,
+                           std::mt19937_64& rng)
+    : cfg_(std::move(cfg)), encoder_(&encoder) {
+  if (cfg_.circuits.empty()) {
+    throw std::invalid_argument("HclScheduler: empty curriculum");
+  }
+  (void)rng;
+}
+
+TaskContext HclScheduler::build_task(const std::string& name, bool constrained,
+                                     std::mt19937_64& rng) {
+  const auto& entry = find_entry(name);
+  netlist::Netlist nl = entry.make();
+  const auto rec = structrec::recognize(nl);
+  graphir::CircuitGraph g = graphir::build_graph(nl, rec);
+  if (constrained) {
+    graphir::apply_constraints(g, graphir::default_constraints(g));
+  } else {
+    graphir::apply_constraints(g, {});
+  }
+  auto it = hpwl_cache_.find(name);
+  if (it == hpwl_cache_.end()) {
+    floorplan::Instance probe = floorplan::make_instance(g);
+    const double ref = metaheur::estimate_hpwl_min(probe, rng, 1500);
+    it = hpwl_cache_.emplace(name, ref).first;
+  }
+  return make_task(*encoder_, std::move(g), it->second);
+}
+
+TaskContext HclScheduler::next_task(std::mt19937_64& rng) {
+  const int num_stages = static_cast<int>(cfg_.circuits.size());
+  stage_ = std::min<int>(
+      num_stages - 1,
+      static_cast<int>(episode_ / cfg_.episodes_per_circuit));
+  const long in_stage = episode_ % cfg_.episodes_per_circuit;
+  ++episode_;
+
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::string name = cfg_.circuits[static_cast<std::size_t>(stage_)];
+  bool constrained = false;
+  if (in_stage >= cfg_.episodes_per_circuit / 2) {
+    // Second half: interleave previously seen circuits and constraints.
+    if (unif(rng) < cfg_.p_circuit) {
+      std::uniform_int_distribution<int> pick(0, stage_);
+      name = cfg_.circuits[static_cast<std::size_t>(pick(rng))];
+    }
+    constrained = unif(rng) < cfg_.p_constraint;
+  }
+  return build_task(name, constrained, rng);
+}
+
+}  // namespace afp::rl

@@ -1,0 +1,54 @@
+// Hybrid curriculum learning schedule (Section IV-D5 / Fig. 6).
+//
+// Training circuits are presented in order of increasing complexity; each
+// stage runs `episodes_per_circuit` episodes.  During the first half of a
+// stage only the stage circuit (unconstrained) is used; in the second half
+// a random already-seen circuit is sampled with probability p_circuit and
+// constraints are switched on with probability p_constraint, preventing
+// catastrophic forgetting while exposure grows.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rl/task.hpp"
+
+namespace afp::rl {
+
+struct HclConfig {
+  /// Circuit registry names in curriculum order (defaults to the paper's
+  /// five training circuits: 3/5/8-block OTAs and 3/9-block bias).
+  std::vector<std::string> circuits{"ota_small", "bias_small", "ota1",
+                                    "ota2", "bias1"};
+  int episodes_per_circuit = 4096;
+  double p_circuit = 0.5;
+  double p_constraint = 0.3;
+};
+
+class HclScheduler {
+ public:
+  HclScheduler(HclConfig cfg, const rgcn::RewardModel& encoder,
+               std::mt19937_64& rng);
+
+  /// Task for the next episode; advances the global episode counter.
+  TaskContext next_task(std::mt19937_64& rng);
+
+  int stage() const { return stage_; }
+  long episode() const { return episode_; }
+  bool finished() const {
+    return episode_ >= static_cast<long>(cfg_.circuits.size()) *
+                           cfg_.episodes_per_circuit;
+  }
+  /// Builds (and caches reference wirelength for) a named circuit.
+  TaskContext build_task(const std::string& name, bool constrained,
+                         std::mt19937_64& rng);
+
+ private:
+  HclConfig cfg_;
+  const rgcn::RewardModel* encoder_;
+  long episode_ = 0;
+  int stage_ = 0;
+  std::map<std::string, double> hpwl_cache_;
+};
+
+}  // namespace afp::rl

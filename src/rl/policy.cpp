@@ -1,0 +1,110 @@
+#include "rl/policy.hpp"
+
+#include <stdexcept>
+
+namespace afp::rl {
+
+PolicyConfig PolicyConfig::fast() {
+  PolicyConfig cfg;
+  cfg.conv_channels = {8, 16};
+  cfg.conv_strides = {2, 2};
+  cfg.feat_dim = 128;
+  cfg.policy_seed_channels = 8;
+  cfg.deconv_channels = {8, 8, 4};
+  cfg.value_hidden = 64;
+  return cfg;
+}
+
+ActorCritic::ActorCritic(const PolicyConfig& cfg, std::mt19937_64& rng)
+    : cfg_(cfg) {
+  if (cfg.conv_channels.size() != cfg.conv_strides.size()) {
+    throw std::invalid_argument("ActorCritic: conv channel/stride mismatch");
+  }
+  // The deconv chain doubles a 4x4 seed per layer and must land on the
+  // grid resolution.
+  int up = deconv_in_hw_;
+  for (std::size_t i = 0; i < cfg.deconv_channels.size(); ++i) up *= 2;
+  if (up != cfg.grid) {
+    throw std::invalid_argument(
+        "ActorCritic: deconv chain does not reach the grid size");
+  }
+
+  int ch = cfg.in_channels;
+  int hw = cfg.grid;
+  for (std::size_t i = 0; i < cfg.conv_channels.size(); ++i) {
+    const int stride = cfg.conv_strides[i];
+    convs_.push_back(std::make_unique<nn::Conv2d>(
+        ch, cfg.conv_channels[i], /*kernel=*/3, stride, /*pad=*/1, rng));
+    register_module("conv" + std::to_string(i), convs_.back().get());
+    ch = cfg.conv_channels[i];
+    hw = (hw + 2 - 3) / stride + 1;
+  }
+  conv_out_hw_ = hw;
+  feat_fc_ = std::make_unique<nn::Linear>(ch * hw * hw, cfg.feat_dim, rng);
+  register_module("feat_fc", feat_fc_.get());
+
+  const int state_dim = 2 * cfg.emb_dim + cfg.feat_dim;
+  policy_fc_ = std::make_unique<nn::Linear>(
+      state_dim, cfg.policy_seed_channels * deconv_in_hw_ * deconv_in_hw_, rng);
+  register_module("policy_fc", policy_fc_.get());
+
+  int dch = cfg.policy_seed_channels;
+  for (std::size_t i = 0; i < cfg.deconv_channels.size(); ++i) {
+    deconvs_.push_back(std::make_unique<nn::ConvTranspose2d>(
+        dch, cfg.deconv_channels[i], /*kernel=*/4, /*stride=*/2, /*pad=*/1,
+        rng));
+    register_module("deconv" + std::to_string(i), deconvs_.back().get());
+    dch = cfg.deconv_channels[i];
+  }
+  logit_conv_ = std::make_unique<nn::Conv2d>(dch, 3, /*kernel=*/1,
+                                             /*stride=*/1, /*pad=*/0, rng);
+  register_module("logit_conv", logit_conv_.get());
+
+  value_head_ = std::make_unique<nn::MLP>(
+      std::vector<int>{state_dim, cfg.value_hidden, 1}, nn::Activation::kRelu,
+      nn::Activation::kNone, rng);
+  register_module("value_head", value_head_.get());
+}
+
+PolicyOutput ActorCritic::forward(const num::Tensor& masks,
+                                  const num::Tensor& node_emb,
+                                  const num::Tensor& graph_emb) const {
+  const int b = masks.shape()[0];
+  num::Tensor x = masks;
+  for (const auto& conv : convs_) {
+    x = num::relu(conv->forward(x));
+  }
+  x = num::reshape(x, {b, static_cast<int>(x.size() / b)});
+  num::Tensor feat = num::relu(feat_fc_->forward(x));
+  num::Tensor state = num::concat_cols({node_emb, graph_emb, feat});
+
+  num::Tensor p = num::relu(policy_fc_->forward(state));
+  p = num::reshape(p, {b, cfg_.policy_seed_channels, deconv_in_hw_,
+                       deconv_in_hw_});
+  for (const auto& deconv : deconvs_) {
+    p = num::relu(deconv->forward(p));
+  }
+  p = logit_conv_->forward(p);  // [B, 3, n, n]
+  PolicyOutput out;
+  out.logits = num::reshape(p, {b, action_space()});
+  num::Tensor v = value_head_->forward(state);  // [B, 1]
+  out.value = num::reshape(v, {b});
+  return out;
+}
+
+void copy_parameters(const ActorCritic& src, ActorCritic& dst) {
+  const auto sp = src.named_parameters();
+  auto dp = dst.named_parameters();
+  if (sp.size() != dp.size()) {
+    throw std::invalid_argument("copy_parameters: architecture mismatch");
+  }
+  for (auto& [name, t] : dp) {
+    const auto it = sp.find(name);
+    if (it == sp.end() || it->second.shape() != t.shape()) {
+      throw std::invalid_argument("copy_parameters: mismatch at " + name);
+    }
+    t.values() = it->second.values();
+  }
+}
+
+}  // namespace afp::rl

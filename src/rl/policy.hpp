@@ -1,0 +1,77 @@
+// RL agent network (paper Fig. 4).
+//
+// Inputs per sample: six n x n grid masks, the current block's 32-dim
+// R-GCN node embedding n_k, and the 32-dim circuit graph embedding g.
+// A CNN encodes the mask stack into a 512-dim feature; the concatenated
+// state feeds (a) a deconvolutional policy head producing 3 x n x n joint
+// (shape, position) logits and (b) an MLP value head.
+//
+// PolicyConfig::paper() matches the architecture of Section IV-D3
+// (3x3/stride-1 convs with 16,32,32,64,64 channels; 512 FC; three 4x4
+// stride-2 deconvs with 32,16,8 channels).  PolicyConfig::fast() is a
+// reduced preset for CPU-budget tests and benches; the interface and code
+// paths are identical.
+#pragma once
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "nn/distribution.hpp"
+#include "nn/layers.hpp"
+
+namespace afp::rl {
+
+struct PolicyConfig {
+  int grid = 32;
+  int in_channels = 6;
+  int emb_dim = 32;  ///< R-GCN embedding width (node and graph)
+  std::vector<int> conv_channels{16, 32, 32, 64, 64};
+  std::vector<int> conv_strides{1, 1, 1, 1, 1};
+  int feat_dim = 512;           ///< CNN FC output
+  int policy_seed_channels = 32;  ///< policy FC reshaped to [C, 4, 4]
+  std::vector<int> deconv_channels{32, 16, 8};  ///< 4 -> 8 -> 16 -> 32
+  int value_hidden = 256;
+
+  static PolicyConfig paper() { return {}; }
+  /// CPU-friendly preset: two stride-2 convs, slim heads.
+  static PolicyConfig fast();
+};
+
+/// Batched network output.
+struct PolicyOutput {
+  num::Tensor logits;  ///< [B, 3 * n * n]
+  num::Tensor value;   ///< [B]
+};
+
+class ActorCritic final : public nn::Module {
+ public:
+  ActorCritic(const PolicyConfig& cfg, std::mt19937_64& rng);
+
+  /// masks: [B, 6, n, n]; node_emb, graph_emb: [B, 32].
+  PolicyOutput forward(const num::Tensor& masks, const num::Tensor& node_emb,
+                       const num::Tensor& graph_emb) const;
+
+  const PolicyConfig& config() const { return cfg_; }
+  int action_space() const { return 3 * cfg_.grid * cfg_.grid; }
+
+ private:
+  friend void copy_parameters(const ActorCritic& src, ActorCritic& dst);
+
+  PolicyConfig cfg_;
+  std::vector<std::unique_ptr<nn::Conv2d>> convs_;
+  std::unique_ptr<nn::Linear> feat_fc_;
+  std::unique_ptr<nn::Linear> policy_fc_;
+  std::vector<std::unique_ptr<nn::ConvTranspose2d>> deconvs_;
+  std::unique_ptr<nn::Conv2d> logit_conv_;  ///< 1x1 -> 3 channels
+  std::unique_ptr<nn::MLP> value_head_;
+  int conv_out_hw_ = 0;  ///< spatial size after the conv stack
+  int deconv_in_hw_ = 4; ///< policy seed spatial size
+};
+
+/// Copies all parameter values from `src` into `dst` (same architecture
+/// required).  Used to fork a pre-trained agent before few-shot
+/// fine-tuning so the base policy stays intact.
+void copy_parameters(const ActorCritic& src, ActorCritic& dst);
+
+}  // namespace afp::rl

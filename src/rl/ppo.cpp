@@ -1,0 +1,332 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace afp::rl {
+
+GaeResult compute_gae(const std::vector<float>& rewards,
+                      const std::vector<float>& values,
+                      const std::vector<bool>& dones, float last_value,
+                      float gamma, float gae_lambda) {
+  if (rewards.size() != values.size() || rewards.size() != dones.size()) {
+    throw std::invalid_argument("compute_gae: length mismatch");
+  }
+  const std::size_t n = rewards.size();
+  GaeResult out;
+  out.advantages.assign(n, 0.0f);
+  out.returns.assign(n, 0.0f);
+  float gae = 0.0f;
+  float next_value = last_value;
+  for (std::size_t k = n; k-- > 0;) {
+    // dones[k] marks that the episode ended AT step k: transition k+1
+    // belongs to a new episode, so both the value bootstrap and the GAE
+    // tail from k+1 are cut by the same (1 - done) factor.  Steps k-1 and
+    // k always share an episode — no extra reset.
+    const float nonterminal = dones[k] ? 0.0f : 1.0f;
+    const float delta =
+        rewards[k] + gamma * next_value * nonterminal - values[k];
+    gae = delta + gamma * gae_lambda * nonterminal * gae;
+    out.advantages[k] = gae;
+    out.returns[k] = gae + values[k];
+    next_value = values[k];
+  }
+  return out;
+}
+
+PPOTrainer::PPOTrainer(ActorCritic& policy, std::vector<TaskContext> tasks,
+                       PPOConfig cfg, env::EnvConfig env_cfg)
+    : policy_(&policy), cfg_(cfg), env_cfg_(env_cfg) {
+  if (tasks.empty()) {
+    throw std::invalid_argument("PPOTrainer: at least one task required");
+  }
+  tasks_.reserve(static_cast<std::size_t>(cfg.n_envs));
+  envs_.reserve(static_cast<std::size_t>(cfg.n_envs));
+  for (int i = 0; i < cfg.n_envs; ++i) {
+    tasks_.push_back(tasks[static_cast<std::size_t>(i) % tasks.size()]);
+    envs_.push_back(std::make_unique<env::FloorplanEnv>(
+        tasks_.back().instance, env_cfg_));
+  }
+  obs_.resize(static_cast<std::size_t>(cfg.n_envs));
+  for (int i = 0; i < cfg.n_envs; ++i) {
+    obs_[static_cast<std::size_t>(i)] = envs_[static_cast<std::size_t>(i)]->reset();
+  }
+  episode_reward_.assign(static_cast<std::size_t>(cfg.n_envs), 0.0);
+  opt_ = std::make_unique<num::Adam>(policy.parameters(), cfg.lr);
+}
+
+IterationStats PPOTrainer::iterate(std::mt19937_64& rng) {
+  const int n = policy_->config().grid;
+  const int mc = envs_[0]->mask_channels();
+  if (mc != policy_->config().in_channels) {
+    throw std::logic_error(
+        "PPOTrainer: policy in_channels does not match env mask channels");
+  }
+  const std::size_t plane = static_cast<std::size_t>(n) * n;
+  const int act_space = policy_->action_space();
+  const int emb = rgcn::kEmbeddingDim;
+
+  IterationStats stats;
+  std::vector<Transition> buffer;
+  buffer.reserve(static_cast<std::size_t>(cfg_.n_steps) * cfg_.n_envs);
+  std::vector<double> finished_rewards;
+  int violated_count = 0;
+
+  // ---- rollout ------------------------------------------------------------
+  for (int step = 0; step < cfg_.n_steps; ++step) {
+    // Assemble the batched observation across envs.
+    std::vector<float> masks_b(static_cast<std::size_t>(cfg_.n_envs) *
+                               static_cast<std::size_t>(mc) * plane);
+    std::vector<float> node_b(static_cast<std::size_t>(cfg_.n_envs) * emb);
+    std::vector<float> graph_b(static_cast<std::size_t>(cfg_.n_envs) * emb);
+    std::vector<float> amask_b(static_cast<std::size_t>(cfg_.n_envs) *
+                               static_cast<std::size_t>(act_space));
+    for (int e = 0; e < cfg_.n_envs; ++e) {
+      const auto& o = obs_[static_cast<std::size_t>(e)];
+      const TaskContext& t = tasks_[static_cast<std::size_t>(e)];
+      std::copy(o.masks.begin(), o.masks.end(),
+                masks_b.begin() +
+                    static_cast<long>(e) * static_cast<long>(static_cast<std::size_t>(mc) * plane));
+      const float* nrow = t.node_row(o.current_block);
+      std::copy(nrow, nrow + emb, node_b.begin() + static_cast<long>(e) * emb);
+      std::copy(t.graph_emb.begin(), t.graph_emb.end(),
+                graph_b.begin() + static_cast<long>(e) * emb);
+      std::copy(o.action_mask.begin(), o.action_mask.end(),
+                amask_b.begin() + static_cast<long>(e) * act_space);
+    }
+
+    std::vector<int> actions;
+    std::vector<float> logps(static_cast<std::size_t>(cfg_.n_envs));
+    std::vector<float> values(static_cast<std::size_t>(cfg_.n_envs));
+    {
+      num::NoGradGuard ng;
+      const auto masks_t = num::Tensor::from_vector(
+          {cfg_.n_envs, mc, n, n}, masks_b);
+      const auto node_t =
+          num::Tensor::from_vector({cfg_.n_envs, emb}, node_b);
+      const auto graph_t =
+          num::Tensor::from_vector({cfg_.n_envs, emb}, graph_b);
+      const PolicyOutput out = policy_->forward(masks_t, node_t, graph_t);
+      nn::MaskedCategorical dist(out.logits, amask_b);
+      actions = dist.sample(rng);
+      const num::Tensor lp = dist.log_prob(actions);
+      for (int e = 0; e < cfg_.n_envs; ++e) {
+        logps[static_cast<std::size_t>(e)] = lp.at(e);
+        values[static_cast<std::size_t>(e)] = out.value.at(e);
+      }
+    }
+
+    for (int e = 0; e < cfg_.n_envs; ++e) {
+      auto& environ = *envs_[static_cast<std::size_t>(e)];
+      env::StepResult res = environ.step(actions[static_cast<std::size_t>(e)]);
+      episode_reward_[static_cast<std::size_t>(e)] += res.reward;
+
+      Transition tr;
+      const long moff = static_cast<long>(e) * static_cast<long>(static_cast<std::size_t>(mc) * plane);
+      tr.masks.assign(masks_b.begin() + moff,
+                      masks_b.begin() + moff + static_cast<long>(static_cast<std::size_t>(mc) * plane));
+      tr.node_emb.assign(node_b.begin() + static_cast<long>(e) * emb,
+                         node_b.begin() + static_cast<long>(e + 1) * emb);
+      tr.graph_emb.assign(graph_b.begin() + static_cast<long>(e) * emb,
+                          graph_b.begin() + static_cast<long>(e + 1) * emb);
+      tr.action_mask.assign(amask_b.begin() + static_cast<long>(e) * act_space,
+                            amask_b.begin() + static_cast<long>(e + 1) * act_space);
+      tr.action = actions[static_cast<std::size_t>(e)];
+      tr.logp = logps[static_cast<std::size_t>(e)];
+      tr.value = values[static_cast<std::size_t>(e)];
+      tr.reward = static_cast<float>(res.reward);
+      tr.done = res.done;
+      tr.env = e;
+      buffer.push_back(std::move(tr));
+
+      if (res.done) {
+        finished_rewards.push_back(episode_reward_[static_cast<std::size_t>(e)]);
+        if (res.violated) ++violated_count;
+        episode_reward_[static_cast<std::size_t>(e)] = 0.0;
+        ++episodes_done_;
+        if (next_task) {
+          if (auto nt = next_task(e)) {
+            tasks_[static_cast<std::size_t>(e)] = std::move(*nt);
+            obs_[static_cast<std::size_t>(e)] =
+                environ.set_instance(tasks_[static_cast<std::size_t>(e)].instance);
+            continue;
+          }
+        }
+        obs_[static_cast<std::size_t>(e)] = environ.reset();
+      } else {
+        obs_[static_cast<std::size_t>(e)] = std::move(res.obs);
+      }
+    }
+  }
+
+  // Bootstrap values for unfinished episodes.
+  std::vector<float> last_values(static_cast<std::size_t>(cfg_.n_envs), 0.0f);
+  {
+    num::NoGradGuard ng;
+    std::vector<float> masks_b(static_cast<std::size_t>(cfg_.n_envs) *
+                               static_cast<std::size_t>(mc) * plane);
+    std::vector<float> node_b(static_cast<std::size_t>(cfg_.n_envs) * emb);
+    std::vector<float> graph_b(static_cast<std::size_t>(cfg_.n_envs) * emb);
+    for (int e = 0; e < cfg_.n_envs; ++e) {
+      const auto& o = obs_[static_cast<std::size_t>(e)];
+      const TaskContext& t = tasks_[static_cast<std::size_t>(e)];
+      std::copy(o.masks.begin(), o.masks.end(),
+                masks_b.begin() +
+                    static_cast<long>(e) * static_cast<long>(static_cast<std::size_t>(mc) * plane));
+      const float* nrow = t.node_row(o.current_block);
+      std::copy(nrow, nrow + emb, node_b.begin() + static_cast<long>(e) * emb);
+      std::copy(t.graph_emb.begin(), t.graph_emb.end(),
+                graph_b.begin() + static_cast<long>(e) * emb);
+    }
+    const auto out = policy_->forward(
+        num::Tensor::from_vector({cfg_.n_envs, mc, n, n},
+                                 masks_b),
+        num::Tensor::from_vector({cfg_.n_envs, emb}, node_b),
+        num::Tensor::from_vector({cfg_.n_envs, emb}, graph_b));
+    for (int e = 0; e < cfg_.n_envs; ++e) {
+      last_values[static_cast<std::size_t>(e)] = out.value.at(e);
+    }
+  }
+
+  // ---- GAE(lambda) per env stream -----------------------------------------
+  const std::size_t total = buffer.size();
+  std::vector<float> advantages(total, 0.0f), returns(total, 0.0f);
+  for (int e = 0; e < cfg_.n_envs; ++e) {
+    std::vector<float> r, v;
+    std::vector<bool> d;
+    std::vector<std::size_t> idx_of;
+    for (std::size_t i = 0; i < total; ++i) {
+      const Transition& tr = buffer[i];
+      if (tr.env != e) continue;
+      r.push_back(tr.reward);
+      v.push_back(tr.value);
+      d.push_back(tr.done);
+      idx_of.push_back(i);
+    }
+    const GaeResult g = compute_gae(r, v, d,
+                                    last_values[static_cast<std::size_t>(e)],
+                                    cfg_.gamma, cfg_.gae_lambda);
+    for (std::size_t k = 0; k < idx_of.size(); ++k) {
+      advantages[idx_of[k]] = g.advantages[k];
+      returns[idx_of[k]] = g.returns[k];
+    }
+  }
+  // Advantage normalization.
+  {
+    double mean = 0.0, sq = 0.0;
+    for (float a : advantages) mean += a;
+    mean /= static_cast<double>(total);
+    for (float a : advantages) sq += (a - mean) * (a - mean);
+    const double stdev = std::sqrt(sq / static_cast<double>(total)) + 1e-8;
+    for (float& a : advantages)
+      a = static_cast<float>((a - mean) / stdev);
+  }
+
+  // ---- PPO update -----------------------------------------------------------
+  std::vector<int> idx(total);
+  std::iota(idx.begin(), idx.end(), 0);
+  double sum_pl = 0.0, sum_vl = 0.0, sum_ent = 0.0, sum_kl = 0.0,
+         sum_clip = 0.0;
+  int updates = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t start = 0; start < total;
+         start += static_cast<std::size_t>(cfg_.minibatch)) {
+      const std::size_t end =
+          std::min(total, start + static_cast<std::size_t>(cfg_.minibatch));
+      const int mb = static_cast<int>(end - start);
+      if (mb < 2) continue;
+
+      std::vector<float> masks_b(static_cast<std::size_t>(mb) *
+                                 static_cast<std::size_t>(mc) * plane);
+      std::vector<float> node_b(static_cast<std::size_t>(mb) * emb);
+      std::vector<float> graph_b(static_cast<std::size_t>(mb) * emb);
+      std::vector<float> amask_b(static_cast<std::size_t>(mb) *
+                                 static_cast<std::size_t>(act_space));
+      std::vector<int> act_b(static_cast<std::size_t>(mb));
+      std::vector<float> oldlp_b(static_cast<std::size_t>(mb)),
+          adv_b(static_cast<std::size_t>(mb)), ret_b(static_cast<std::size_t>(mb));
+      for (int k = 0; k < mb; ++k) {
+        const Transition& tr = buffer[static_cast<std::size_t>(
+            idx[start + static_cast<std::size_t>(k)])];
+        std::copy(tr.masks.begin(), tr.masks.end(),
+                  masks_b.begin() +
+                      static_cast<long>(k) * static_cast<long>(static_cast<std::size_t>(mc) * plane));
+        std::copy(tr.node_emb.begin(), tr.node_emb.end(),
+                  node_b.begin() + static_cast<long>(k) * emb);
+        std::copy(tr.graph_emb.begin(), tr.graph_emb.end(),
+                  graph_b.begin() + static_cast<long>(k) * emb);
+        std::copy(tr.action_mask.begin(), tr.action_mask.end(),
+                  amask_b.begin() + static_cast<long>(k) * act_space);
+        act_b[static_cast<std::size_t>(k)] = tr.action;
+        oldlp_b[static_cast<std::size_t>(k)] = tr.logp;
+        adv_b[static_cast<std::size_t>(k)] =
+            advantages[static_cast<std::size_t>(idx[start + static_cast<std::size_t>(k)])];
+        ret_b[static_cast<std::size_t>(k)] =
+            returns[static_cast<std::size_t>(idx[start + static_cast<std::size_t>(k)])];
+      }
+
+      const auto out = policy_->forward(
+          num::Tensor::from_vector({mb, mc, n, n}, masks_b),
+          num::Tensor::from_vector({mb, emb}, node_b),
+          num::Tensor::from_vector({mb, emb}, graph_b));
+      nn::MaskedCategorical dist(out.logits, amask_b);
+      const num::Tensor newlp = dist.log_prob(act_b);
+      const num::Tensor oldlp = num::Tensor::from_vector({mb}, oldlp_b);
+      const num::Tensor adv = num::Tensor::from_vector({mb}, adv_b);
+      const num::Tensor ret = num::Tensor::from_vector({mb}, ret_b);
+
+      const num::Tensor ratio = num::exp_op(newlp - oldlp);
+      const num::Tensor surr1 = num::mul(ratio, adv);
+      const num::Tensor surr2 =
+          num::mul(num::clamp(ratio, 1.0f - cfg_.clip, 1.0f + cfg_.clip), adv);
+      const num::Tensor policy_loss =
+          num::neg(num::mean_all(num::minimum(surr1, surr2)));
+      const num::Tensor value_loss = num::mse_loss(out.value, ret);
+      const num::Tensor entropy = num::mean_all(dist.entropy());
+      num::Tensor loss = policy_loss + value_loss * cfg_.vf_coef +
+                         num::neg(entropy) * cfg_.ent_coef;
+
+      opt_->zero_grad();
+      loss.backward();
+      opt_->clip_grad_norm(cfg_.max_grad_norm);
+      opt_->step();
+
+      // Diagnostics.
+      double kl = 0.0, clipped = 0.0;
+      for (int k = 0; k < mb; ++k) {
+        const double r = std::exp(static_cast<double>(newlp.at(k)) -
+                                  oldlp_b[static_cast<std::size_t>(k)]);
+        kl += oldlp_b[static_cast<std::size_t>(k)] - newlp.at(k);
+        if (r < 1.0 - cfg_.clip || r > 1.0 + cfg_.clip) clipped += 1.0;
+      }
+      sum_kl += kl / mb;
+      sum_clip += clipped / mb;
+      sum_pl += policy_loss.item();
+      sum_vl += value_loss.item();
+      sum_ent += entropy.item();
+      ++updates;
+    }
+  }
+
+  if (!finished_rewards.empty()) {
+    stats.mean_episode_reward =
+        std::accumulate(finished_rewards.begin(), finished_rewards.end(), 0.0) /
+        static_cast<double>(finished_rewards.size());
+    stats.violation_rate =
+        static_cast<double>(violated_count) /
+        static_cast<double>(finished_rewards.size());
+  }
+  stats.episodes = static_cast<int>(finished_rewards.size());
+  if (updates > 0) {
+    stats.policy_loss = sum_pl / updates;
+    stats.value_loss = sum_vl / updates;
+    stats.entropy = sum_ent / updates;
+    stats.approx_kl = sum_kl / updates;
+    stats.clip_fraction = sum_clip / updates;
+  }
+  return stats;
+}
+
+}  // namespace afp::rl

@@ -1,0 +1,100 @@
+// Masked Proximal Policy Optimization (Schulman et al. 2017) with GAE,
+// invalid-action masking, gradient clipping and approximate-KL tracking,
+// mirroring the Stable-Baselines3 configuration the paper uses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "env/env.hpp"
+#include "numeric/optim.hpp"
+#include "rl/policy.hpp"
+#include "rl/task.hpp"
+
+namespace afp::rl {
+
+struct PPOConfig {
+  int n_envs = 16;       ///< parallel environments (paper: 16)
+  int n_steps = 64;      ///< rollout length per env per iteration
+  int epochs = 4;        ///< optimization passes over each rollout
+  int minibatch = 128;
+  float gamma = 0.99f;
+  float gae_lambda = 0.95f;
+  float clip = 0.2f;
+  float lr = 3e-4f;
+  float vf_coef = 0.5f;
+  float ent_coef = 0.01f;
+  float max_grad_norm = 0.5f;
+};
+
+/// Generalized Advantage Estimation over one environment stream.
+/// rewards/values/dones have equal length; `last_value` bootstraps the
+/// final transition when the stream ends mid-episode.  Returns
+/// {advantages, returns} with returns[i] = advantages[i] + values[i].
+struct GaeResult {
+  std::vector<float> advantages;
+  std::vector<float> returns;
+};
+GaeResult compute_gae(const std::vector<float>& rewards,
+                      const std::vector<float>& values,
+                      const std::vector<bool>& dones, float last_value,
+                      float gamma, float gae_lambda);
+
+/// Per-iteration training statistics (Fig. 6 plots the first two).
+struct IterationStats {
+  double mean_episode_reward = 0.0;  ///< over episodes finished this iter
+  double approx_kl = 0.0;
+  int episodes = 0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  double clip_fraction = 0.0;
+  double violation_rate = 0.0;  ///< fraction of finished episodes violated
+};
+
+class PPOTrainer {
+ public:
+  /// The trainer owns one FloorplanEnv per parallel slot; `tasks` supplies
+  /// the initial circuit of each slot (recycled modulo size).
+  PPOTrainer(ActorCritic& policy, std::vector<TaskContext> tasks,
+             PPOConfig cfg = {}, env::EnvConfig env_cfg = {});
+
+  /// Curriculum hook: consulted when env `i` finishes an episode; a
+  /// returned task replaces that env's circuit.
+  std::function<std::optional<TaskContext>(int env_index)> next_task;
+
+  /// One PPO iteration: collect n_envs * n_steps transitions, then update.
+  IterationStats iterate(std::mt19937_64& rng);
+
+  /// Total episodes finished since construction.
+  long episodes_done() const { return episodes_done_; }
+
+  const PPOConfig& config() const { return cfg_; }
+
+ private:
+  struct Transition {
+    std::vector<float> masks;
+    std::vector<float> node_emb;
+    std::vector<float> graph_emb;
+    std::vector<float> action_mask;
+    int action = 0;
+    float logp = 0.0f;
+    float value = 0.0f;
+    float reward = 0.0f;
+    bool done = false;
+    int env = 0;
+  };
+
+  ActorCritic* policy_;
+  PPOConfig cfg_;
+  env::EnvConfig env_cfg_;
+  std::vector<TaskContext> tasks_;
+  std::vector<std::unique_ptr<env::FloorplanEnv>> envs_;
+  std::vector<env::Observation> obs_;
+  std::vector<double> episode_reward_;
+  std::unique_ptr<num::Adam> opt_;
+  long episodes_done_ = 0;
+};
+
+}  // namespace afp::rl

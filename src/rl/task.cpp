@@ -1,0 +1,22 @@
+#include "rl/task.hpp"
+
+namespace afp::rl {
+
+TaskContext make_task(const rgcn::RewardModel& encoder,
+                      graphir::CircuitGraph graph, double hpwl_ref,
+                      std::optional<double> target_aspect) {
+  TaskContext task;
+  task.instance = floorplan::make_instance(graph);
+  if (hpwl_ref > 0.0) task.instance.hpwl_ref = hpwl_ref;
+  task.instance.target_aspect = target_aspect;
+  {
+    num::NoGradGuard ng;
+    const auto enc = encoder.encode(graph);
+    task.node_emb = enc.node_embeddings.values();
+    task.graph_emb = enc.graph_embedding.values();
+  }
+  task.graph = std::move(graph);
+  return task;
+}
+
+}  // namespace afp::rl

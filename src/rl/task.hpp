@@ -1,0 +1,32 @@
+// A training/evaluation task: one circuit (graph + instance) together with
+// its frozen R-GCN encodings.  The encoder runs once per task; the RL agent
+// consumes the cached embeddings as constant inputs (Section IV-D: the
+// pre-trained encoder is reused without its FC head).
+#pragma once
+
+#include <optional>
+
+#include "floorplan/instance.hpp"
+#include "rgcn/reward_model.hpp"
+
+namespace afp::rl {
+
+struct TaskContext {
+  graphir::CircuitGraph graph;
+  floorplan::Instance instance;
+  std::vector<float> node_emb;   ///< N x 32, row-major
+  std::vector<float> graph_emb;  ///< 32
+
+  /// Node embedding row of block `b` (32 floats).
+  const float* node_row(int b) const {
+    return node_emb.data() + static_cast<std::size_t>(b) * rgcn::kEmbeddingDim;
+  }
+};
+
+/// Builds a task: derives the instance from the graph, optionally
+/// overrides hpwl_ref (> 0), and caches the frozen encoder outputs.
+TaskContext make_task(const rgcn::RewardModel& encoder,
+                      graphir::CircuitGraph graph, double hpwl_ref = 0.0,
+                      std::optional<double> target_aspect = std::nullopt);
+
+}  // namespace afp::rl

@@ -1,0 +1,305 @@
+#include "structrec/structrec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace afp::structrec {
+
+using netlist::Device;
+using netlist::DeviceType;
+using netlist::Netlist;
+
+namespace {
+
+bool is_supply(const std::string& net) {
+  netlist::Net n{net, {}};
+  return n.is_supply();
+}
+
+bool same_size(const Device& a, const Device& b) {
+  return std::abs(a.width_um - b.width_um) < 1e-9 &&
+         std::abs(a.length_um - b.length_um) < 1e-9;
+}
+
+/// Does any *other* MOS device expose its drain on `net`?
+bool net_hosts_other_drain(const Netlist& nl, const std::string& net,
+                           int self_a, int self_b) {
+  for (int di = 0; di < nl.num_devices(); ++di) {
+    if (di == self_a || di == self_b) continue;
+    const Device& d = nl.device(di);
+    if (d.is_mos() && d.drain() == net) return true;
+  }
+  return false;
+}
+
+int distinct_nonsupply_nets(const Netlist& nl, const std::vector<int>& devs) {
+  std::set<std::string> nets;
+  for (int di : devs) {
+    for (const auto& t : nl.device(di).terminals) {
+      if (!is_supply(t)) nets.insert(t);
+    }
+  }
+  return static_cast<int>(nets.size());
+}
+
+/// Preferred pin side: mirrors referenced to VSS route up (0 = N), to VDD
+/// route down (2 = S); passives route sideways.
+int routing_direction(const Netlist& nl, const Structure& s) {
+  const Device& d0 = nl.device(s.devices.front());
+  if (!d0.is_mos()) return 1;  // E
+  return d0.type == DeviceType::kNmos ? 0 : 2;
+}
+
+Structure finalize(const Netlist& nl, std::string name, StructureType type,
+                   std::vector<int> devs) {
+  Structure s;
+  s.name = std::move(name);
+  s.type = type;
+  s.devices = std::move(devs);
+  for (int di : s.devices) s.area_um2 += nl.device(di).area_um2();
+  const Device& d0 = nl.device(s.devices.front());
+  if (d0.is_mos()) {
+    s.stripe_width_um = d0.width_um / std::max(1, d0.fingers);
+  } else if (d0.type == DeviceType::kResistor) {
+    s.stripe_width_um = 0.5;
+  } else {
+    s.stripe_width_um = std::sqrt(d0.area_um2());
+  }
+  s.pin_count = distinct_nonsupply_nets(nl, s.devices);
+  s.routing_direction = routing_direction(nl, s);
+  return s;
+}
+
+std::string join_names(const Netlist& nl, const std::vector<int>& devs) {
+  std::string out;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    if (i) out += '+';
+    out += nl.device(devs[i]).name;
+  }
+  return out;
+}
+
+bool diode_connected(const Device& d) {
+  return d.is_mos() && d.drain() == d.gate();
+}
+
+}  // namespace
+
+std::string to_string(StructureType t) {
+  switch (t) {
+    case StructureType::kDiffPairN: return "diff_pair_n";
+    case StructureType::kDiffPairP: return "diff_pair_p";
+    case StructureType::kCurrentMirrorN: return "current_mirror_n";
+    case StructureType::kCurrentMirrorP: return "current_mirror_p";
+    case StructureType::kCascodePairN: return "cascode_pair_n";
+    case StructureType::kCascodePairP: return "cascode_pair_p";
+    case StructureType::kCrossCoupledN: return "cross_coupled_n";
+    case StructureType::kCrossCoupledP: return "cross_coupled_p";
+    case StructureType::kLevelShifterCore: return "level_shifter_core";
+    case StructureType::kInverter: return "inverter";
+    case StructureType::kTransmissionGate: return "transmission_gate";
+    case StructureType::kResistorString: return "resistor_string";
+    case StructureType::kResistorSingle: return "resistor";
+    case StructureType::kCapSingle: return "capacitor";
+    case StructureType::kCapArray: return "cap_array";
+    case StructureType::kSingleNmos: return "nmos";
+    case StructureType::kSinglePmos: return "pmos";
+    case StructureType::kDiodeNmos: return "diode_nmos";
+    case StructureType::kDiodePmos: return "diode_pmos";
+    case StructureType::kTailSource: return "tail_source";
+    case StructureType::kOutputStage: return "output_stage";
+    case StructureType::kStartupDevice: return "startup";
+    case StructureType::kPowerDevice: return "power_device";
+    case StructureType::kSenseResistor: return "sense_resistor";
+    case StructureType::kDecapCapacitor: return "decap";
+    case StructureType::kBiasDiode: return "bias_diode";
+    case StructureType::kSwitch: return "switch";
+    case StructureType::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+bool is_matched_pair(StructureType t) {
+  switch (t) {
+    case StructureType::kDiffPairN:
+    case StructureType::kDiffPairP:
+    case StructureType::kCascodePairN:
+    case StructureType::kCascodePairP:
+    case StructureType::kCrossCoupledN:
+    case StructureType::kCrossCoupledP:
+    case StructureType::kLevelShifterCore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Recognition recognize(const Netlist& nl) {
+  const int n = nl.num_devices();
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  std::vector<Structure> structures;
+
+  auto claim = [&](StructureType type, std::vector<int> devs) {
+    for (int di : devs) used[static_cast<std::size_t>(di)] = true;
+    // Build the name before handing the index list over (argument
+    // evaluation order must not matter).
+    std::string name = join_names(nl, devs);
+    structures.push_back(finalize(nl, std::move(name), type, std::move(devs)));
+  };
+
+  // ---- rule 1: cross-coupled pairs ---------------------------------------
+  for (int a = 0; a < n; ++a) {
+    if (used[static_cast<std::size_t>(a)] || !nl.device(a).is_mos()) continue;
+    for (int b = a + 1; b < n; ++b) {
+      if (used[static_cast<std::size_t>(b)] || used[static_cast<std::size_t>(a)]) continue;
+      const Device& da = nl.device(a);
+      const Device& db = nl.device(b);
+      if (!db.is_mos() || da.type != db.type) continue;
+      if (da.gate() == db.drain() && db.gate() == da.drain() &&
+          da.gate() != da.drain()) {
+        claim(da.type == DeviceType::kNmos ? StructureType::kCrossCoupledN
+                                           : StructureType::kCrossCoupledP,
+              {a, b});
+      }
+    }
+  }
+
+  // ---- rule 2: differential pairs -----------------------------------------
+  for (int a = 0; a < n; ++a) {
+    if (used[static_cast<std::size_t>(a)] || !nl.device(a).is_mos()) continue;
+    for (int b = a + 1; b < n; ++b) {
+      if (used[static_cast<std::size_t>(b)] || used[static_cast<std::size_t>(a)]) continue;
+      const Device& da = nl.device(a);
+      const Device& db = nl.device(b);
+      if (!db.is_mos() || da.type != db.type) continue;
+      if (da.source() == db.source() && !is_supply(da.source()) &&
+          da.gate() != db.gate() && same_size(da, db) &&
+          !diode_connected(da) && !diode_connected(db)) {
+        claim(da.type == DeviceType::kNmos ? StructureType::kDiffPairN
+                                           : StructureType::kDiffPairP,
+              {a, b});
+      }
+    }
+  }
+
+  // ---- rule 3: cascode pairs ------------------------------------------------
+  for (int a = 0; a < n; ++a) {
+    if (used[static_cast<std::size_t>(a)] || !nl.device(a).is_mos()) continue;
+    for (int b = a + 1; b < n; ++b) {
+      if (used[static_cast<std::size_t>(b)] || used[static_cast<std::size_t>(a)]) continue;
+      const Device& da = nl.device(a);
+      const Device& db = nl.device(b);
+      if (!db.is_mos() || da.type != db.type) continue;
+      if (da.gate() == db.gate() && da.source() != db.source() &&
+          !is_supply(da.source()) && !is_supply(db.source()) &&
+          same_size(da, db) && !diode_connected(da) && !diode_connected(db) &&
+          net_hosts_other_drain(nl, da.source(), a, b) &&
+          net_hosts_other_drain(nl, db.source(), a, b)) {
+        claim(da.type == DeviceType::kNmos ? StructureType::kCascodePairN
+                                           : StructureType::kCascodePairP,
+              {a, b});
+      }
+    }
+  }
+
+  // ---- rule 4: current mirrors -----------------------------------------------
+  // Group unused MOS devices by (type, gate net, source net); a group of
+  // two or more containing a diode-connected member is a mirror.
+  {
+    std::map<std::tuple<int, std::string, std::string>, std::vector<int>> groups;
+    for (int a = 0; a < n; ++a) {
+      if (used[static_cast<std::size_t>(a)] || !nl.device(a).is_mos()) continue;
+      const Device& d = nl.device(a);
+      groups[{static_cast<int>(d.type), d.gate(), d.source()}].push_back(a);
+    }
+    for (auto& [key, devs] : groups) {
+      if (devs.size() < 2) continue;
+      const bool has_diode = std::any_of(devs.begin(), devs.end(), [&](int di) {
+        return diode_connected(nl.device(di));
+      });
+      if (!has_diode) continue;
+      const auto type = static_cast<DeviceType>(std::get<0>(key));
+      claim(type == DeviceType::kNmos ? StructureType::kCurrentMirrorN
+                                      : StructureType::kCurrentMirrorP,
+            devs);
+    }
+  }
+
+  // ---- rule 5: resistor strings ------------------------------------------------
+  // Two or more resistors chained through nets private to the chain.
+  for (int a = 0; a < n; ++a) {
+    if (used[static_cast<std::size_t>(a)]) continue;
+    if (nl.device(a).type != DeviceType::kResistor) continue;
+    std::vector<int> chain = {a};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (int b = 0; b < n; ++b) {
+        if (used[static_cast<std::size_t>(b)] ||
+            nl.device(b).type != DeviceType::kResistor)
+          continue;
+        if (std::find(chain.begin(), chain.end(), b) != chain.end()) continue;
+        // b joins when it shares a non-supply net used by exactly the two
+        // of them.
+        for (int c : chain) {
+          for (const auto& net : nl.device(c).terminals) {
+            if (is_supply(net)) continue;
+            const auto on_net = nl.devices_on_net(net);
+            if (on_net.size() == 2 &&
+                ((on_net[0] == c && on_net[1] == b) ||
+                 (on_net[0] == b && on_net[1] == c))) {
+              chain.push_back(b);
+              grew = true;
+              break;
+            }
+          }
+          if (grew) break;
+        }
+        if (grew) break;
+      }
+    }
+    if (chain.size() >= 2) {
+      std::sort(chain.begin(), chain.end());
+      claim(StructureType::kResistorString, chain);
+    }
+  }
+
+  // ---- rule 6: singletons ----------------------------------------------------------
+  for (int a = 0; a < n; ++a) {
+    if (used[static_cast<std::size_t>(a)]) continue;
+    const Device& d = nl.device(a);
+    StructureType t = StructureType::kUnknown;
+    switch (d.type) {
+      case DeviceType::kNmos:
+        if (d.width_um >= 100.0) t = StructureType::kPowerDevice;
+        else if (diode_connected(d)) t = StructureType::kDiodeNmos;
+        else t = StructureType::kSingleNmos;
+        break;
+      case DeviceType::kPmos:
+        if (diode_connected(d)) t = StructureType::kDiodePmos;
+        else t = StructureType::kSinglePmos;
+        break;
+      case DeviceType::kResistor:
+        t = StructureType::kResistorSingle;
+        break;
+      case DeviceType::kCapacitor:
+        t = StructureType::kCapSingle;
+        break;
+    }
+    claim(t, {a});
+  }
+
+  Recognition out;
+  out.structures = std::move(structures);
+  out.device_to_structure.assign(static_cast<std::size_t>(n), -1);
+  for (int si = 0; si < static_cast<int>(out.structures.size()); ++si) {
+    for (int di : out.structures[static_cast<std::size_t>(si)].devices) {
+      out.device_to_structure[static_cast<std::size_t>(di)] = si;
+    }
+  }
+  return out;
+}
+
+}  // namespace afp::structrec

@@ -1,0 +1,99 @@
+// Structure recognition: partitions a transistor-level netlist into the
+// functional blocks the floorplanner places.
+//
+// The paper uses Infineon's proprietary GCN-based recognizer [21]; this
+// module substitutes a deterministic rule-based matcher over the same
+// motif vocabulary (differential pairs, current mirrors, cascode pairs,
+// cross-coupled pairs, resistor strings, singletons).  The downstream
+// interface — a partition of devices into typed blocks with geometry
+// parameters — is identical.
+//
+// Rules are applied in priority order; every device belongs to exactly one
+// structure:
+//   1. cross-coupled pair   (gate_a == drain_b and gate_b == drain_a)
+//   2. differential pair    (shared non-supply source, distinct gates,
+//                            matched W/L, same type)
+//   3. cascode pair         (shared gate, distinct non-supply sources, each
+//                            source carrying another device's drain)
+//   4. current mirror       (maximal same-type group sharing gate and
+//                            source nets with a diode-connected member)
+//   5. resistor string      (series resistors through exclusive nets)
+//   6. singletons           (typed by device kind / diode connection /
+//                            power-device width)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace afp::structrec {
+
+/// Functional-structure vocabulary.  Exactly 28 entries: the paper encodes
+/// the block's functional structure as a 28-dimensional one-hot vector.
+enum class StructureType : int {
+  kDiffPairN = 0,
+  kDiffPairP,
+  kCurrentMirrorN,
+  kCurrentMirrorP,
+  kCascodePairN,
+  kCascodePairP,
+  kCrossCoupledN,
+  kCrossCoupledP,
+  kLevelShifterCore,
+  kInverter,
+  kTransmissionGate,
+  kResistorString,
+  kResistorSingle,
+  kCapSingle,
+  kCapArray,
+  kSingleNmos,
+  kSinglePmos,
+  kDiodeNmos,
+  kDiodePmos,
+  kTailSource,
+  kOutputStage,
+  kStartupDevice,
+  kPowerDevice,
+  kSenseResistor,
+  kDecapCapacitor,
+  kBiasDiode,
+  kSwitch,
+  kUnknown,
+};
+
+constexpr int kNumStructureTypes = 28;
+
+/// Printable structure-type name.
+std::string to_string(StructureType t);
+
+/// True for the pair-structures whose internal layout is symmetric and
+/// which therefore anchor symmetry constraints (diff / cross-coupled /
+/// cascode pairs).
+bool is_matched_pair(StructureType t);
+
+/// A recognized functional block.
+struct Structure {
+  std::string name;            ///< derived from member device names
+  StructureType type = StructureType::kUnknown;
+  std::vector<int> devices;    ///< indices into the source netlist
+
+  // Geometry / feature parameters consumed by graph construction.
+  double area_um2 = 0.0;       ///< sum of member device areas
+  double stripe_width_um = 0.0;///< transistor stripe (finger) width, or
+                               ///< resistor stripe width
+  int pin_count = 0;           ///< distinct non-supply nets touched
+  int routing_direction = 0;   ///< 0=N,1=E,2=S,3=W preferred pin side
+};
+
+/// Result of recognizing a netlist.
+struct Recognition {
+  std::vector<Structure> structures;
+  /// structure index per device (same length as netlist devices).
+  std::vector<int> device_to_structure;
+};
+
+/// Runs the rule engine.  Deterministic: equal inputs yield equal outputs.
+Recognition recognize(const netlist::Netlist& nl);
+
+}  // namespace afp::structrec

@@ -1,0 +1,144 @@
+// Tests for the congestion-mask extension (paper Section VI future work):
+// the RUDY estimate, the 7-channel observation, and end-to-end PPO
+// training with the extended observation.
+#include <gtest/gtest.h>
+
+#include "netlist/library.hpp"
+#include "rl/agent.hpp"
+
+namespace afp {
+namespace {
+
+floorplan::Instance instance_of(const std::string& name) {
+  netlist::Netlist nl;
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == name) nl = e.make();
+  }
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  return floorplan::make_instance(g);
+}
+
+TEST(CongestionMask, EmptyGridHasNoDemand) {
+  const auto inst = instance_of("ota2");
+  floorplan::GridFloorplan fp(inst, 32);
+  for (float v : fp.congestion_mask()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(CongestionMask, DemandAppearsBetweenConnectedBlocks) {
+  const auto inst = instance_of("ota_small");
+  floorplan::GridFloorplan fp(inst, 32);
+  const auto order = inst.placement_order();
+  // Place two connected blocks at opposite corners.
+  fp.place(order[0], 1, 0, 0);
+  const auto [wg, hg] = fp.footprint(order[1], 1);
+  fp.place(order[1], 1, 32 - wg, 32 - hg);
+  const auto m = fp.congestion_mask();
+  float mx = 0.0f, total = 0.0f;
+  for (float v : m) {
+    mx = std::max(mx, v);
+    total += v;
+  }
+  EXPECT_FLOAT_EQ(mx, 1.0f);  // normalized
+  EXPECT_GT(total, 1.0f);     // demand spread over the bbox
+  // A net bbox spanning the whole canvas touches the middle of the grid.
+  EXPECT_GT(m[16 * 32 + 16], 0.0f);
+}
+
+TEST(CongestionMask, ValuesInUnitInterval) {
+  const auto inst = instance_of("driver");
+  floorplan::GridFloorplan fp(inst, 32);
+  for (int b : inst.placement_order()) {
+    const auto mask = fp.position_mask(b, 1);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i] > 0.5f) {
+        fp.place(b, 1, static_cast<int>(i) % 32, static_cast<int>(i) / 32);
+        break;
+      }
+    }
+    for (float v : fp.congestion_mask()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(CongestionEnv, SeventhChannelAppended) {
+  env::EnvConfig cfg;
+  cfg.use_congestion_mask = true;
+  env::FloorplanEnv environment(instance_of("ota_small"), cfg);
+  EXPECT_EQ(environment.mask_channels(), 7);
+  auto obs = environment.reset();
+  EXPECT_EQ(obs.masks.size(), static_cast<std::size_t>(7 * 32 * 32));
+  // Base channels unchanged; channel 6 initially zero (nothing placed).
+  for (int i = 6 * 32 * 32; i < 7 * 32 * 32; ++i) {
+    EXPECT_FLOAT_EQ(obs.masks[static_cast<std::size_t>(i)], 0.0f);
+  }
+  // After two placements the congestion channel lights up.
+  for (int step = 0; step < 2; ++step) {
+    int a = -1;
+    for (std::size_t i = 0; i < obs.action_mask.size(); ++i) {
+      if (obs.action_mask[i] > 0.5f) {
+        a = static_cast<int>(i);
+        break;
+      }
+    }
+    obs = environment.step(a).obs;
+  }
+  float total = 0.0f;
+  for (int i = 6 * 32 * 32; i < 7 * 32 * 32; ++i) {
+    total += obs.masks[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(CongestionEnv, DefaultConfigKeepsSixChannels) {
+  env::FloorplanEnv environment(instance_of("ota_small"));
+  EXPECT_EQ(environment.mask_channels(), 6);
+  EXPECT_EQ(environment.reset().masks.size(),
+            static_cast<std::size_t>(6 * 32 * 32));
+}
+
+TEST(CongestionTraining, SevenChannelPolicyTrains) {
+  std::mt19937_64 rng(1);
+  rgcn::RewardModel encoder(rng);
+  rl::PolicyConfig pc = rl::PolicyConfig::fast();
+  pc.in_channels = 7;
+  rl::ActorCritic policy(pc, rng);
+  env::EnvConfig ecfg;
+  ecfg.use_congestion_mask = true;
+
+  auto nl = netlist::make_ota_small();
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  const auto task = rl::make_task(encoder, std::move(g));
+  rl::PPOConfig cfg;
+  cfg.n_envs = 2;
+  cfg.n_steps = 8;
+  cfg.minibatch = 8;
+  cfg.epochs = 1;
+  rl::PPOTrainer trainer(policy, {task}, cfg, ecfg);
+  const auto stats = trainer.iterate(rng);
+  EXPECT_GT(stats.episodes, 0);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+
+  const auto ep = rl::run_episode(policy, task, rng, true, ecfg);
+  EXPECT_EQ(ep.rects.size(), 3u);
+}
+
+TEST(CongestionTraining, ChannelMismatchRejected) {
+  std::mt19937_64 rng(2);
+  rgcn::RewardModel encoder(rng);
+  rl::ActorCritic policy(rl::PolicyConfig::fast(), rng);  // 6 channels
+  env::EnvConfig ecfg;
+  ecfg.use_congestion_mask = true;  // 7 channels
+  auto nl = netlist::make_ota_small();
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  rl::PPOConfig cfg;
+  cfg.n_envs = 1;
+  cfg.n_steps = 4;
+  rl::PPOTrainer trainer(policy, {rl::make_task(encoder, std::move(g))}, cfg,
+                         ecfg);
+  EXPECT_THROW(trainer.iterate(rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace afp

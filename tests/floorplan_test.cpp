@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/grid.hpp"
+#include "netlist/library.hpp"
+
+namespace afp::floorplan {
+namespace {
+
+Instance instance_of(const netlist::Netlist& nl, bool constrained = false) {
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  if (constrained) {
+    graphir::apply_constraints(g, graphir::default_constraints(g));
+  }
+  return make_instance(g);
+}
+
+/// Simple handcrafted 2-block instance for precise mask assertions.
+Instance tiny_instance() {
+  Instance inst;
+  inst.name = "tiny";
+  for (int i = 0; i < 2; ++i) {
+    Block b;
+    b.name = "b" + std::to_string(i);
+    b.type = structrec::StructureType::kSingleNmos;
+    b.area_um2 = 64.0;
+    b.shapes = {Shape{8.0, 8.0}, Shape{8.0, 8.0}, Shape{8.0, 8.0}};
+    inst.blocks.push_back(b);
+  }
+  inst.nets = {{0, 1}};
+  inst.canvas_w = 32.0;
+  inst.canvas_h = 32.0;
+  inst.hpwl_ref = 8.0;
+  return inst;
+}
+
+TEST(CandidateShapes, AreaPreservedAcrossVariants) {
+  for (int t = 0; t < structrec::kNumStructureTypes; ++t) {
+    const auto shapes =
+        candidate_shapes(25.0, static_cast<structrec::StructureType>(t));
+    for (const auto& s : shapes) {
+      EXPECT_NEAR(s.area(), 25.0, 1e-9);
+      EXPECT_GT(s.w, 0.0);
+    }
+  }
+}
+
+TEST(CandidateShapes, MatchedPairsAreWide) {
+  const auto dp = candidate_shapes(16.0, structrec::StructureType::kDiffPairN);
+  for (const auto& s : dp) EXPECT_GE(s.w, s.h - 1e-9);
+}
+
+TEST(Instance, PlacementOrderDecreasingArea) {
+  const auto inst = instance_of(netlist::make_bias2());
+  const auto order = inst.placement_order();
+  ASSERT_EQ(static_cast<int>(order.size()), inst.num_blocks());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(inst.blocks[static_cast<std::size_t>(order[i - 1])].area_um2,
+              inst.blocks[static_cast<std::size_t>(order[i])].area_um2);
+  }
+}
+
+TEST(Instance, CanvasCoversRmaxFloorplans) {
+  const auto inst = instance_of(netlist::make_ota2());
+  EXPECT_NEAR(inst.canvas_w * inst.canvas_h,
+              inst.total_block_area() * 11.0, 1e-6);
+}
+
+TEST(Evaluate, PerfectPackingAtReferenceScoresZero) {
+  Instance inst = tiny_instance();
+  // Two 8x8 blocks side by side: zero dead space; centers 8 apart.
+  const std::vector<geom::Rect> rects{{0, 0, 8, 8}, {8, 0, 8, 8}};
+  inst.hpwl_ref = 8.0;
+  const auto ev = evaluate_floorplan(inst, rects);
+  EXPECT_NEAR(ev.dead_space, 0.0, 1e-9);
+  EXPECT_NEAR(ev.hpwl, 8.0, 1e-9);
+  EXPECT_NEAR(ev.reward, 0.0, 1e-9);
+  EXPECT_TRUE(ev.constraints_ok);
+}
+
+TEST(Evaluate, DeadSpaceAndWirelengthPenalized) {
+  Instance inst = tiny_instance();
+  const std::vector<geom::Rect> rects{{0, 0, 8, 8}, {16, 16, 8, 8}};
+  const auto ev = evaluate_floorplan(inst, rects);
+  EXPECT_GT(ev.dead_space, 0.5);
+  EXPECT_LT(ev.reward, -1.0);
+}
+
+TEST(Evaluate, TargetAspectTerm) {
+  // A 2:1 strip pays the gamma (R* - R)^2 penalty when R* = 1 is requested
+  // and none when the target matches or is absent.
+  Instance inst = tiny_instance();
+  const std::vector<geom::Rect> wide{{0, 0, 8, 8}, {8, 0, 8, 8}};
+  const double free_reward = evaluate_floorplan(inst, wide).reward;
+  inst.target_aspect = 2.0;
+  EXPECT_NEAR(evaluate_floorplan(inst, wide).reward, free_reward, 1e-9);
+  inst.target_aspect = 1.0;
+  EXPECT_NEAR(evaluate_floorplan(inst, wide).reward, free_reward - 5.0, 1e-9);
+}
+
+TEST(Evaluate, ViolationGetsPenalty) {
+  Instance inst = tiny_instance();
+  inst.constraints.sym_pairs.push_back({0, 1, true});
+  // Blocks at different rows: symmetric-pair row condition broken.
+  const std::vector<geom::Rect> rects{{0, 0, 8, 8}, {8, 4, 8, 8}};
+  const auto ev = evaluate_floorplan(inst, rects);
+  EXPECT_FALSE(ev.constraints_ok);
+  EXPECT_DOUBLE_EQ(ev.reward, -50.0);
+}
+
+TEST(ConstraintsSatisfied, VerticalSymPair) {
+  Instance inst = tiny_instance();
+  inst.constraints.sym_pairs.push_back({0, 1, true});
+  EXPECT_TRUE(constraints_satisfied(
+      inst, {{0, 0, 8, 8}, {8, 0, 8, 8}}));  // mirrored about x=8
+  EXPECT_FALSE(constraints_satisfied(inst, {{0, 0, 8, 8}, {8, 2, 8, 8}}));
+}
+
+TEST(ConstraintsSatisfied, SelfSymPinsAxisForPairs) {
+  Instance inst = tiny_instance();
+  inst.blocks.push_back(inst.blocks[0]);
+  inst.blocks[2].name = "dp";
+  inst.constraints.self_syms.push_back({2, true});
+  inst.constraints.sym_pairs.push_back({0, 1, true});
+  // Self-sym block centered at x=12; pair must mirror about 12.
+  EXPECT_TRUE(constraints_satisfied(
+      inst, {{0, 8, 8, 8}, {16, 8, 8, 8}, {8, 0, 8, 8}}));
+  EXPECT_FALSE(constraints_satisfied(
+      inst, {{0, 8, 8, 8}, {10, 8, 8, 8}, {8, 0, 8, 8}}));
+}
+
+TEST(ConstraintsSatisfied, AlignGroups) {
+  Instance inst = tiny_instance();
+  inst.constraints.align_groups.push_back({{0, 1}, true});
+  EXPECT_TRUE(constraints_satisfied(inst, {{0, 3, 8, 8}, {10, 3, 8, 8}}));
+  EXPECT_FALSE(constraints_satisfied(inst, {{0, 3, 8, 8}, {10, 4, 8, 8}}));
+}
+
+// ---------------------------------------------------------------- grid ---
+
+TEST(Grid, FootprintCeilQuantization) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  // 8 um on a 32 um canvas with 32 cells -> exactly 8 cells.
+  EXPECT_EQ(fp.footprint(0, 0), (std::pair<int, int>{8, 8}));
+}
+
+TEST(Grid, PlaceAndOccupancy) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  EXPECT_TRUE(fp.fits(0, 0, 0, 0));
+  fp.place(0, 0, 0, 0);
+  EXPECT_TRUE(fp.placed(0));
+  EXPECT_EQ(fp.num_placed(), 1);
+  // Overlap rejected; abutment allowed.
+  EXPECT_FALSE(fp.fits(1, 0, 7, 7));
+  EXPECT_TRUE(fp.fits(1, 0, 8, 0));
+  const auto fg = fp.occupancy_mask();
+  EXPECT_FLOAT_EQ(fg[0], 1.0f);
+  EXPECT_FLOAT_EQ(fg[7 * 32 + 7], 1.0f);
+  EXPECT_FLOAT_EQ(fg[8 * 32 + 8], 0.0f);
+}
+
+TEST(Grid, OutOfBoundsRejected) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  EXPECT_FALSE(fp.fits(0, 0, 25, 0));  // 25 + 8 > 32
+  EXPECT_FALSE(fp.fits(0, 0, -1, 0));
+  EXPECT_FALSE(fp.fits(0, 0, 0, 30));
+}
+
+TEST(Grid, PlaceInvalidThrows) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 0, 0);
+  EXPECT_THROW(fp.place(1, 0, 0, 0), std::logic_error);
+}
+
+TEST(Grid, RectOfMatchesPlacement) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 4, 8);
+  const auto r = fp.rect_of(0);
+  EXPECT_DOUBLE_EQ(r.x, 4.0);
+  EXPECT_DOUBLE_EQ(r.y, 8.0);
+  EXPECT_DOUBLE_EQ(r.w, 8.0);
+}
+
+TEST(Grid, PartialMetrics) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  EXPECT_DOUBLE_EQ(fp.partial_dead_space(), 0.0);
+  fp.place(0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(fp.partial_dead_space(), 0.0);  // single block
+  EXPECT_DOUBLE_EQ(fp.partial_hpwl(), 0.0);
+  fp.place(1, 0, 16, 0);
+  EXPECT_NEAR(fp.partial_dead_space(), 1.0 - 128.0 / (24 * 8), 1e-9);
+  EXPECT_NEAR(fp.partial_hpwl(), 16.0, 1e-9);
+  EXPECT_TRUE(fp.complete());
+  EXPECT_EQ(fp.rects().size(), 2u);
+}
+
+TEST(Grid, PositionMaskExcludesOverlapsAndBounds) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 0, 0);
+  const auto mask = fp.position_mask(1, 0);
+  EXPECT_FLOAT_EQ(mask[0], 0.0f);            // overlap
+  EXPECT_FLOAT_EQ(mask[8], 1.0f);            // abutting right
+  EXPECT_FLOAT_EQ(mask[25], 0.0f);           // would exceed right edge
+  EXPECT_FLOAT_EQ(mask[24], 1.0f);           // exactly at the edge
+}
+
+TEST(Grid, WireMaskPrefersProximity) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 0, 0);
+  const auto fw = fp.wire_mask(1, 0);
+  // Placing right next to block 0 must increase HPWL less than placing at
+  // the far corner.
+  EXPECT_LT(fw[8], fw[24 * 32 + 24]);
+  // Occupied cells carry the maximum value 1.
+  EXPECT_FLOAT_EQ(fw[0], 1.0f);
+}
+
+TEST(Grid, DeadSpaceMaskPrefersCompaction) {
+  Instance inst = tiny_instance();
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 0, 0);
+  const auto fds = fp.dead_space_mask(1, 0);
+  EXPECT_LT(fds[8], fds[24 * 32 + 0]);  // abutting beats a gap
+  EXPECT_FLOAT_EQ(fds[3], 1.0f);        // overlapping region invalid
+}
+
+TEST(Grid, SymPairMasksEnforceMirrorAfterAxisKnown) {
+  Instance inst = tiny_instance();
+  inst.blocks.push_back(inst.blocks[0]);  // block 2: the self-sym anchor
+  inst.constraints.self_syms.push_back({2, true});
+  inst.constraints.sym_pairs.push_back({0, 1, true});
+  GridFloorplan fp(inst, 32);
+  // Anchor at col 12 row 0 -> axis at center 2*12+8 = 32 half-cells (x=16).
+  fp.place(2, 0, 12, 0);
+  ASSERT_TRUE(fp.vertical_axis2().has_value());
+  EXPECT_EQ(*fp.vertical_axis2(), 32);
+  // Place pair member 0 at col 2, row 8: center2 = 12.
+  ASSERT_TRUE(fp.valid(0, 0, 2, 8));
+  fp.place(0, 0, 2, 8);
+  // Partner must mirror: center2 = 2*32 - 12 = 52 -> col = (52-8)/2 = 22,
+  // same row, same shape.
+  EXPECT_TRUE(fp.valid(1, 0, 22, 8));
+  EXPECT_FALSE(fp.valid(1, 0, 21, 8));
+  EXPECT_FALSE(fp.valid(1, 0, 22, 9));
+  const auto mask = fp.position_mask(1, 0);
+  int valid_count = 0;
+  for (float v : mask) valid_count += v > 0.5f;
+  EXPECT_EQ(valid_count, 1);
+}
+
+TEST(Grid, SelfSymMustCenterOnAxis) {
+  Instance inst = tiny_instance();
+  inst.blocks.push_back(inst.blocks[0]);
+  inst.constraints.self_syms.push_back({0, true});
+  inst.constraints.self_syms.push_back({1, true});
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 4, 0);  // axis = 2*4+8 = 16 half-cells (x=8)
+  // Block 1 must center on the same axis: col = (16-8)/2 = 4.
+  EXPECT_TRUE(fp.valid(1, 0, 4, 8));
+  EXPECT_FALSE(fp.valid(1, 0, 5, 8));
+}
+
+TEST(Grid, PairBeforeAxisRequiresSameRowAndParity) {
+  Instance inst = tiny_instance();
+  inst.constraints.sym_pairs.push_back({0, 1, true});
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 0, 0);  // center2 = 8, axis still open
+  EXPECT_FALSE(fp.vertical_axis2().has_value());
+  // Same row, even combined center parity.
+  EXPECT_TRUE(fp.valid(1, 0, 10, 0));   // center2 = 28; 8+28 even
+  EXPECT_FALSE(fp.valid(1, 0, 10, 3)); // row mismatch
+  fp.place(1, 0, 10, 0);
+  ASSERT_TRUE(fp.vertical_axis2().has_value());
+  EXPECT_EQ(*fp.vertical_axis2(), (8 + 28) / 2);
+}
+
+TEST(Grid, HorizontalSymmetryMirrorsRows) {
+  Instance inst = tiny_instance();
+  inst.blocks.push_back(inst.blocks[0]);
+  inst.constraints.self_syms.push_back({2, false});
+  inst.constraints.sym_pairs.push_back({0, 1, false});
+  GridFloorplan fp(inst, 32);
+  fp.place(2, 0, 0, 12);  // horizontal axis at center2 y = 32
+  ASSERT_TRUE(fp.horizontal_axis2().has_value());
+  fp.place(0, 0, 10, 2);  // cy2 = 12
+  // Partner: cy2 = 52 -> row 22, same col.
+  EXPECT_TRUE(fp.valid(1, 0, 10, 22));
+  EXPECT_FALSE(fp.valid(1, 0, 11, 22));
+}
+
+TEST(Grid, AlignGroupPinsRow) {
+  Instance inst = tiny_instance();
+  inst.constraints.align_groups.push_back({{0, 1}, true});
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 0, 5);
+  EXPECT_TRUE(fp.valid(1, 0, 10, 5));
+  EXPECT_FALSE(fp.valid(1, 0, 10, 6));
+}
+
+TEST(Grid, AnyValidActionDetectsDeadEnd) {
+  Instance inst = tiny_instance();
+  // Shrink the canvas so the second block cannot fit anywhere after the
+  // first occupies the whole grid.
+  inst.blocks[0].shapes = {Shape{32, 32}, Shape{32, 32}, Shape{32, 32}};
+  inst.blocks[0].area_um2 = 32 * 32;
+  GridFloorplan fp(inst, 32);
+  EXPECT_TRUE(fp.any_valid_action(0));
+  fp.place(0, 0, 0, 0);
+  EXPECT_FALSE(fp.any_valid_action(1));
+}
+
+TEST(Grid, ResetClearsState) {
+  Instance inst = tiny_instance();
+  inst.constraints.self_syms.push_back({0, true});
+  GridFloorplan fp(inst, 32);
+  fp.place(0, 0, 4, 0);
+  EXPECT_TRUE(fp.vertical_axis2().has_value());
+  fp.reset();
+  EXPECT_EQ(fp.num_placed(), 0);
+  EXPECT_FALSE(fp.vertical_axis2().has_value());
+  EXPECT_FALSE(fp.placed(0));
+}
+
+TEST(Grid, RealCircuitEpisodeByGreedyMaskFollowing) {
+  // Property: following the position mask greedily always completes an
+  // unconstrained episode without overlaps.
+  for (const auto& name : {"ota2", "driver", "bias2"}) {
+    netlist::Netlist nl;
+    for (const auto& e : netlist::circuit_registry()) {
+      if (e.name == name) nl = e.make();
+    }
+    const Instance inst = instance_of(nl);
+    GridFloorplan fp(inst, 32);
+    for (int b : inst.placement_order()) {
+      const auto mask = fp.position_mask(b, 1);
+      int cell = -1;
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] > 0.5f) {
+          cell = static_cast<int>(i);
+          break;
+        }
+      }
+      ASSERT_GE(cell, 0) << name << " block " << b;
+      fp.place(b, 1, cell % 32, cell / 32);
+    }
+    EXPECT_TRUE(fp.complete()) << name;
+    const auto rects = fp.rects();
+    EXPECT_DOUBLE_EQ(geom::total_pairwise_overlap(rects), 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace afp::floorplan

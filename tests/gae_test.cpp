@@ -1,0 +1,82 @@
+// Unit tests for Generalized Advantage Estimation, checked against
+// hand-computed values on tiny sequences.
+#include <gtest/gtest.h>
+
+#include "rl/ppo.hpp"
+
+namespace afp::rl {
+namespace {
+
+TEST(Gae, SingleTerminalStep) {
+  // One step ending the episode: advantage = r - V(s).
+  const auto g = compute_gae({2.0f}, {0.5f}, {true}, /*last_value=*/9.0f,
+                             0.99f, 0.95f);
+  ASSERT_EQ(g.advantages.size(), 1u);
+  EXPECT_FLOAT_EQ(g.advantages[0], 1.5f);
+  EXPECT_FLOAT_EQ(g.returns[0], 2.0f);  // adv + value
+}
+
+TEST(Gae, BootstrapsLastValueWhenNotDone) {
+  // One non-terminal step: delta = r + gamma * last_value - V.
+  const float gamma = 0.9f;
+  const auto g = compute_gae({1.0f}, {0.5f}, {false}, 2.0f, gamma, 0.95f);
+  EXPECT_FLOAT_EQ(g.advantages[0], 1.0f + gamma * 2.0f - 0.5f);
+}
+
+TEST(Gae, TwoStepHandComputed) {
+  // gamma = 0.5, lambda = 0.5 for easy arithmetic; episode ends at t=1.
+  // delta1 = r1 - v1 = 4 - 1 = 3           (terminal)
+  // delta0 = r0 + 0.5 * v1 - v0 = 1 + 1 - 2 = 0
+  // A1 = 3 ; A0 = delta0 + 0.25 * A1 = 0.75
+  const auto g = compute_gae({1.0f, 4.0f}, {2.0f, 2.0f}, {false, true},
+                             /*last_value=*/99.0f, 0.5f, 0.5f);
+  EXPECT_FLOAT_EQ(g.advantages[1], 2.0f);  // 4 - 2
+  EXPECT_FLOAT_EQ(g.advantages[0], 1.0f + 0.5f * 2.0f - 2.0f +
+                                       0.25f * 2.0f);
+}
+
+TEST(Gae, ResetAcrossEpisodeBoundary) {
+  // Two one-step episodes in the same stream: the second episode's
+  // advantage must not leak into the first... and vice versa.
+  const auto g = compute_gae({1.0f, 5.0f}, {0.0f, 0.0f}, {true, true}, 0.0f,
+                             0.99f, 0.95f);
+  EXPECT_FLOAT_EQ(g.advantages[0], 1.0f);
+  EXPECT_FLOAT_EQ(g.advantages[1], 5.0f);
+}
+
+TEST(Gae, LambdaOneEqualsMonteCarlo) {
+  // With lambda = 1 and a terminal tail, advantage = discounted return - V.
+  const float gamma = 0.9f;
+  const std::vector<float> r{1.0f, 1.0f, 1.0f};
+  const std::vector<float> v{0.2f, 0.4f, 0.6f};
+  const auto g = compute_gae(r, v, {false, false, true}, 0.0f, gamma, 1.0f);
+  const float g2 = 1.0f;
+  const float g1 = 1.0f + gamma * g2;
+  const float g0 = 1.0f + gamma * g1;
+  EXPECT_NEAR(g.advantages[0], g0 - 0.2f, 1e-5f);
+  EXPECT_NEAR(g.advantages[1], g1 - 0.4f, 1e-5f);
+  EXPECT_NEAR(g.advantages[2], g2 - 0.6f, 1e-5f);
+}
+
+TEST(Gae, LambdaZeroIsOneStepTd) {
+  const float gamma = 0.9f;
+  const std::vector<float> r{1.0f, 2.0f};
+  const std::vector<float> v{0.5f, 0.7f};
+  const auto g = compute_gae(r, v, {false, false}, 3.0f, gamma, 0.0f);
+  EXPECT_NEAR(g.advantages[0], 1.0f + gamma * 0.7f - 0.5f, 1e-5f);
+  EXPECT_NEAR(g.advantages[1], 2.0f + gamma * 3.0f - 0.7f, 1e-5f);
+}
+
+TEST(Gae, LengthMismatchThrows) {
+  EXPECT_THROW(compute_gae({1.0f}, {1.0f, 2.0f}, {false}, 0.0f, 0.99f, 0.95f),
+               std::invalid_argument);
+}
+
+TEST(Gae, EmptyStream) {
+  const auto g = compute_gae({}, {}, {}, 1.0f, 0.99f, 0.95f);
+  EXPECT_TRUE(g.advantages.empty());
+  EXPECT_TRUE(g.returns.empty());
+}
+
+}  // namespace
+}  // namespace afp::rl

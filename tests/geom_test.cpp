@@ -1,0 +1,140 @@
+#include "geom/geom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afp::geom {
+namespace {
+
+TEST(Point, Distances) {
+  const Point a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan(a, a), 0.0);
+}
+
+TEST(Rect, Accessors) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.right(), 4.0);
+  EXPECT_DOUBLE_EQ(r.top(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(Rect{}.empty());
+}
+
+TEST(Rect, ContainsPointHalfOpen) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_TRUE(r.contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(r.contains(Point{1.99, 1.99}));
+  EXPECT_FALSE(r.contains(Point{2.0, 1.0}));
+  EXPECT_FALSE(r.contains(Point{1.0, 2.0}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(outer.contains(Rect{1.0, 1.0, 2.0, 2.0}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{9.0, 9.0, 2.0, 2.0}));
+}
+
+TEST(Rect, OverlapsSharedEdgeDoesNotCount) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  EXPECT_TRUE(a.overlaps(Rect{1.0, 1.0, 2.0, 2.0}));
+  EXPECT_FALSE(a.overlaps(Rect{2.0, 0.0, 2.0, 2.0}));  // abutting
+  EXPECT_FALSE(a.overlaps(Rect{0.0, 2.0, 2.0, 2.0}));
+  EXPECT_FALSE(a.overlaps(Rect{5.0, 5.0, 1.0, 1.0}));
+}
+
+TEST(Rect, TranslateInflate) {
+  const Rect r{1.0, 1.0, 2.0, 2.0};
+  EXPECT_EQ(r.translated(1.0, -1.0), (Rect{2.0, 0.0, 2.0, 2.0}));
+  EXPECT_EQ(r.inflated(0.5), (Rect{0.5, 0.5, 3.0, 3.0}));
+  EXPECT_TRUE(r.inflated(-1.5).empty());
+}
+
+TEST(Intersection, Basics) {
+  const Rect a{0.0, 0.0, 4.0, 4.0};
+  const Rect b{2.0, 2.0, 4.0, 4.0};
+  EXPECT_EQ(intersection(a, b), (Rect{2.0, 2.0, 2.0, 2.0}));
+  EXPECT_TRUE(intersection(a, Rect{10.0, 10.0, 1.0, 1.0}).empty());
+}
+
+TEST(BoundingBox, UnionAndSpan) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{3.0, 4.0, 1.0, 1.0};
+  EXPECT_EQ(bounding_union(a, b), (Rect{0.0, 0.0, 4.0, 5.0}));
+  const std::vector<Rect> rects{a, b};
+  EXPECT_EQ(bounding_box(rects), (Rect{0.0, 0.0, 4.0, 5.0}));
+  EXPECT_TRUE(bounding_box({}).empty());
+}
+
+TEST(BoundingBox, IgnoresEmptyRects) {
+  const std::vector<Rect> rects{{0, 0, 0, 0}, {1, 1, 2, 2}};
+  EXPECT_EQ(bounding_box(rects), (Rect{1, 1, 2, 2}));
+}
+
+TEST(Overlap, TotalPairwise) {
+  const std::vector<Rect> rects{{0, 0, 2, 2}, {1, 1, 2, 2}, {10, 10, 1, 1}};
+  EXPECT_DOUBLE_EQ(total_pairwise_overlap(rects), 1.0);
+}
+
+TEST(Hpwl, SingleNet) {
+  const std::vector<Point> pins{{0, 0}, {3, 4}, {1, 1}};
+  EXPECT_DOUBLE_EQ(hpwl_net(pins), 7.0);
+  EXPECT_DOUBLE_EQ(hpwl_net(std::vector<Point>{{1, 1}}), 0.0);
+}
+
+TEST(Hpwl, Total) {
+  const std::vector<std::vector<Point>> nets{{{0, 0}, {1, 1}},
+                                             {{0, 0}, {2, 0}}};
+  EXPECT_DOUBLE_EQ(hpwl_total(nets), 4.0);
+}
+
+TEST(DeadSpace, PerfectPackingIsZero) {
+  const std::vector<Rect> rects{{0, 0, 1, 2}, {1, 0, 1, 2}};
+  EXPECT_NEAR(dead_space(rects), 0.0, 1e-12);
+}
+
+TEST(DeadSpace, HalfEmpty) {
+  const std::vector<Rect> rects{{0, 0, 1, 1}, {1, 1, 1, 1}};
+  EXPECT_NEAR(dead_space(rects), 0.5, 1e-12);
+}
+
+TEST(AspectRatio, AlwaysAtLeastOne) {
+  EXPECT_DOUBLE_EQ(aspect_ratio(Rect{0, 0, 4, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(aspect_ratio(Rect{0, 0, 2, 4}), 2.0);
+  EXPECT_TRUE(std::isinf(aspect_ratio(Rect{0, 0, 0, 4})));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(intersect({0, 5}, {3, 8}), (Interval{3, 5}));
+  EXPECT_FALSE(intersect({0, 1}, {2, 3}).valid());
+}
+
+TEST(GridMapper, CeilQuantization) {
+  // Paper Section IV-D1: wg = ceil(w * 32 / W).
+  const GridMapper m{32.0, 32.0, 32};
+  EXPECT_EQ(m.cells_w(1.0), 1);
+  EXPECT_EQ(m.cells_w(1.01), 2);
+  EXPECT_EQ(m.cells_w(0.0), 1);  // blocks never vanish
+  EXPECT_EQ(m.cells_h(32.0), 32);
+}
+
+TEST(GridMapper, WorldCoordinates) {
+  const GridMapper m{64.0, 32.0, 32};
+  EXPECT_DOUBLE_EQ(m.world_x(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.world_y(1), 1.0);
+  EXPECT_EQ(m.cell_of(3.9, 0.9), (Cell{1, 0}));
+  EXPECT_EQ(m.cell_of(1000.0, -5.0), (Cell{31, 0}));  // clamped
+}
+
+TEST(CanvasSide, FitsElongatedFloorplans) {
+  // A floorplan with aspect ratio Rmax and total area A has long side
+  // sqrt(A * Rmax); the canvas must cover it.
+  const double side = canvas_side(100.0, 11.0);
+  EXPECT_NEAR(side, std::sqrt(1100.0), 1e-12);
+  EXPECT_GE(side, std::sqrt(100.0));
+}
+
+}  // namespace
+}  // namespace afp::geom

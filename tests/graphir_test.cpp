@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "graphir/graph.hpp"
+#include "netlist/library.hpp"
+
+namespace afp::graphir {
+namespace {
+
+CircuitGraph graph_of(const netlist::Netlist& nl) {
+  return build_graph(nl, structrec::recognize(nl));
+}
+
+TEST(BuildGraph, NodeCountMatchesRecognition) {
+  for (const auto& entry : netlist::circuit_registry()) {
+    const auto nl = entry.make();
+    const auto g = graph_of(nl);
+    EXPECT_EQ(g.num_nodes(), entry.expected_blocks) << entry.name;
+    EXPECT_EQ(g.name, nl.name());
+  }
+}
+
+TEST(BuildGraph, ConnectivityEdgesFromSharedNets) {
+  const auto g = graph_of(netlist::make_ota_small());
+  const auto& conn = g.edges[static_cast<std::size_t>(Relation::kConnectivity)];
+  // Diff pair connects to both the mirror load and the tail source.
+  EXPECT_GE(conn.size(), 2u);
+  for (const auto& [u, v] : conn) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, g.num_nodes());
+    EXPECT_LT(v, g.num_nodes());
+  }
+}
+
+TEST(BuildGraph, SupplyNetsIgnored) {
+  const auto g = graph_of(netlist::make_ring_oscillator(3));
+  // Ring oscillator devices share only VDD/VSS and the stage nets; block
+  // nets never mention supplies.
+  for (const auto& net : g.nets) {
+    EXPECT_NE(net.name, "VDD");
+    EXPECT_NE(net.name, "VSS");
+    EXPECT_GE(net.blocks.size(), 2u);
+  }
+}
+
+TEST(FeatureMatrix, ShapeAndOneHots) {
+  const auto g = graph_of(netlist::make_ota2());
+  const auto f = g.feature_matrix();
+  ASSERT_EQ(f.shape(), (num::Shape{g.num_nodes(), kNodeFeatureDim}));
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const float* row = f.data() + static_cast<std::size_t>(i) * kNodeFeatureDim;
+    // Routing-direction one-hot sums to 1.
+    float dir = row[3] + row[4] + row[5] + row[6];
+    EXPECT_FLOAT_EQ(dir, 1.0f);
+    // Structure one-hot sums to 1.
+    float st = 0.0f;
+    for (int t = 0; t < structrec::kNumStructureTypes; ++t) st += row[7 + t];
+    EXPECT_FLOAT_EQ(st, 1.0f);
+    EXPECT_GT(row[0], 0.0f);  // normalized area
+    EXPECT_LE(row[0], 1.0f);
+  }
+}
+
+TEST(FeatureMatrix, AreaFractionsSumToOne) {
+  const auto g = graph_of(netlist::make_bias1());
+  const auto f = g.feature_matrix();
+  float total = 0.0f;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    total += f.at(static_cast<std::int64_t>(i) * kNodeFeatureDim);
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(Constraints, ApplyMaterializesEdges) {
+  auto g = graph_of(netlist::make_ota_small());
+  ConstraintSpec spec;
+  spec.self_syms.push_back({0, true});
+  spec.sym_pairs.push_back({1, 2, true});
+  spec.align_groups.push_back({{0, 1, 2}, true});
+  apply_constraints(g, spec);
+  EXPECT_EQ(g.edges[static_cast<std::size_t>(Relation::kVerticalSymmetry)].size(), 2u);
+  EXPECT_EQ(g.edges[static_cast<std::size_t>(Relation::kHorizontalAlign)].size(), 2u);
+  EXPECT_TRUE(g.edges[static_cast<std::size_t>(Relation::kHorizontalSymmetry)].empty());
+
+  // Re-applying empties previous constraint edges.
+  apply_constraints(g, {});
+  EXPECT_TRUE(g.edges[static_cast<std::size_t>(Relation::kVerticalSymmetry)].empty());
+  EXPECT_TRUE(g.constraints.empty());
+}
+
+TEST(Constraints, ApplyValidatesIndices) {
+  auto g = graph_of(netlist::make_ota_small());
+  ConstraintSpec bad;
+  bad.self_syms.push_back({99, true});
+  EXPECT_THROW(apply_constraints(g, bad), std::invalid_argument);
+}
+
+TEST(Constraints, DefaultsAnchorMatchedPairs) {
+  auto g = graph_of(netlist::make_ota2());
+  const auto spec = default_constraints(g);
+  // Diff pair + cascode pair are self-symmetric.
+  EXPECT_GE(spec.self_syms.size(), 2u);
+  for (const auto& ss : spec.self_syms) {
+    EXPECT_TRUE(structrec::is_matched_pair(
+        g.nodes[static_cast<std::size_t>(ss.block)].type));
+  }
+}
+
+TEST(Constraints, DefaultAlignGroupsIncludeDiffPair) {
+  auto g = graph_of(netlist::make_ota_small());
+  const auto spec = default_constraints(g);
+  ASSERT_FALSE(spec.align_groups.empty());
+  bool has_dp = false;
+  for (int b : spec.align_groups[0].blocks) {
+    const auto t = g.nodes[static_cast<std::size_t>(b)].type;
+    has_dp = has_dp || t == structrec::StructureType::kDiffPairN;
+  }
+  EXPECT_TRUE(has_dp);
+}
+
+TEST(Adjacency, MatchesRelationCount) {
+  auto g = graph_of(netlist::make_ota1());
+  apply_constraints(g, default_constraints(g));
+  const auto adj = g.adjacency();
+  ASSERT_EQ(adj.size(), static_cast<std::size_t>(kNumRelations));
+  for (const auto& a : adj) {
+    EXPECT_EQ(a.shape(), (num::Shape{g.num_nodes(), g.num_nodes()}));
+  }
+}
+
+TEST(TotalArea, SumsNodes) {
+  const auto nl = netlist::make_ota_small();
+  const auto g = graph_of(nl);
+  EXPECT_NEAR(g.total_area(), nl.total_device_area(), 1e-9);
+}
+
+}  // namespace
+}  // namespace afp::graphir

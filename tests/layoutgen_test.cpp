@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "layoutgen/layoutgen.hpp"
+#include "netlist/library.hpp"
+
+namespace afp::layoutgen {
+namespace {
+
+struct Fixture {
+  floorplan::Instance inst;
+  std::vector<geom::Rect> rects;
+  route::GlobalRoute gr;
+};
+
+Fixture fixture_of(const std::string& name, double gap = 2.0) {
+  netlist::Netlist nl;
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == name) nl = e.make();
+  }
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  Fixture f;
+  f.inst = floorplan::make_instance(g);
+  double x = 0.0;
+  for (const auto& b : f.inst.blocks) {
+    f.rects.push_back({x, 0.0, b.shapes[1].w, b.shapes[1].h});
+    x += b.shapes[1].w + gap;
+  }
+  f.gr = route::global_route(f.inst, f.rects);
+  return f;
+}
+
+TEST(GenerateLayout, StagesProduceGeometry) {
+  const auto f = fixture_of("ota_small");
+  const Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  EXPECT_EQ(layout.blocks.size(), f.rects.size());
+  EXPECT_FALSE(layout.pins.empty());
+  EXPECT_FALSE(layout.channels.empty());
+  EXPECT_FALSE(layout.wires.empty());
+  EXPECT_FALSE(layout.vias.empty());
+  EXPECT_GT(layout.area(), 0.0);
+  // Outline covers every block and wire.
+  for (const auto& b : layout.blocks) {
+    EXPECT_TRUE(layout.outline.contains(b));
+  }
+}
+
+TEST(GenerateLayout, DeadSpaceConsistentWithOutline) {
+  const auto f = fixture_of("ota1");
+  const Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  const double ds = layout.dead_space(f.inst);
+  EXPECT_GT(ds, 0.0);
+  EXPECT_LT(ds, 1.0);
+  EXPECT_NEAR(ds, 1.0 - f.inst.total_block_area() / layout.area(), 1e-9);
+}
+
+TEST(GenerateLayout, WiresFollowConduitLayers) {
+  const auto f = fixture_of("ota_small");
+  const Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  ASSERT_EQ(layout.wires.size(), f.gr.conduits.size());
+  for (std::size_t i = 0; i < layout.wires.size(); ++i) {
+    EXPECT_EQ(layout.wires[i].layer, f.gr.conduits[i].layer);
+    EXPECT_EQ(layout.wires[i].net, f.gr.conduits[i].net);
+  }
+}
+
+TEST(Drc, CleanOnWellSpacedLayout) {
+  const auto f = fixture_of("ota_small", 4.0);
+  const Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  const DrcReport report = run_drc(layout);
+  EXPECT_TRUE(report.clean())
+      << (report.violations.empty() ? "" : report.violations[0].detail);
+}
+
+TEST(Drc, DetectsBlockOverlap) {
+  auto f = fixture_of("ota_small");
+  Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  layout.blocks[1] = layout.blocks[0];  // force overlap
+  const DrcReport report = run_drc(layout);
+  EXPECT_FALSE(report.clean());
+  bool found = false;
+  for (const auto& v : report.violations) found |= v.rule == "block_overlap";
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, DetectsSpacingViolation) {
+  Layout layout;
+  layout.outline = {0, 0, 100, 100};
+  layout.wires.push_back({{10, 10, 5, 0.2}, 1, "a"});
+  layout.wires.push_back({{10, 10.25, 5, 0.2}, 1, "b"});  // too close
+  const DrcReport report = run_drc(layout);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Drc, SameNetWiresMayTouch) {
+  Layout layout;
+  layout.outline = {0, 0, 100, 100};
+  layout.wires.push_back({{10, 10, 5, 0.2}, 1, "a"});
+  layout.wires.push_back({{10, 10.1, 5, 0.2}, 1, "a"});
+  EXPECT_TRUE(run_drc(layout).clean());
+}
+
+TEST(Lvs, CleanOnGeneratedLayout) {
+  const auto f = fixture_of("ota_small", 4.0);
+  const Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  const LvsReport report = run_lvs(layout);
+  EXPECT_TRUE(report.shorted.empty());
+}
+
+TEST(Lvs, DetectsOpenNet) {
+  Layout layout;
+  layout.outline = {0, 0, 100, 100};
+  layout.wires.push_back({{0, 0, 5, 0.2}, 1, "a"});
+  layout.wires.push_back({{50, 50, 5, 0.2}, 1, "a"});  // disconnected piece
+  const LvsReport report = run_lvs(layout);
+  ASSERT_EQ(report.open_nets.size(), 1u);
+  EXPECT_EQ(report.open_nets[0], "a");
+}
+
+TEST(Lvs, DetectsShort) {
+  Layout layout;
+  layout.outline = {0, 0, 100, 100};
+  layout.wires.push_back({{0, 0, 5, 0.5}, 1, "a"});
+  layout.wires.push_back({{2, 0, 5, 0.5}, 1, "b"});  // overlapping other net
+  const LvsReport report = run_lvs(layout);
+  EXPECT_FALSE(report.shorted.empty());
+}
+
+TEST(Svg, WritesWellFormedFile) {
+  const auto f = fixture_of("ota_small");
+  const Layout layout = generate_layout(f.inst, f.rects, f.gr);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "afp_layout_test.svg").string();
+  write_svg(path, layout);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  EXPECT_GT(std::count(content.begin(), content.end(), '\n'),
+            static_cast<long>(layout.blocks.size()));
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, InvalidPathThrows) {
+  Layout layout;
+  layout.outline = {0, 0, 10, 10};
+  EXPECT_THROW(write_svg("/nonexistent_dir/x.svg", layout),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace afp::layoutgen

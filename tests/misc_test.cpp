@@ -1,0 +1,121 @@
+// Remaining small-surface contracts: curriculum HPWL caching, sampling
+// statistics of the masked categorical, empty-checkpoint round trip, and
+// assorted degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "netlist/library.hpp"
+#include "nn/distribution.hpp"
+#include "numeric/serialize.hpp"
+#include "floorplan/grid.hpp"
+#include "rl/curriculum.hpp"
+
+namespace afp {
+namespace {
+
+TEST(Curriculum, HpwlReferenceIsCachedPerCircuit) {
+  std::mt19937_64 rng(1);
+  rgcn::RewardModel encoder(rng);
+  rl::HclConfig cfg;
+  cfg.circuits = {"ota_small"};
+  cfg.episodes_per_circuit = 100;
+  rl::HclScheduler sched(cfg, encoder, rng);
+  const auto t1 = sched.build_task("ota_small", false, rng);
+  const auto t2 = sched.build_task("ota_small", false, rng);
+  // Same cached reference both times despite the advancing RNG.
+  EXPECT_DOUBLE_EQ(t1.instance.hpwl_ref, t2.instance.hpwl_ref);
+  EXPECT_GT(t1.instance.hpwl_ref, 0.0);
+}
+
+TEST(Curriculum, ConstrainedTaskHasConstraintEdges) {
+  std::mt19937_64 rng(2);
+  rgcn::RewardModel encoder(rng);
+  rl::HclConfig cfg;
+  rl::HclScheduler sched(cfg, encoder, rng);
+  const auto free_task = sched.build_task("ota2", false, rng);
+  const auto con_task = sched.build_task("ota2", true, rng);
+  EXPECT_TRUE(free_task.instance.constraints.empty());
+  EXPECT_FALSE(con_task.instance.constraints.empty());
+  // Node embeddings differ because the constraint relations feed the
+  // R-GCN message passing.
+  bool differs = false;
+  for (std::size_t i = 0; i < free_task.node_emb.size(); ++i) {
+    differs = differs ||
+              std::abs(free_task.node_emb[i] - con_task.node_emb[i]) > 1e-7f;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MaskedCategorical, SamplingMatchesProbabilities) {
+  // Logits giving p = (0.8..., 0.2...) over two valid actions: a few
+  // thousand samples should land near the analytic frequencies.
+  std::mt19937_64 rng(3);
+  const float a = std::log(0.8f);
+  const float b = std::log(0.2f);
+  num::Tensor logits = num::Tensor::from_vector({1, 3}, {a, b, 5.0f});
+  nn::MaskedCategorical dist(logits, {1, 1, 0});  // third action invalid
+  int count0 = 0;
+  const int trials = 4000;
+  for (int k = 0; k < trials; ++k) {
+    const auto s = dist.sample(rng);
+    ASSERT_NE(s[0], 2);
+    count0 += s[0] == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(count0) / trials, 0.8, 0.03);
+}
+
+TEST(Serialize, EmptyTensorMap) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "afp_empty_ckpt.bin").string();
+  num::save_tensors(path, {});
+  const auto loaded = num::load_tensors(path);
+  EXPECT_TRUE(loaded.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Netlist, EmptyNetlistDegenerates) {
+  netlist::Netlist nl("empty");
+  EXPECT_EQ(nl.num_devices(), 0);
+  EXPECT_TRUE(nl.nets().empty());
+  EXPECT_DOUBLE_EQ(nl.total_device_area(), 0.0);
+  const auto rec = structrec::recognize(nl);
+  EXPECT_TRUE(rec.structures.empty());
+  const auto g = graphir::build_graph(nl, rec);
+  EXPECT_EQ(g.num_nodes(), 0);
+}
+
+TEST(Instance, SingleBlockFloorplan) {
+  netlist::Netlist nl("one");
+  nl.add_device({"m", netlist::DeviceType::kNmos, {"d", "g", "s", "VSS"},
+                 4.0, 0.18, 1});
+  const auto rec = structrec::recognize(nl);
+  const auto g = graphir::build_graph(nl, rec);
+  const auto inst = floorplan::make_instance(g);
+  ASSERT_EQ(inst.num_blocks(), 1);
+  floorplan::GridFloorplan fp(inst, 32);
+  EXPECT_TRUE(fp.any_valid_action(0));
+  fp.place(0, 1, 0, 0);
+  EXPECT_TRUE(fp.complete());
+  const auto ev = floorplan::evaluate_floorplan(inst, fp.rects());
+  EXPECT_NEAR(ev.dead_space, 0.0, 1e-9);
+}
+
+TEST(FeatureDim, MatchesDocumentedLayout) {
+  // 3 scalars + 4 routing-direction one-hot + 28 structure one-hot.
+  EXPECT_EQ(graphir::kNodeFeatureDim, 35);
+  EXPECT_EQ(structrec::kNumStructureTypes, 28);
+}
+
+TEST(Registry, TrainingCircuitsMatchPaperSchedule) {
+  // Section IV-D5: 3 OTAs (3/5/8 blocks) and 2 bias circuits (3/9 blocks).
+  std::vector<int> training_sizes;
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.in_training_set) training_sizes.push_back(e.expected_blocks);
+  }
+  std::sort(training_sizes.begin(), training_sizes.end());
+  EXPECT_EQ(training_sizes, (std::vector<int>{3, 3, 5, 8, 9}));
+}
+
+}  // namespace
+}  // namespace afp

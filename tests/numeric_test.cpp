@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+
+#include "numeric/ops.hpp"
+#include "numeric/optim.hpp"
+#include "numeric/serialize.hpp"
+#include "numeric/tensor.hpp"
+
+namespace afp::num {
+namespace {
+
+/// Finite-difference gradient check: |analytic - numeric| must stay within
+/// tolerance for every input coordinate.
+void grad_check(const std::function<Tensor(std::vector<Tensor>&)>& fn,
+                std::vector<Tensor> inputs, float tol = 2e-2f,
+                float eps = 1e-3f) {
+  Tensor out = fn(inputs);
+  ASSERT_EQ(out.size(), 1) << "grad_check needs a scalar output";
+  for (auto& t : inputs) t.zero_grad();
+  out.backward();
+  for (std::size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    if (!t.requires_grad()) continue;
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      const float orig = t.at(i);
+      t.set(i, orig + eps);
+      const float up = fn(inputs).item();
+      t.set(i, orig - eps);
+      const float dn = fn(inputs).item();
+      t.set(i, orig);
+      const float numeric = (up - dn) / (2.0f * eps);
+      const float analytic = t.grad()[static_cast<std::size_t>(i)];
+      // Relative tolerance: float32 finite differences lose precision as
+      // gradient magnitudes grow.
+      const float bound = tol * std::max(1.0f, std::abs(numeric));
+      EXPECT_NEAR(analytic, numeric, bound)
+          << "input " << ti << " coord " << i;
+    }
+  }
+}
+
+std::mt19937_64 rng_fixed() { return std::mt19937_64(42); }
+
+TEST(Tensor, CreationAndShape) {
+  Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.size(), 6);
+  EXPECT_EQ(z.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(z.at(0), 0.0f);
+  Tensor o = Tensor::ones({4});
+  EXPECT_FLOAT_EQ(o.at(3), 1.0f);
+  Tensor f = Tensor::full({2}, 2.5f);
+  EXPECT_FLOAT_EQ(f.at(1), 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(7.0f).item(), 7.0f);
+}
+
+TEST(Tensor, FromVectorValidatesSize) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, RandnDeterministicWithSeed) {
+  auto r1 = rng_fixed();
+  auto r2 = rng_fixed();
+  Tensor a = Tensor::randn({8}, r1);
+  Tensor b = Tensor::randn({8}, r2);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Tensor, DetachBreaksGraph) {
+  Tensor a = Tensor::full({1}, 2.0f, true);
+  Tensor b = mul_scalar(a, 3.0f).detach();
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_FLOAT_EQ(b.item(), 6.0f);
+}
+
+TEST(Tensor, NoGradGuardDisablesTracking) {
+  Tensor a = Tensor::full({1}, 2.0f, true);
+  {
+    NoGradGuard ng;
+    Tensor b = mul_scalar(a, 3.0f);
+    EXPECT_FALSE(b.requires_grad());
+  }
+  Tensor c = mul_scalar(a, 3.0f);
+  EXPECT_TRUE(c.requires_grad());
+}
+
+TEST(Tensor, BackwardRequiresScalar) {
+  Tensor a = Tensor::ones({2}, true);
+  EXPECT_THROW(a.backward(), std::logic_error);
+}
+
+TEST(Ops, AddSubMulDivValues) {
+  Tensor a = Tensor::from_vector({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b = Tensor::from_vector({3}, {4.0f, 5.0f, 6.0f});
+  EXPECT_FLOAT_EQ(add(a, b).at(2), 9.0f);
+  EXPECT_FLOAT_EQ(sub(a, b).at(0), -3.0f);
+  EXPECT_FLOAT_EQ(mul(a, b).at(1), 10.0f);
+  EXPECT_NEAR(div(a, b).at(1), 0.4f, 1e-6f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a = Tensor::ones({2});
+  Tensor b = Tensor::ones({3});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+}
+
+TEST(GradCheck, Binary) {
+  auto rng = rng_fixed();
+  for (auto op : {add, sub, mul}) {
+    std::vector<Tensor> in{Tensor::randn({2, 3}, rng, 1.0f, true),
+                           Tensor::randn({2, 3}, rng, 1.0f, true)};
+    grad_check([op](std::vector<Tensor>& v) { return sum_all(op(v[0], v[1])); },
+               in);
+  }
+}
+
+TEST(GradCheck, Div) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({6}, rng, 1.0f, true),
+                         Tensor::uniform({6}, rng, 1.0f, 2.0f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(div(v[0], v[1])); }, in);
+}
+
+TEST(GradCheck, MinimumMaximum) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({8}, rng, 1.0f, true),
+                         Tensor::randn({8}, rng, 1.0f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(minimum(v[0], v[1])); }, in);
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(maximum(v[0], v[1])); }, in);
+}
+
+TEST(GradCheck, Unary) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({2, 4}, rng, 1.0f, true)};
+  grad_check([](std::vector<Tensor>& v) { return sum_all(tanh_op(v[0])); }, in);
+  grad_check([](std::vector<Tensor>& v) { return sum_all(sigmoid(v[0])); }, in);
+  grad_check([](std::vector<Tensor>& v) { return sum_all(square(v[0])); }, in);
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(mul_scalar(v[0], 2.5f)); },
+      in);
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(add_scalar(v[0], 1.5f)); },
+      in);
+}
+
+TEST(GradCheck, ExpLog) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::uniform({6}, rng, 0.5f, 2.0f, true)};
+  grad_check([](std::vector<Tensor>& v) { return sum_all(exp_op(v[0])); }, in);
+  grad_check([](std::vector<Tensor>& v) { return sum_all(log_op(v[0])); }, in);
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  // Sample away from 0 so finite differences are well defined.
+  Tensor t = Tensor::from_vector({4}, {-1.0f, -0.5f, 0.5f, 1.0f}, true);
+  std::vector<Tensor> in{t};
+  grad_check([](std::vector<Tensor>& v) { return sum_all(relu(v[0])); }, in);
+}
+
+TEST(GradCheck, ClampAwayFromBoundary) {
+  Tensor t = Tensor::from_vector({4}, {-2.0f, -0.3f, 0.4f, 3.0f}, true);
+  std::vector<Tensor> in{t};
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(clamp(v[0], -1.0f, 1.0f)); },
+      in);
+}
+
+TEST(GradCheck, MatmulAndLinear) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({2, 3}, rng, 1.0f, true),
+                         Tensor::randn({3, 4}, rng, 1.0f, true),
+                         Tensor::randn({4}, rng, 1.0f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(matmul(v[0], v[1])); }, in);
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(linear(v[0], v[1], v[2]));
+      },
+      in);
+}
+
+TEST(Ops, MatmulValues) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(2), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 50.0f);
+}
+
+TEST(GradCheck, Reductions) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({3, 4}, rng, 1.0f, true)};
+  grad_check([](std::vector<Tensor>& v) { return mean_all(v[0]); }, in);
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(mean_axis0(v[0])); }, in);
+  grad_check(
+      [](std::vector<Tensor>& v) { return sum_all(sum_axis1(v[0])); }, in);
+}
+
+TEST(Ops, MeanAxis0Values) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor m = mean_axis0(a);
+  EXPECT_EQ(m.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(m.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1), 3.0f);
+}
+
+TEST(GradCheck, SoftmaxFamily) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({2, 5}, rng, 1.0f, true)};
+  // Weighted sums make the check sensitive to off-diagonal Jacobian terms.
+  Tensor w = Tensor::from_vector({2, 5}, {0.1f, -0.4f, 0.7f, 0.2f, -0.9f,
+                                          0.5f, 0.3f, -0.2f, 0.8f, -0.1f});
+  grad_check(
+      [w](std::vector<Tensor>& v) {
+        return sum_all(mul(softmax_rows(v[0]), w));
+      },
+      in);
+  grad_check(
+      [w](std::vector<Tensor>& v) {
+        return sum_all(mul(log_softmax_rows(v[0]), w));
+      },
+      in);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  auto rng = rng_fixed();
+  Tensor x = Tensor::randn({3, 7}, rng, 3.0f);
+  Tensor p = softmax_rows(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 7; ++c) sum += p.at(r * 7 + c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, LogSoftmaxHandlesLargeNegatives) {
+  Tensor x = Tensor::from_vector({1, 3}, {0.0f, -1e9f, 1.0f});
+  Tensor lp = log_softmax_rows(x);
+  EXPECT_TRUE(std::isfinite(lp.at(0)));
+  EXPECT_FLOAT_EQ(std::exp(lp.at(1)), 0.0f);  // masked entry underflows
+}
+
+TEST(GradCheck, GatherRows) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({4, 3}, rng, 1.0f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(gather_rows(v[0], {2, 0, 2}));
+      },
+      in);
+}
+
+TEST(GradCheck, GatherPerRow) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({3, 4}, rng, 1.0f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(gather_per_row(v[0], {1, 3, 0}));
+      },
+      in);
+}
+
+TEST(Ops, GatherValidatesIndices) {
+  Tensor x = Tensor::ones({2, 2});
+  EXPECT_THROW(gather_rows(x, {5}), std::invalid_argument);
+  EXPECT_THROW(gather_per_row(x, {0, 7}), std::invalid_argument);
+  EXPECT_THROW(gather_per_row(x, {0}), std::invalid_argument);
+}
+
+TEST(GradCheck, ReshapeConcat) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({2, 3}, rng, 1.0f, true),
+                         Tensor::randn({2, 2}, rng, 1.0f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(reshape(v[0], {3, 2}));
+      },
+      in);
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(square(concat_cols({v[0], v[1]})));
+      },
+      in);
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(square(concat_rows({reshape(v[0], {3, 2}), v[1]})));
+      },
+      in);
+}
+
+TEST(Ops, ConcatColsValues) {
+  Tensor a = Tensor::from_vector({2, 1}, {1, 3});
+  Tensor b = Tensor::from_vector({2, 2}, {4, 5, 6, 7});
+  Tensor c = concat_cols({a, b});
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 3.0f);
+  EXPECT_FLOAT_EQ(c.at(5), 7.0f);
+}
+
+TEST(GradCheck, Conv2d) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({2, 2, 4, 4}, rng, 1.0f, true),
+                         Tensor::randn({3, 2, 3, 3}, rng, 0.5f, true),
+                         Tensor::randn({3}, rng, 0.5f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(square(conv2d(v[0], v[1], v[2], 1, 1)));
+      },
+      in, 5e-2f);
+}
+
+TEST(GradCheck, Conv2dStride2) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({1, 1, 5, 5}, rng, 1.0f, true),
+                         Tensor::randn({2, 1, 3, 3}, rng, 0.5f, true),
+                         Tensor::randn({2}, rng, 0.5f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(square(conv2d(v[0], v[1], v[2], 2, 1)));
+      },
+      in, 5e-2f);
+}
+
+TEST(Ops, Conv2dKnownValues) {
+  // 1x1 input channel, 2x2 image, identity-ish kernel.
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor w = Tensor::from_vector({1, 1, 1, 1}, {2.0f});
+  Tensor b = Tensor::from_vector({1}, {1.0f});
+  Tensor y = conv2d(x, w, b, 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 9.0f);
+}
+
+TEST(GradCheck, ConvTranspose2d) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({1, 2, 3, 3}, rng, 1.0f, true),
+                         Tensor::randn({2, 2, 4, 4}, rng, 0.3f, true),
+                         Tensor::randn({2}, rng, 0.3f, true)};
+  grad_check(
+      [](std::vector<Tensor>& v) {
+        return sum_all(square(conv_transpose2d(v[0], v[1], v[2], 2, 1)));
+      },
+      in, 5e-2f);
+}
+
+TEST(Ops, ConvTranspose2dUpsamples) {
+  auto rng = rng_fixed();
+  Tensor x = Tensor::randn({1, 3, 4, 4}, rng);
+  Tensor w = Tensor::randn({3, 5, 4, 4}, rng);
+  Tensor b = Tensor::zeros({5});
+  Tensor y = conv_transpose2d(x, w, b, 2, 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 5, 8, 8}));
+}
+
+TEST(GradCheck, MseLoss) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> in{Tensor::randn({5}, rng, 1.0f, true)};
+  Tensor target = Tensor::randn({5}, rng);
+  grad_check(
+      [target](std::vector<Tensor>& v) { return mse_loss(v[0], target); }, in);
+}
+
+TEST(Autograd, GradientAccumulatesAcrossBackwards) {
+  Tensor a = Tensor::full({1}, 3.0f, true);
+  mul_scalar(a, 2.0f).backward();
+  mul_scalar(a, 2.0f).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0f);
+  a.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(Autograd, DiamondGraph) {
+  // f = (a*a) + (a*a); df/da = 4a.
+  Tensor a = Tensor::full({1}, 3.0f, true);
+  Tensor s = square(a);
+  add(s, s).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 12.0f);
+}
+
+TEST(Optim, SgdConvergesOnQuadratic) {
+  Tensor w = Tensor::full({1}, 5.0f, true);
+  SGD opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    square(w).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.item(), 0.0f, 1e-3f);
+}
+
+TEST(Optim, AdamConvergesOnLinearRegression) {
+  auto rng = rng_fixed();
+  // y = 2x + 1, 16 samples.
+  Tensor x = Tensor::randn({16, 1}, rng);
+  std::vector<float> yv(16);
+  for (int i = 0; i < 16; ++i) yv[static_cast<std::size_t>(i)] = 2.0f * x.at(i) + 1.0f;
+  Tensor y = Tensor::from_vector({16}, yv);
+  Tensor w = Tensor::zeros({1, 1}, true);
+  Tensor b = Tensor::zeros({1}, true);
+  Adam opt({w, b}, 0.05f);
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    Tensor pred = reshape(linear(x, w, b), {16});
+    mse_loss(pred, y).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.item(), 2.0f, 0.05f);
+  EXPECT_NEAR(b.item(), 1.0f, 0.05f);
+}
+
+TEST(Optim, ClipGradNorm) {
+  Tensor w = Tensor::full({4}, 1.0f, true);
+  SGD opt({w}, 0.1f);
+  opt.zero_grad();
+  mul_scalar(sum_all(w), 100.0f).backward();  // grad = 100 each, norm 200
+  const double norm = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(norm, 200.0, 1e-3);
+  double clipped = 0.0;
+  for (float g : w.grad()) clipped += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-4);
+}
+
+TEST(Serialize, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "afp_ckpt_test.bin").string();
+  auto rng = rng_fixed();
+  std::map<std::string, Tensor> m{
+      {"a", Tensor::randn({2, 3}, rng)},
+      {"b.weight", Tensor::randn({4}, rng)},
+  };
+  save_tensors(path, m);
+  auto loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (const auto& [name, t] : m) {
+    ASSERT_TRUE(loaded.count(name));
+    ASSERT_EQ(loaded.at(name).shape(), t.shape());
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      EXPECT_FLOAT_EQ(loaded.at(name).at(i), t.at(i));
+    }
+  }
+  std::map<std::string, Tensor> dst{{"a", Tensor::zeros({2, 3})},
+                                    {"b.weight", Tensor::zeros({4})}};
+  load_into(loaded, dst);
+  EXPECT_FLOAT_EQ(dst.at("a").at(0), m.at("a").at(0));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/nonexistent/path/ckpt.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, LoadIntoShapeMismatchThrows) {
+  std::map<std::string, Tensor> src{{"a", Tensor::zeros({2})}};
+  std::map<std::string, Tensor> dst{{"a", Tensor::zeros({3})}};
+  EXPECT_THROW(load_into(src, dst), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace afp::num

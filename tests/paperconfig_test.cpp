@@ -1,0 +1,64 @@
+// Verifies the paper-scale configuration objects build the exact
+// architecture Section IV describes (shape-level checks only; training at
+// that scale is an offline job).
+#include <gtest/gtest.h>
+
+#include "core/training.hpp"
+#include "rl/policy.hpp"
+
+namespace afp {
+namespace {
+
+TEST(PaperConfig, PolicyMatchesSectionIVD3) {
+  std::mt19937_64 rng(1);
+  const rl::PolicyConfig cfg = rl::PolicyConfig::paper();
+  // 3x3 stride-1 convs with 16,32,32,64,64 channels; 512-dim FC; three
+  // 4x4 stride-2 deconvs with 32,16,8 channels.
+  EXPECT_EQ(cfg.conv_channels, (std::vector<int>{16, 32, 32, 64, 64}));
+  EXPECT_EQ(cfg.conv_strides, (std::vector<int>{1, 1, 1, 1, 1}));
+  EXPECT_EQ(cfg.feat_dim, 512);
+  EXPECT_EQ(cfg.deconv_channels, (std::vector<int>{32, 16, 8}));
+  EXPECT_EQ(cfg.grid, 32);
+  EXPECT_EQ(cfg.emb_dim, 32);
+
+  rl::ActorCritic net(cfg, rng);
+  // Joint (shape, position) action space 3 x 32 x 32 = 3072 (§IV-D1).
+  EXPECT_EQ(net.action_space(), 3072);
+  // Forward shape sanity at batch 1.
+  num::Tensor masks = num::Tensor::zeros({1, 6, 32, 32});
+  num::Tensor emb = num::Tensor::zeros({1, 32});
+  const auto out = net.forward(masks, emb, emb);
+  EXPECT_EQ(out.logits.shape(), (num::Shape{1, 3072}));
+  EXPECT_EQ(out.value.shape(), (num::Shape{1}));
+}
+
+TEST(PaperConfig, TrainingScheduleMatchesSectionVA) {
+  const auto opt = core::TrainOptions::paper();
+  EXPECT_EQ(opt.ppo.n_envs, 16);                 // 16 parallel envs
+  EXPECT_EQ(opt.hcl.episodes_per_circuit, 4096); // 4096 episodes/circuit
+  EXPECT_DOUBLE_EQ(opt.hcl.p_circuit, 0.5);
+  EXPECT_DOUBLE_EQ(opt.hcl.p_constraint, 0.3);
+  // The five training circuits of §IV-D5.
+  EXPECT_EQ(opt.hcl.circuits.size(), 5u);
+}
+
+TEST(PaperConfig, RewardWeightsMatchSectionIVD4) {
+  const floorplan::RewardWeights w;
+  EXPECT_DOUBLE_EQ(w.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(w.beta, 5.0);
+  EXPECT_DOUBLE_EQ(w.gamma, 5.0);
+  EXPECT_DOUBLE_EQ(w.violation_penalty, -50.0);
+}
+
+TEST(PaperConfig, FastPresetIsStrictlySmaller) {
+  const auto paper = rl::PolicyConfig::paper();
+  const auto fast = rl::PolicyConfig::fast();
+  std::mt19937_64 r1(1), r2(1);
+  rl::ActorCritic big(paper, r1);
+  rl::ActorCritic small(fast, r2);
+  EXPECT_LT(small.parameter_count(), big.parameter_count() / 100);
+  EXPECT_EQ(small.action_space(), big.action_space());  // same MDP
+}
+
+}  // namespace
+}  // namespace afp

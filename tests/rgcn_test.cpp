@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "netlist/library.hpp"
+#include "rgcn/reward_model.hpp"
+
+namespace afp::rgcn {
+namespace {
+
+graphir::CircuitGraph graph_of(const std::string& name,
+                               bool constrained = false) {
+  netlist::Netlist nl;
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == name) nl = e.make();
+  }
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  if (constrained) {
+    graphir::apply_constraints(g, graphir::default_constraints(g));
+  }
+  return g;
+}
+
+TEST(RewardModel, ArchitectureShapes) {
+  std::mt19937_64 rng(1);
+  RewardModel model(rng);
+  const auto g = graph_of("ota2");
+  const auto enc = model.encode(g);
+  EXPECT_EQ(enc.node_embeddings.shape(), (num::Shape{8, kEmbeddingDim}));
+  EXPECT_EQ(enc.graph_embedding.shape(), (num::Shape{1, kEmbeddingDim}));
+  const auto pred = model.predict(g);
+  EXPECT_EQ(pred.shape(), (num::Shape{1, 1}));
+  EXPECT_TRUE(std::isfinite(pred.item()));
+}
+
+TEST(RewardModel, HandlesVaryingGraphSizes) {
+  std::mt19937_64 rng(2);
+  RewardModel model(rng);
+  for (const auto& name : {"ota_small", "bias1", "driver", "bias2"}) {
+    const auto g = graph_of(name);
+    const auto enc = model.encode(g);
+    EXPECT_EQ(enc.node_embeddings.shape()[0], g.num_nodes()) << name;
+    EXPECT_TRUE(std::isfinite(model.predict(g).item())) << name;
+  }
+}
+
+TEST(RewardModel, ConstraintEdgesChangePrediction) {
+  std::mt19937_64 rng(3);
+  RewardModel model(rng);
+  const float free = model.predict(graph_of("ota2", false)).item();
+  const float constrained = model.predict(graph_of("ota2", true)).item();
+  EXPECT_NE(free, constrained);
+}
+
+TEST(RewardModel, EncoderParameterSplit) {
+  std::mt19937_64 rng(4);
+  RewardModel model(rng);
+  const auto enc_params = model.encoder_parameters();
+  const auto all_params = model.parameters();
+  EXPECT_GT(enc_params.size(), 0u);
+  EXPECT_GT(all_params.size(), enc_params.size());  // head params extra
+}
+
+TEST(RewardModel, ParameterCountReasonable) {
+  std::mt19937_64 rng(5);
+  RewardModel model(rng);
+  // 4 R-GCN layers x (self + 5 relations + bias) + 5 FC layers.
+  EXPECT_GT(model.parameter_count(), 10000);
+  EXPECT_LT(model.parameter_count(), 200000);
+}
+
+TEST(Dataset, GenerationShapesAndLabels) {
+  std::mt19937_64 rng(6);
+  const auto data = generate_dataset(1, rng);
+  EXPECT_EQ(data.size(), netlist::circuit_registry().size());
+  for (const auto& s : data) {
+    EXPECT_GT(s.graph.num_nodes(), 0);
+    EXPECT_TRUE(std::isfinite(s.reward));
+    EXPECT_LE(s.reward, 0.0 + 1e9);  // rewards are negative costs
+  }
+}
+
+TEST(Training, MseDecreases) {
+  std::mt19937_64 rng(7);
+  RewardModel model(rng);
+  // Tiny synthetic dataset: two circuits with fixed labels.
+  std::vector<Sample> data;
+  data.push_back({graph_of("ota_small"), -1.0});
+  data.push_back({graph_of("bias_small"), -3.0});
+  data.push_back({graph_of("ota1"), -2.0});
+  const auto stats = train_reward_model(model, data, 30, 3e-3f, rng);
+  ASSERT_EQ(stats.size(), 30u);
+  EXPECT_LT(stats.back().mse, stats.front().mse);
+  EXPECT_LT(stats.back().mse, 1.0);
+}
+
+TEST(Training, LearnedModelDiscriminates) {
+  std::mt19937_64 rng(8);
+  RewardModel model(rng);
+  std::vector<Sample> data;
+  data.push_back({graph_of("ota_small"), -1.0});
+  data.push_back({graph_of("bias2"), -6.0});
+  train_reward_model(model, data, 60, 3e-3f, rng);
+  const float a = model.predict(data[0].graph).item();
+  const float b = model.predict(data[1].graph).item();
+  EXPECT_GT(a, b);  // smaller circuit was labeled better
+}
+
+}  // namespace
+}  // namespace afp::rgcn

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "netlist/library.hpp"
+#include "rl/agent.hpp"
+#include "rl/curriculum.hpp"
+
+namespace afp::rl {
+namespace {
+
+graphir::CircuitGraph graph_of(const std::string& name) {
+  netlist::Netlist nl;
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == name) nl = e.make();
+  }
+  return graphir::build_graph(nl, structrec::recognize(nl));
+}
+
+TEST(PolicyConfig, PaperArchitectureParameters) {
+  std::mt19937_64 rng(1);
+  const PolicyConfig cfg = PolicyConfig::paper();
+  EXPECT_EQ(cfg.conv_channels, (std::vector<int>{16, 32, 32, 64, 64}));
+  EXPECT_EQ(cfg.deconv_channels, (std::vector<int>{32, 16, 8}));
+  EXPECT_EQ(cfg.feat_dim, 512);
+  ActorCritic net(cfg, rng);
+  EXPECT_EQ(net.action_space(), 3072);
+  // The 64ch * 32 * 32 flatten into 512 dominates (~33.5M params).
+  EXPECT_GT(net.parameter_count(), 30000000);
+}
+
+TEST(ActorCritic, FastForwardShapes) {
+  std::mt19937_64 rng(2);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  const int B = 3;
+  num::Tensor masks = num::Tensor::randn({B, 6, 32, 32}, rng, 0.5f);
+  num::Tensor node = num::Tensor::randn({B, 32}, rng);
+  num::Tensor graph = num::Tensor::randn({B, 32}, rng);
+  const auto out = net.forward(masks, node, graph);
+  EXPECT_EQ(out.logits.shape(), (num::Shape{B, 3072}));
+  EXPECT_EQ(out.value.shape(), (num::Shape{B}));
+  for (int i = 0; i < B; ++i) EXPECT_TRUE(std::isfinite(out.value.at(i)));
+}
+
+TEST(ActorCritic, RejectsMismatchedDeconvChain) {
+  std::mt19937_64 rng(3);
+  PolicyConfig cfg = PolicyConfig::fast();
+  cfg.deconv_channels = {8, 8};  // 4 -> 16 != 32
+  EXPECT_THROW(ActorCritic(cfg, rng), std::invalid_argument);
+}
+
+TEST(Task, EmbeddingsCachedPerBlock) {
+  std::mt19937_64 rng(4);
+  rgcn::RewardModel encoder(rng);
+  const TaskContext task = make_task(encoder, graph_of("ota2"));
+  EXPECT_EQ(task.instance.num_blocks(), 8);
+  EXPECT_EQ(task.node_emb.size(),
+            static_cast<std::size_t>(8 * rgcn::kEmbeddingDim));
+  EXPECT_EQ(task.graph_emb.size(),
+            static_cast<std::size_t>(rgcn::kEmbeddingDim));
+  // node_row indexes rows correctly.
+  EXPECT_EQ(task.node_row(2),
+            task.node_emb.data() + 2 * rgcn::kEmbeddingDim);
+}
+
+TEST(Task, HpwlRefOverride) {
+  std::mt19937_64 rng(5);
+  rgcn::RewardModel encoder(rng);
+  const TaskContext t1 = make_task(encoder, graph_of("ota_small"), 123.0);
+  EXPECT_DOUBLE_EQ(t1.instance.hpwl_ref, 123.0);
+  const TaskContext t2 =
+      make_task(encoder, graph_of("ota_small"), 0.0, 2.0);
+  ASSERT_TRUE(t2.instance.target_aspect.has_value());
+  EXPECT_DOUBLE_EQ(*t2.instance.target_aspect, 2.0);
+}
+
+TEST(RunEpisode, CompletesAndScores) {
+  std::mt19937_64 rng(6);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  const TaskContext task = make_task(encoder, graph_of("ota_small"));
+  const EpisodeResult res = run_episode(net, task, rng);
+  EXPECT_FALSE(res.violated);
+  ASSERT_EQ(res.rects.size(), 3u);
+  EXPECT_DOUBLE_EQ(geom::total_pairwise_overlap(res.rects), 0.0);
+  EXPECT_GT(res.runtime_s, 0.0);
+  EXPECT_TRUE(std::isfinite(res.eval.reward));
+}
+
+TEST(RunEpisode, DeterministicIsRepeatable) {
+  std::mt19937_64 rng(7);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  const TaskContext task = make_task(encoder, graph_of("ota1"));
+  const auto r1 = run_episode(net, task, rng, true);
+  const auto r2 = run_episode(net, task, rng, true);
+  ASSERT_EQ(r1.rects.size(), r2.rects.size());
+  for (std::size_t i = 0; i < r1.rects.size(); ++i) {
+    EXPECT_EQ(r1.rects[i], r2.rects[i]);
+  }
+}
+
+TEST(BestOfEpisodes, NeverWorseThanDeterministic) {
+  std::mt19937_64 rng(8);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  const TaskContext task = make_task(encoder, graph_of("ota1"));
+  std::mt19937_64 r1(9), r2(9);
+  const auto det = run_episode(net, task, r1, true);
+  const auto best = best_of_episodes(net, task, 4, r2);
+  EXPECT_GE(best.eval.reward, det.eval.reward - 1e-9);
+}
+
+TEST(PPOTrainer, IterateProducesFiniteStatsAndEpisodes) {
+  std::mt19937_64 rng(10);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  PPOConfig cfg;
+  cfg.n_envs = 2;
+  cfg.n_steps = 8;
+  cfg.minibatch = 8;
+  cfg.epochs = 2;
+  PPOTrainer trainer(net, {make_task(encoder, graph_of("ota_small"))}, cfg);
+  const auto stats = trainer.iterate(rng);
+  EXPECT_GT(stats.episodes, 0);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+  EXPECT_TRUE(std::isfinite(stats.approx_kl));
+  EXPECT_GT(stats.entropy, 0.0);
+  EXPECT_EQ(trainer.episodes_done(), stats.episodes);
+}
+
+TEST(PPOTrainer, LearningImprovesSmallCircuitReward) {
+  // Smoke-level learning check: with a tiny budget the mean episode
+  // reward on the 3-block OTA should not collapse, and the policy should
+  // keep producing valid floorplans.
+  std::mt19937_64 rng(11);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  PPOConfig cfg;
+  cfg.n_envs = 2;
+  cfg.n_steps = 12;
+  cfg.minibatch = 12;
+  cfg.epochs = 2;
+  PPOTrainer trainer(net, {make_task(encoder, graph_of("ota_small"))}, cfg);
+  double first = 0.0, last = 0.0;
+  const int iters = 6;
+  for (int i = 0; i < iters; ++i) {
+    const auto s = trainer.iterate(rng);
+    if (i == 0) first = s.mean_episode_reward;
+    last = s.mean_episode_reward;
+    EXPECT_LE(s.violation_rate, 1.0);
+  }
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_GT(last, -60.0);
+}
+
+TEST(PPOTrainer, NextTaskHookSwapsCircuits) {
+  std::mt19937_64 rng(12);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  PPOConfig cfg;
+  cfg.n_envs = 1;
+  cfg.n_steps = 8;
+  cfg.minibatch = 8;
+  cfg.epochs = 1;
+  PPOTrainer trainer(net, {make_task(encoder, graph_of("ota_small"))}, cfg);
+  int swaps = 0;
+  trainer.next_task = [&](int) {
+    ++swaps;
+    return std::optional<TaskContext>(
+        make_task(encoder, graph_of("bias_small")));
+  };
+  (void)trainer.iterate(rng);
+  EXPECT_GT(swaps, 0);
+}
+
+TEST(FineTune, RunsRequestedEpisodes) {
+  std::mt19937_64 rng(13);
+  rgcn::RewardModel encoder(rng);
+  ActorCritic net(PolicyConfig::fast(), rng);
+  PPOConfig cfg;
+  cfg.n_envs = 2;
+  cfg.n_steps = 8;
+  cfg.minibatch = 8;
+  cfg.epochs = 1;
+  const auto task = make_task(encoder, graph_of("ota_small"));
+  const auto stats = fine_tune(net, task, 6, rng, cfg);
+  EXPECT_FALSE(stats.empty());
+  long total = 0;
+  for (const auto& s : stats) total += s.episodes;
+  EXPECT_GE(total, 6);
+}
+
+TEST(Hcl, ScheduleProgressesThroughStages) {
+  std::mt19937_64 rng(14);
+  rgcn::RewardModel encoder(rng);
+  HclConfig cfg;
+  cfg.circuits = {"ota_small", "bias_small"};
+  cfg.episodes_per_circuit = 4;
+  HclScheduler sched(cfg, encoder, rng);
+  EXPECT_FALSE(sched.finished());
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back(sched.next_task(rng).instance.name);
+  }
+  EXPECT_TRUE(sched.finished());
+  // First half of stage 0 is purely the stage circuit.
+  EXPECT_EQ(names[0], "ota_small");
+  EXPECT_EQ(names[1], "ota_small");
+  // Stage 1 first half is purely bias_small.
+  EXPECT_EQ(names[4], "bias_small");
+  EXPECT_EQ(names[5], "bias_small");
+}
+
+TEST(Hcl, SecondHalfSamplesSeenCircuits) {
+  std::mt19937_64 rng(15);
+  rgcn::RewardModel encoder(rng);
+  HclConfig cfg;
+  cfg.circuits = {"ota_small", "bias_small"};
+  cfg.episodes_per_circuit = 40;
+  cfg.p_circuit = 1.0;  // always resample in the mixing phase
+  HclScheduler sched(cfg, encoder, rng);
+  // Skip to the mixing half of stage 1.
+  for (int i = 0; i < 61; ++i) (void)sched.next_task(rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 15; ++i) seen.insert(sched.next_task(rng).instance.name);
+  EXPECT_GE(seen.size(), 2u);  // revisits earlier circuits
+}
+
+TEST(Hcl, ConstraintProbabilityActivates) {
+  std::mt19937_64 rng(16);
+  rgcn::RewardModel encoder(rng);
+  HclConfig cfg;
+  cfg.circuits = {"ota_small"};
+  cfg.episodes_per_circuit = 60;
+  cfg.p_constraint = 1.0;
+  HclScheduler sched(cfg, encoder, rng);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(sched.next_task(rng).instance.constraints.empty());
+  }
+  bool constrained_seen = false;
+  for (int i = 0; i < 30; ++i) {
+    constrained_seen = constrained_seen ||
+                       !sched.next_task(rng).instance.constraints.empty();
+  }
+  EXPECT_TRUE(constrained_seen);
+}
+
+TEST(Hcl, UnknownCircuitThrows) {
+  std::mt19937_64 rng(17);
+  rgcn::RewardModel encoder(rng);
+  HclConfig cfg;
+  cfg.circuits = {"no_such_circuit"};
+  HclScheduler sched(cfg, encoder, rng);
+  EXPECT_THROW(sched.next_task(rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace afp::rl

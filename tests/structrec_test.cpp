@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "netlist/library.hpp"
+#include "structrec/structrec.hpp"
+
+namespace afp::structrec {
+namespace {
+
+using netlist::circuit_registry;
+
+int count_type(const Recognition& rec, StructureType t) {
+  int n = 0;
+  for (const auto& s : rec.structures) {
+    if (s.type == t) ++n;
+  }
+  return n;
+}
+
+TEST(Recognize, PaperBlockCounts) {
+  // The reproduction's circuits must decompose into exactly the paper's
+  // functional-block counts (Table I / Section IV-D5).
+  for (const auto& entry : circuit_registry()) {
+    const auto rec = recognize(entry.make());
+    EXPECT_EQ(static_cast<int>(rec.structures.size()), entry.expected_blocks)
+        << entry.name;
+  }
+}
+
+TEST(Recognize, EveryDeviceAssignedExactlyOnce) {
+  for (const auto& entry : circuit_registry()) {
+    const auto nl = entry.make();
+    const auto rec = recognize(nl);
+    ASSERT_EQ(rec.device_to_structure.size(),
+              static_cast<std::size_t>(nl.num_devices()));
+    std::vector<int> seen(static_cast<std::size_t>(nl.num_devices()), 0);
+    for (const auto& s : rec.structures) {
+      for (int d : s.devices) ++seen[static_cast<std::size_t>(d)];
+    }
+    for (int d = 0; d < nl.num_devices(); ++d) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(d)], 1) << entry.name;
+      EXPECT_GE(rec.device_to_structure[static_cast<std::size_t>(d)], 0);
+    }
+  }
+}
+
+TEST(Recognize, OtaSmallStructures) {
+  const auto rec = recognize(netlist::make_ota_small());
+  EXPECT_EQ(count_type(rec, StructureType::kDiffPairN), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kCurrentMirrorP), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kSingleNmos), 1);
+}
+
+TEST(Recognize, Ota2HasCascodePair) {
+  const auto rec = recognize(netlist::make_ota2());
+  EXPECT_EQ(count_type(rec, StructureType::kDiffPairN), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kCascodePairN), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kCurrentMirrorP), 1);
+}
+
+TEST(Recognize, LatchHasCrossCoupledPair) {
+  const auto rec = recognize(netlist::make_rs_latch());
+  EXPECT_EQ(count_type(rec, StructureType::kCrossCoupledN), 1);
+}
+
+TEST(Recognize, ComparatorHasBothCrossCoupledTypes) {
+  const auto rec = recognize(netlist::make_comparator());
+  EXPECT_EQ(count_type(rec, StructureType::kCrossCoupledN), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kCrossCoupledP), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kDiffPairN), 1);
+}
+
+TEST(Recognize, Bias2HasResistorString) {
+  const auto rec = recognize(netlist::make_bias2());
+  EXPECT_EQ(count_type(rec, StructureType::kResistorString), 1);
+  // Mirror tree: one 4-device PMOS mirror and two NMOS mirrors.
+  EXPECT_EQ(count_type(rec, StructureType::kCurrentMirrorP), 1);
+  EXPECT_EQ(count_type(rec, StructureType::kCurrentMirrorN), 2);
+}
+
+TEST(Recognize, DriverHasPowerDevice) {
+  const auto rec = recognize(netlist::make_driver());
+  EXPECT_EQ(count_type(rec, StructureType::kPowerDevice), 1);
+}
+
+TEST(Recognize, MirrorGroupsKeepDiodeMember) {
+  const auto nl = netlist::make_bias2();
+  const auto rec = recognize(nl);
+  for (const auto& s : rec.structures) {
+    if (s.type != StructureType::kCurrentMirrorN &&
+        s.type != StructureType::kCurrentMirrorP)
+      continue;
+    EXPECT_GE(s.devices.size(), 2u);
+    bool diode = false;
+    for (int d : s.devices) {
+      const auto& dev = nl.device(d);
+      diode = diode || dev.drain() == dev.gate();
+    }
+    EXPECT_TRUE(diode);
+  }
+}
+
+TEST(Recognize, StructureParametersPopulated) {
+  const auto rec = recognize(netlist::make_ota2());
+  for (const auto& s : rec.structures) {
+    EXPECT_GT(s.area_um2, 0.0) << s.name;
+    EXPECT_GT(s.stripe_width_um, 0.0) << s.name;
+    EXPECT_GE(s.pin_count, 1) << s.name;
+    EXPECT_GE(s.routing_direction, 0);
+    EXPECT_LE(s.routing_direction, 3);
+  }
+}
+
+TEST(Recognize, Deterministic) {
+  const auto r1 = recognize(netlist::make_driver());
+  const auto r2 = recognize(netlist::make_driver());
+  ASSERT_EQ(r1.structures.size(), r2.structures.size());
+  for (std::size_t i = 0; i < r1.structures.size(); ++i) {
+    EXPECT_EQ(r1.structures[i].name, r2.structures[i].name);
+    EXPECT_EQ(r1.structures[i].type, r2.structures[i].type);
+  }
+}
+
+TEST(Recognize, MatchedPairClassifier) {
+  EXPECT_TRUE(is_matched_pair(StructureType::kDiffPairN));
+  EXPECT_TRUE(is_matched_pair(StructureType::kCrossCoupledP));
+  EXPECT_TRUE(is_matched_pair(StructureType::kCascodePairN));
+  EXPECT_FALSE(is_matched_pair(StructureType::kCurrentMirrorN));
+  EXPECT_FALSE(is_matched_pair(StructureType::kCapSingle));
+}
+
+TEST(Recognize, TypeNamesUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int t = 0; t < kNumStructureTypes; ++t) {
+    const std::string n = to_string(static_cast<StructureType>(t));
+    EXPECT_FALSE(n.empty());
+    EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+  }
+}
+
+TEST(Recognize, DiffPairRequiresNonSupplySource) {
+  // Two matched PMOS with sources on VDD are NOT a diff pair.
+  netlist::Netlist nl("not_dp");
+  nl.add_device({"a", netlist::DeviceType::kPmos, {"x", "g1", "VDD", "VDD"}, 2.0, 0.18, 1});
+  nl.add_device({"b", netlist::DeviceType::kPmos, {"y", "g2", "VDD", "VDD"}, 2.0, 0.18, 1});
+  const auto rec = recognize(nl);
+  EXPECT_EQ(rec.structures.size(), 2u);
+  EXPECT_EQ(count_type(rec, StructureType::kDiffPairP), 0);
+}
+
+TEST(Recognize, MismatchedSizesAreNotAPair) {
+  netlist::Netlist nl("not_dp2");
+  nl.add_device({"a", netlist::DeviceType::kNmos, {"x", "g1", "t", "VSS"}, 2.0, 0.18, 1});
+  nl.add_device({"b", netlist::DeviceType::kNmos, {"y", "g2", "t", "VSS"}, 4.0, 0.18, 1});
+  const auto rec = recognize(nl);
+  EXPECT_EQ(count_type(rec, StructureType::kDiffPairN), 0);
+}
+
+}  // namespace
+}  // namespace afp::structrec

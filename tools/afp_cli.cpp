@@ -1,0 +1,252 @@
+// afp — command-line front end for the analog floorplanning library.
+//
+//   afp list
+//       List the built-in circuit registry.
+//   afp floorplan <circuit|netlist.sp> [--method sa|ga|pso|rlsa|rlsp]
+//       [--constrained] [--seed N] [--svg out.svg] [--report out.txt]
+//       Run the full pipeline with a metaheuristic floorplanner.
+//   afp train [--episodes N] [--seed N] [--out prefix]
+//       Pre-train the R-GCN and HCL-train the PPO agent; writes
+//       <prefix>_policy.bin and <prefix>_encoder.bin.
+//   afp eval <circuit|netlist.sp> --agent prefix [--attempts K] [--seed N]
+//       [--constrained] [--svg out.svg]
+//       Floorplan with a trained agent checkpoint (zero-shot).
+//   afp graph <circuit|netlist.sp> [--dot out.dot]
+//       Print the heterogeneous circuit graph.
+//
+// A <circuit> argument is first looked up in the registry; otherwise it is
+// treated as a path to a SPICE-like netlist file.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "core/training.hpp"
+#include "netlist/library.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace {
+
+using namespace afp;
+
+/// Minimal flag parser: positional args plus --key [value] options.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+      const std::string tok = argv[i];
+      if (tok.rfind("--", 0) == 0) {
+        const std::string key = tok.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          a.options[key] = argv[++i];
+        } else {
+          a.options[key] = "1";
+        }
+      } else {
+        a.positional.push_back(tok);
+      }
+    }
+    return a;
+  }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+netlist::Netlist load_circuit(const std::string& spec) {
+  for (const auto& e : netlist::circuit_registry()) {
+    if (e.name == spec) return e.make();
+  }
+  std::ifstream is(spec);
+  if (!is) {
+    throw std::runtime_error("'" + spec +
+                             "' is neither a registry circuit nor a file");
+  }
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return netlist::Netlist::from_spice(ss.str());
+}
+
+void print_result(const core::PipelineResult& res) {
+  std::printf("blocks: %zu\n", res.recognition.structures.size());
+  for (const auto& s : res.recognition.structures) {
+    std::printf("  %-26s %-18s %8.1f um2\n", s.name.c_str(),
+                structrec::to_string(s.type).c_str(), s.area_um2);
+  }
+  std::printf("floorplan: area %.1f um2 | dead space %.1f%% | HPWL %.1f um | "
+              "reward %.2f | constraints %s\n",
+              res.eval.area, res.eval.dead_space * 100.0, res.eval.hpwl,
+              res.eval.reward, res.eval.constraints_ok ? "ok" : "VIOLATED");
+  std::printf("routing: %zu/%zu nets | %.1f um | %d failed\n",
+              res.route.trees.size(), res.instance.nets.size(),
+              res.route.total_wirelength, res.route.failed_nets);
+  std::printf("layout: %zu wires | %zu vias | DRC %s (%zu) | LVS %s "
+              "(%zu opens, %zu shorts)\n",
+              res.layout.wires.size(), res.layout.vias.size(),
+              res.drc.clean() ? "clean" : "dirty", res.drc.violations.size(),
+              res.lvs.clean() ? "clean" : "dirty", res.lvs.open_nets.size(),
+              res.lvs.shorted.size());
+  std::printf("timing: SR %.3fs | floorplan %.3fs | route %.3fs | "
+              "layout %.3fs\n",
+              res.timings.recognition_s, res.timings.floorplan_s,
+              res.timings.route_s, res.timings.layout_s);
+}
+
+int cmd_list() {
+  std::printf("%-16s %8s %10s %10s\n", "circuit", "devices", "blocks",
+              "training");
+  for (const auto& e : netlist::circuit_registry()) {
+    const auto nl = e.make();
+    std::printf("%-16s %8d %10d %10s\n", e.name.c_str(), nl.num_devices(),
+                e.expected_blocks, e.in_training_set ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_floorplan(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: afp floorplan <circuit> [--method sa]\n");
+    return 2;
+  }
+  const auto nl = load_circuit(args.positional[0]);
+  const std::string method_s = args.get("method", "sa");
+  const std::map<std::string, core::Method> methods = {
+      {"sa", core::Method::kSA},
+      {"ga", core::Method::kGA},
+      {"pso", core::Method::kPSO},
+      {"rlsa", core::Method::kRlSa},
+      {"rlsp", core::Method::kRlSp}};
+  const auto mit = methods.find(method_s);
+  if (mit == methods.end()) {
+    std::fprintf(stderr, "unknown method '%s'\n", method_s.c_str());
+    return 2;
+  }
+  core::PipelineConfig cfg;
+  cfg.constrained = args.has("constrained");
+  core::FloorplanPipeline pipe(cfg);
+  std::mt19937_64 rng(std::stoul(args.get("seed", "1")));
+  const auto res = pipe.run(nl, mit->second, rng);
+  print_result(res);
+  if (args.has("svg")) {
+    layoutgen::write_svg(args.get("svg", "layout.svg"), res.layout);
+    std::printf("wrote %s\n", args.get("svg", "layout.svg").c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  core::TrainOptions opt = core::TrainOptions::fast(
+      static_cast<unsigned>(std::stoul(args.get("seed", "1"))));
+  opt.hcl.circuits = {"ota_small", "bias_small", "ota1", "ota2", "bias1"};
+  opt.hcl.episodes_per_circuit = std::stoi(args.get("episodes", "64"));
+  opt.ppo.n_envs = 4;
+  opt.ppo.n_steps = 32;
+  opt.ppo.minibatch = 64;
+  opt.ppo.lr = 1e-3f;
+  std::printf("training: %zu circuits x %d episodes...\n",
+              opt.hcl.circuits.size(), opt.hcl.episodes_per_circuit);
+  const auto agent = core::train_agent(opt);
+  std::printf("done: %zu PPO iterations, final mean episode reward %.2f\n",
+              agent.rl_history.size(),
+              agent.rl_history.empty()
+                  ? 0.0
+                  : agent.rl_history.back().mean_episode_reward);
+  const std::string prefix = args.get("out", "afp_agent");
+  nn::save_module(*agent.policy, prefix + "_policy.bin");
+  nn::save_module(*agent.encoder, prefix + "_encoder.bin");
+  std::printf("wrote %s_policy.bin and %s_encoder.bin\n", prefix.c_str(),
+              prefix.c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: afp eval <circuit> --agent prefix\n");
+    return 2;
+  }
+  const std::string prefix = args.get("agent", "afp_agent");
+  std::mt19937_64 rng(std::stoul(args.get("seed", "1")));
+  rgcn::RewardModel encoder(rng);
+  rl::ActorCritic policy(rl::PolicyConfig::fast(), rng);
+  nn::load_module(encoder, prefix + "_encoder.bin");
+  nn::load_module(policy, prefix + "_policy.bin");
+
+  const auto nl = load_circuit(args.positional[0]);
+  core::PipelineConfig cfg;
+  cfg.constrained = args.has("constrained");
+  cfg.rl_attempts = std::stoi(args.get("attempts", "8"));
+  core::FloorplanPipeline pipe(cfg);
+  const auto res = pipe.run(nl, policy, encoder, rng);
+  print_result(res);
+  if (args.has("svg")) {
+    layoutgen::write_svg(args.get("svg", "layout.svg"), res.layout);
+    std::printf("wrote %s\n", args.get("svg", "layout.svg").c_str());
+  }
+  return 0;
+}
+
+int cmd_graph(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: afp graph <circuit> [--dot out.dot]\n");
+    return 2;
+  }
+  const auto nl = load_circuit(args.positional[0]);
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  graphir::apply_constraints(g, graphir::default_constraints(g));
+  std::printf("graph '%s': %d nodes\n", g.name.c_str(), g.num_nodes());
+  static const char* kRel[] = {"connectivity", "h-align", "v-align", "h-sym",
+                               "v-sym"};
+  for (int r = 0; r < graphir::kNumRelations; ++r) {
+    std::printf("  %-12s %zu edges\n", kRel[r],
+                g.edges[static_cast<std::size_t>(r)].size());
+  }
+  if (args.has("dot")) {
+    std::ofstream os(args.get("dot", "graph.dot"));
+    os << "graph g {\n";
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      os << "  n" << i << " [label=\""
+         << g.nodes[static_cast<std::size_t>(i)].name << "\"];\n";
+    }
+    for (int r = 0; r < graphir::kNumRelations; ++r) {
+      for (const auto& [u, v] : g.edges[static_cast<std::size_t>(r)]) {
+        os << "  n" << u << " -- n" << v << ";\n";
+      }
+    }
+    os << "}\n";
+    std::printf("wrote %s\n", args.get("dot", "graph.dot").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: afp <list|floorplan|train|eval|graph> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "floorplan") return cmd_floorplan(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "graph") return cmd_graph(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
