@@ -1,5 +1,7 @@
 #include "core/training.hpp"
 
+#include "numeric/parallel.hpp"
+
 namespace afp::core {
 
 TrainOptions TrainOptions::fast(unsigned seed) {
@@ -29,6 +31,7 @@ TrainOptions TrainOptions::paper(unsigned seed) {
 }
 
 TrainedAgent train_agent(const TrainOptions& opt) {
+  if (opt.num_threads > 0) num::set_num_threads(opt.num_threads);
   std::mt19937_64 rng(opt.seed);
   TrainedAgent agent;
 

@@ -15,6 +15,10 @@ namespace afp::core {
 
 struct TrainOptions {
   unsigned seed = 1;
+  /// Thread-pool size for all numeric kernels and env stepping; 0 keeps
+  /// the ambient setting (AFP_NUM_THREADS or hardware concurrency).
+  /// Results are identical for any value (see numeric/parallel.hpp).
+  int num_threads = 0;
   // R-GCN pre-training.
   int rgcn_samples_per_circuit = 2;
   int rgcn_epochs = 4;

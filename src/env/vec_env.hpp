@@ -1,6 +1,9 @@
 // Synchronous vectorized environment: the paper gathers experience from 16
-// parallel environments; on this single-core target they are stepped
-// round-robin, which preserves the PPO batch statistics.
+// parallel environments.  step_all steps every environment concurrently on
+// the shared thread pool (environments are independent state machines);
+// episode-end hooks and auto-resets then run serially on the caller's
+// thread, so hook implementations (curriculum schedulers with shared RNGs)
+// need no synchronization.
 #pragma once
 
 #include <functional>
@@ -32,12 +35,21 @@ class VecEnv {
   /// episode's first observation (standard auto-reset semantics).
   StepResult step(int i, int flat_action);
 
+  /// Steps every environment with its own action (actions.size() must
+  /// equal size()).  The env transitions run in parallel on the thread
+  /// pool; on_episode_end hooks and auto-resets run serially afterwards in
+  /// env-index order, preserving step()'s semantics exactly.
+  std::vector<StepResult> step_all(const std::vector<int>& actions);
+
   /// Hook: called with (env index, finished StepResult); returns an
   /// optional replacement instance for the next episode.
   std::function<std::optional<floorplan::Instance>(int, const StepResult&)>
       on_episode_end;
 
  private:
+  /// Serial part of auto-reset: hook + reset, mutating res.obs in place.
+  void finish_episode(int i, StepResult& res);
+
   std::vector<std::unique_ptr<FloorplanEnv>> envs_;
 };
 

@@ -39,6 +39,10 @@ std::vector<num::Tensor> CircuitGraph::adjacency() const {
   return nn::build_adjacency(num_nodes(), kNumRelations, edges);
 }
 
+std::vector<num::SparseCSR> CircuitGraph::adjacency_csr() const {
+  return nn::build_adjacency_csr(num_nodes(), kNumRelations, edges);
+}
+
 CircuitGraph build_graph(const netlist::Netlist& nl,
                          const structrec::Recognition& rec) {
   CircuitGraph g;

@@ -91,8 +91,13 @@ class CircuitGraph {
   /// normalized within the circuit so features are scale free.
   num::Tensor feature_matrix() const;
 
-  /// Per-relation normalized adjacency matrices for the R-GCN.
+  /// Per-relation normalized adjacency matrices for the R-GCN (dense;
+  /// legacy callers and tests).
   std::vector<num::Tensor> adjacency() const;
+
+  /// Per-relation normalized adjacency in CSR form, built in O(E) without
+  /// materializing N x N matrices.  The encoder hot path uses this.
+  std::vector<num::SparseCSR> adjacency_csr() const;
 };
 
 /// Builds the graph from a netlist and its recognition result.

@@ -27,7 +27,8 @@ class MaskedCategorical {
   /// log pi(a | s) for the given per-row actions: differentiable [B].
   num::Tensor log_prob(const std::vector<int>& actions) const;
 
-  /// Per-row entropy: differentiable [B].
+  /// Per-row entropy: differentiable [B, 1] (axis reductions keep the
+  /// reduced axis; see numeric/ops.hpp).
   num::Tensor entropy() const;
 
   /// Masked logits (differentiable), for diagnostics.

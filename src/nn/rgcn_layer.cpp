@@ -1,5 +1,6 @@
 #include "nn/rgcn_layer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace afp::nn {
@@ -20,13 +21,17 @@ RGCNLayer::RGCNLayer(int in_dim, int out_dim, int num_relations,
   }
 }
 
+num::Tensor RGCNLayer::self_base(const num::Tensor& h) const {
+  return num::add_rowvec(num::matmul(h, self_weight_), bias_);
+}
+
 num::Tensor RGCNLayer::forward(
     const num::Tensor& h, const std::vector<num::Tensor>& adj_norm) const {
   if (static_cast<int>(adj_norm.size()) != num_relations()) {
     throw std::invalid_argument(
         "RGCNLayer: expected one adjacency per relation");
   }
-  num::Tensor out = num::add_rowvec(num::matmul(h, self_weight_), bias_);
+  num::Tensor out = self_base(h);
   for (std::size_t r = 0; r < rel_weights_.size(); ++r) {
     // A_r @ H @ W_r; A_r is [N, N] constant.
     out = num::add(out,
@@ -35,40 +40,69 @@ num::Tensor RGCNLayer::forward(
   return activate(out, act_);
 }
 
-std::vector<num::Tensor> build_adjacency(
+num::Tensor RGCNLayer::forward(
+    const num::Tensor& h, const std::vector<num::SparseCSR>& adj_norm) const {
+  if (static_cast<int>(adj_norm.size()) != num_relations()) {
+    throw std::invalid_argument(
+        "RGCNLayer: expected one adjacency per relation");
+  }
+  num::Tensor out = self_base(h);
+  for (std::size_t r = 0; r < rel_weights_.size(); ++r) {
+    if (adj_norm[r].empty()) continue;  // relation contributes nothing
+    // A_r @ (H @ W_r): the dense product first keeps the SpMM operand at
+    // out_dim columns; associativity makes it equal to (A_r H) W_r.
+    out = num::add(out,
+                   num::spmm(adj_norm[r], num::matmul(h, rel_weights_[r])));
+  }
+  return activate(out, act_);
+}
+
+std::vector<num::SparseCSR> build_adjacency_csr(
     int num_nodes, int num_relations,
     const std::vector<std::vector<std::pair<int, int>>>& edges_per_relation) {
   if (static_cast<int>(edges_per_relation.size()) != num_relations) {
     throw std::invalid_argument("build_adjacency: relation count mismatch");
   }
-  std::vector<num::Tensor> adj;
+  std::vector<num::SparseCSR> adj;
   adj.reserve(edges_per_relation.size());
   for (const auto& edges : edges_per_relation) {
-    std::vector<float> a(static_cast<std::size_t>(num_nodes) * num_nodes,
-                         0.0f);
-    std::vector<int> degree(num_nodes, 0);
+    // Directed entry list (both directions of each undirected edge),
+    // deduplicated so parallel edges count once — matching the dense
+    // semantics where a[u][v] is set, not summed.
+    std::vector<std::pair<int, int>> entries;
+    entries.reserve(edges.size() * 2);
     for (const auto& [u, v] : edges) {
       if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
         throw std::invalid_argument("build_adjacency: node index out of range");
       }
-      // Undirected: message flows both ways.
-      a[static_cast<std::size_t>(u) * num_nodes + v] = 1.0f;
-      a[static_cast<std::size_t>(v) * num_nodes + u] = 1.0f;
+      entries.emplace_back(u, v);
+      entries.emplace_back(v, u);
     }
-    for (int u = 0; u < num_nodes; ++u) {
-      int deg = 0;
-      for (int v = 0; v < num_nodes; ++v)
-        if (a[static_cast<std::size_t>(u) * num_nodes + v] > 0.0f) ++deg;
-      degree[u] = deg;
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+    // Degree = distinct neighbors per row; value = 1/degree.
+    std::vector<int> degree(static_cast<std::size_t>(num_nodes), 0);
+    for (const auto& [u, v] : entries) ++degree[static_cast<std::size_t>(u)];
+    std::vector<std::tuple<int, int, float>> coo;
+    coo.reserve(entries.size());
+    for (const auto& [u, v] : entries) {
+      coo.emplace_back(u, v,
+                       1.0f / static_cast<float>(degree[static_cast<std::size_t>(u)]));
     }
-    for (int u = 0; u < num_nodes; ++u) {
-      if (degree[u] == 0) continue;
-      const float inv = 1.0f / static_cast<float>(degree[u]);
-      for (int v = 0; v < num_nodes; ++v)
-        a[static_cast<std::size_t>(u) * num_nodes + v] *= inv;
-    }
-    adj.push_back(num::Tensor::from_vector({num_nodes, num_nodes}, std::move(a)));
+    adj.push_back(num::SparseCSR::from_coo(num_nodes, num_nodes, std::move(coo)));
   }
+  return adj;
+}
+
+std::vector<num::Tensor> build_adjacency(
+    int num_nodes, int num_relations,
+    const std::vector<std::vector<std::pair<int, int>>>& edges_per_relation) {
+  const auto csr =
+      build_adjacency_csr(num_nodes, num_relations, edges_per_relation);
+  std::vector<num::Tensor> adj;
+  adj.reserve(csr.size());
+  for (const auto& m : csr) adj.push_back(m.to_dense());
   return adj;
 }
 

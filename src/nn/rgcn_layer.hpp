@@ -3,10 +3,12 @@
 //
 //   h'_u = act( W0 h_u + sum_r sum_{v in N_r(u)} (1/c_{u,r}) W_r h_v )
 //
-// Implemented densely: the caller supplies, per relation, a normalized
-// adjacency matrix A_r with A_r[u][v] = 1/c_{u,r} for v in N_r(u), so the
-// layer computes act(H W0 + sum_r A_r H W_r).  Circuit graphs are small
-// (tens of nodes), making the dense form both simple and fast.
+// Two aggregation paths are provided.  The sparse path is the default for
+// the models: the caller supplies, per relation, a normalized adjacency in
+// CSR form (A_r[u][v] = 1/c_{u,r} for v in N_r(u)) and the layer computes
+// act(H W0 + sum_r A_r (H W_r)) with SpMM in O(E * D).  The dense path
+// (one [N, N] tensor per relation) is kept for tests and small ad-hoc
+// graphs.
 #pragma once
 
 #include <memory>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "numeric/sparse.hpp"
 
 namespace afp::nn {
 
@@ -27,18 +30,31 @@ class RGCNLayer final : public Module {
   num::Tensor forward(const num::Tensor& h,
                       const std::vector<num::Tensor>& adj_norm) const;
 
+  /// Sparse variant: one CSR normalized adjacency per relation.  Empty
+  /// relations (nnz == 0) are skipped entirely.
+  num::Tensor forward(const num::Tensor& h,
+                      const std::vector<num::SparseCSR>& adj_norm) const;
+
   int num_relations() const { return static_cast<int>(rel_weights_.size()); }
 
  private:
+  num::Tensor self_base(const num::Tensor& h) const;
+
   num::Tensor self_weight_;  ///< W0 [in, out]
   num::Tensor bias_;         ///< [out]
   std::vector<num::Tensor> rel_weights_;
   Activation act_;
 };
 
-/// Builds the per-relation normalized adjacency matrices A_r (constant
-/// tensors) from edge lists.  Normalization c_{u,r} = |N_r(u)| (mean
-/// aggregation per relation), the standard R-GCN choice.
+/// Builds the per-relation normalized adjacency matrices A_r in CSR form
+/// from edge lists, in O(E log E) per relation (no N x N materialization).
+/// Edges are undirected and deduplicated; normalization c_{u,r} = |N_r(u)|
+/// (mean aggregation per relation), the standard R-GCN choice.
+std::vector<num::SparseCSR> build_adjacency_csr(
+    int num_nodes, int num_relations,
+    const std::vector<std::vector<std::pair<int, int>>>& edges_per_relation);
+
+/// Dense counterpart: densified CSR matrices (legacy callers and tests).
 std::vector<num::Tensor> build_adjacency(
     int num_nodes, int num_relations,
     const std::vector<std::vector<std::pair<int, int>>>& edges_per_relation);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+
+#include "numeric/parallel.hpp"
 
 namespace afp::num {
 
@@ -20,96 +23,385 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                                     shape_str(b.shape()));
 }
 
-/// Accumulates g into n->grad (buffer guaranteed allocated by make_result).
-void acc(const NodePtr& n, std::size_t i, float g) { n->grad[i] += g; }
+const std::vector<float>& V(const NodePtr& n) { return *n->value; }
+std::vector<float>& G(const NodePtr& n) { return *n->grad; }
+
+/// Accumulates g into n->grad.  Callers must have checked requires_grad —
+/// gradient buffers are lazily allocated and only exist for graph nodes.
+void acc(const NodePtr& n, std::size_t i, float g) { (*n->grad)[i] += g; }
+
+/// Minimum elements per chunk for elementwise parallel loops.
+constexpr std::int64_t kEwGrain = 1 << 14;
+
+/// Chunk grain that targets ~32k inner operations per chunk when every
+/// outer index costs `work_per_index` operations.
+std::int64_t grain_for(std::int64_t work_per_index) {
+  return std::max<std::int64_t>(
+      1, (std::int64_t{1} << 15) / std::max<std::int64_t>(1, work_per_index));
+}
+
+bool g_naive_kernels = [] {
+  if (const char* s = std::getenv("AFP_NAIVE_KERNELS")) {
+    return std::atoi(s) != 0;
+  }
+  return false;
+}();
+
+// ====================================================================== GEMM
+//
+// All three kernels are row-parallel over their output matrix: each output
+// row is produced entirely by one chunk with a fixed accumulation order,
+// so results do not depend on the thread count.
+
+/// C[M,N] (+)= A[M,K] · B[K,N].  Register-blocked over 4 output rows (each
+/// B row is loaded once per 4 C-row updates) with the C rows hot in L1.
+void gemm_nn(std::int64_t M, std::int64_t K, std::int64_t N, const float* A,
+             const float* B, float* C, bool accumulate) {
+  parallel_for(M, grain_for(K * N), [=](std::int64_t i0, std::int64_t i1) {
+    if (!accumulate) std::fill(C + i0 * N, C + i1 * N, 0.0f);
+    std::int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const float* a0 = A + i * K;
+      const float* a1 = a0 + K;
+      const float* a2 = a1 + K;
+      const float* a3 = a2 + K;
+      float* c0 = C + i * N;
+      float* c1 = c0 + N;
+      float* c2 = c1 + N;
+      float* c3 = c2 + N;
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float* b = B + k * N;
+        const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+        for (std::int64_t j = 0; j < N; ++j) {
+          const float bv = b[j];
+          c0[j] += v0 * bv;
+          c1[j] += v1 * bv;
+          c2[j] += v2 * bv;
+          c3[j] += v3 * bv;
+        }
+      }
+    }
+    // Remainder rows: plain ikj.  No zero-skip here — the blocked path
+    // always accumulates, and which path a row takes depends on the chunk
+    // boundaries, so both must use the exact same FP operation sequence to
+    // keep results independent of the thread count.
+    for (; i < i1; ++i) {
+      const float* a = A + i * K;
+      float* c = C + i * N;
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float av = a[k];
+        const float* b = B + k * N;
+        for (std::int64_t j = 0; j < N; ++j) c[j] += av * b[j];
+      }
+    }
+  });
+}
+
+/// C[M,N] (+)= A[M,K] · B[N,K]ᵀ (rows of B are dotted against rows of A).
+void gemm_nt(std::int64_t M, std::int64_t K, std::int64_t N, const float* A,
+             const float* B, float* C, bool accumulate) {
+  parallel_for(M, grain_for(K * N), [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* a = A + i * K;
+      float* c = C + i * N;
+      for (std::int64_t j = 0; j < N; ++j) {
+        const float* b = B + j * K;
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        std::int64_t k = 0;
+        for (; k + 4 <= K; k += 4) {
+          s0 += a[k] * b[k];
+          s1 += a[k + 1] * b[k + 1];
+          s2 += a[k + 2] * b[k + 2];
+          s3 += a[k + 3] * b[k + 3];
+        }
+        float s = (s0 + s1) + (s2 + s3);
+        for (; k < K; ++k) s += a[k] * b[k];
+        if (accumulate) c[j] += s;
+        else c[j] = s;
+      }
+    }
+  });
+}
+
+/// C[K,N] (+)= A[M,K]ᵀ · B[M,N].  Row-parallel over C (i.e. over K),
+/// register-blocked over 4 output rows so each B row is loaded once per 4
+/// C-row updates and the A column reads become contiguous 4-float loads.
+void gemm_tn(std::int64_t M, std::int64_t K, std::int64_t N, const float* A,
+             const float* B, float* C, bool accumulate) {
+  parallel_for(K, grain_for(M * N), [=](std::int64_t k0, std::int64_t k1) {
+    if (!accumulate) std::fill(C + k0 * N, C + k1 * N, 0.0f);
+    std::int64_t k = k0;
+    for (; k + 4 <= k1; k += 4) {
+      float* c0 = C + k * N;
+      float* c1 = c0 + N;
+      float* c2 = c1 + N;
+      float* c3 = c2 + N;
+      for (std::int64_t i = 0; i < M; ++i) {
+        const float* a = A + i * K + k;
+        const float v0 = a[0], v1 = a[1], v2 = a[2], v3 = a[3];
+        const float* b = B + i * N;
+        for (std::int64_t j = 0; j < N; ++j) {
+          const float bv = b[j];
+          c0[j] += v0 * bv;
+          c1[j] += v1 * bv;
+          c2[j] += v2 * bv;
+          c3[j] += v3 * bv;
+        }
+      }
+    }
+    // Remainder rows: no zero-skip, same reasoning as gemm_nn — the FP
+    // operation sequence must match the blocked path exactly.
+    for (; k < k1; ++k) {
+      float* c = C + k * N;
+      for (std::int64_t i = 0; i < M; ++i) {
+        const float av = A[i * K + k];
+        const float* b = B + i * N;
+        for (std::int64_t j = 0; j < N; ++j) c[j] += av * b[j];
+      }
+    }
+  });
+}
+
+// ================================================================ im2col ===
+//
+// Batched layout: col is [IC*KH*KW, B*OH*OW]; column index is
+// b*OH*OW + oh*OW + ow.  The whole batch lowers to ONE GEMM per conv.
+
+void im2col(const float* X, int B, int IC, int H, int W, int KH, int KW,
+            int OH, int OW, int stride, int pad, float* col) {
+  const std::int64_t CK = static_cast<std::int64_t>(IC) * KH * KW;
+  const std::int64_t cols = static_cast<std::int64_t>(B) * OH * OW;
+  parallel_for(CK, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const int kw = static_cast<int>(r % KW);
+      const int kh = static_cast<int>((r / KW) % KH);
+      const int ic = static_cast<int>(r / (static_cast<std::int64_t>(KW) * KH));
+      float* dst = col + r * cols;
+      for (int b = 0; b < B; ++b) {
+        const float* src =
+            X + (static_cast<std::int64_t>(b) * IC + ic) * H * W;
+        float* d = dst + static_cast<std::int64_t>(b) * OH * OW;
+        for (int oh = 0; oh < OH; ++oh, d += OW) {
+          const int ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= H) {
+            std::fill(d, d + OW, 0.0f);
+            continue;
+          }
+          const float* srow = src + static_cast<std::int64_t>(ih) * W;
+          for (int ow = 0; ow < OW; ++ow) {
+            const int iw = ow * stride - pad + kw;
+            d[ow] = (iw >= 0 && iw < W) ? srow[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  });
+}
+
+/// Scatters col (same layout as im2col) back into X, accumulating.
+/// Parallel over the batch: each image is owned by one chunk.
+void col2im_acc(const float* col, int B, int IC, int H, int W, int KH, int KW,
+                int OH, int OW, int stride, int pad, float* dX) {
+  const std::int64_t CK = static_cast<std::int64_t>(IC) * KH * KW;
+  const std::int64_t cols = static_cast<std::int64_t>(B) * OH * OW;
+  parallel_for(B, grain_for(CK * OH * OW),
+               [=](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t r = 0; r < CK; ++r) {
+        const int kw = static_cast<int>(r % KW);
+        const int kh = static_cast<int>((r / KW) % KH);
+        const int ic =
+            static_cast<int>(r / (static_cast<std::int64_t>(KW) * KH));
+        const float* src = col + r * cols + b * OH * OW;
+        float* dst = dX + (b * IC + ic) * H * W;
+        for (int oh = 0; oh < OH; ++oh) {
+          const int ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= H) continue;
+          float* drow = dst + static_cast<std::int64_t>(ih) * W;
+          const float* srow = src + static_cast<std::int64_t>(oh) * OW;
+          for (int ow = 0; ow < OW; ++ow) {
+            const int iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < W) drow[iw] += srow[ow];
+          }
+        }
+      }
+    }
+  });
+}
+
+/// Gathers NCHW x into channel-major x_mat [C, B*H*W] (column b*HW + i).
+void to_channel_major(const float* X, int B, int C, std::int64_t HW,
+                      float* Xmat) {
+  const std::int64_t total = static_cast<std::int64_t>(B) * C;
+  parallel_for(total, grain_for(HW), [=](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t b = t / C, c = t % C;
+      std::copy(X + (b * C + c) * HW, X + (b * C + c) * HW + HW,
+                Xmat + c * (B * HW) + b * HW);
+    }
+  });
+}
+
+/// Scatters channel-major mat [C, B*H*W] back to NCHW, accumulating.
+void from_channel_major_acc(const float* Xmat, int B, int C, std::int64_t HW,
+                            float* X) {
+  const std::int64_t total = static_cast<std::int64_t>(B) * C;
+  parallel_for(total, grain_for(HW), [=](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t b = t / C, c = t % C;
+      const float* src = Xmat + c * (B * HW) + b * HW;
+      float* dst = X + (b * C + c) * HW;
+      for (std::int64_t i = 0; i < HW; ++i) dst[i] += src[i];
+    }
+  });
+}
+
+// ============================================================ elementwise ===
+
+template <class Fwd>
+detail::BufferPtr ew_forward(const Tensor& a, Fwd&& f) {
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* in = a.data();
+  float* o = out->data();
+  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i)
+                   o[i] = f(in[static_cast<std::size_t>(i)]);
+               });
+  return out;
+}
 
 }  // namespace
+
+bool naive_kernels() { return g_naive_kernels; }
+void set_naive_kernels(bool naive) { g_naive_kernels = naive; }
 
 // ---------------------------------------------------------------- binary ---
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) + b.at(i);
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out->data();
+  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] + pb[i];
+               });
   NodePtr an = a.node(), bn = b.node();
   return make_result(a.shape(), std::move(out), {a, b},
                      [an, bn](const std::vector<float>& g) {
+                       const bool da = an->requires_grad,
+                                  db = bn->requires_grad;
                        for (std::size_t i = 0; i < g.size(); ++i) {
-                         acc(an, i, g[i]);
-                         acc(bn, i, g[i]);
+                         if (da) acc(an, i, g[i]);
+                         if (db) acc(bn, i, g[i]);
                        }
                      });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) - b.at(i);
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out->data();
+  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] - pb[i];
+               });
   NodePtr an = a.node(), bn = b.node();
   return make_result(a.shape(), std::move(out), {a, b},
                      [an, bn](const std::vector<float>& g) {
+                       const bool da = an->requires_grad,
+                                  db = bn->requires_grad;
                        for (std::size_t i = 0; i < g.size(); ++i) {
-                         acc(an, i, g[i]);
-                         acc(bn, i, -g[i]);
+                         if (da) acc(an, i, g[i]);
+                         if (db) acc(bn, i, -g[i]);
                        }
                      });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) * b.at(i);
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out->data();
+  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] * pb[i];
+               });
   NodePtr an = a.node(), bn = b.node();
   return make_result(a.shape(), std::move(out), {a, b},
                      [an, bn](const std::vector<float>& g) {
+                       const bool da = an->requires_grad,
+                                  db = bn->requires_grad;
                        for (std::size_t i = 0; i < g.size(); ++i) {
-                         acc(an, i, g[i] * bn->value[i]);
-                         acc(bn, i, g[i] * an->value[i]);
+                         if (da) acc(an, i, g[i] * V(bn)[i]);
+                         if (db) acc(bn, i, g[i] * V(an)[i]);
                        }
                      });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "div");
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) / b.at(i);
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out->data();
+  for (std::size_t i = 0; i < out->size(); ++i) o[i] = pa[i] / pb[i];
   NodePtr an = a.node(), bn = b.node();
   return make_result(a.shape(), std::move(out), {a, b},
                      [an, bn](const std::vector<float>& g) {
+                       const bool da = an->requires_grad,
+                                  db = bn->requires_grad;
                        for (std::size_t i = 0; i < g.size(); ++i) {
-                         const float inv = 1.0f / bn->value[i];
-                         acc(an, i, g[i] * inv);
-                         acc(bn, i, -g[i] * an->value[i] * inv * inv);
+                         const float inv = 1.0f / V(bn)[i];
+                         if (da) acc(an, i, g[i] * inv);
+                         if (db) acc(bn, i, -g[i] * V(an)[i] * inv * inv);
                        }
                      });
 }
 
 Tensor minimum(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "minimum");
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = std::min(a.at(i), b.at(i));
+  auto out = detail::acquire_buffer(a.values().size());
+  for (std::size_t i = 0; i < out->size(); ++i)
+    (*out)[i] = std::min(a.at(static_cast<std::int64_t>(i)),
+                         b.at(static_cast<std::int64_t>(i)));
   NodePtr an = a.node(), bn = b.node();
   return make_result(a.shape(), std::move(out), {a, b},
                      [an, bn](const std::vector<float>& g) {
+                       const bool da = an->requires_grad,
+                                  db = bn->requires_grad;
                        for (std::size_t i = 0; i < g.size(); ++i) {
-                         if (an->value[i] <= bn->value[i]) acc(an, i, g[i]);
-                         else acc(bn, i, g[i]);
+                         if (V(an)[i] <= V(bn)[i]) {
+                           if (da) acc(an, i, g[i]);
+                         } else if (db) {
+                           acc(bn, i, g[i]);
+                         }
                        }
                      });
 }
 
 Tensor maximum(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "maximum");
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = std::max(a.at(i), b.at(i));
+  auto out = detail::acquire_buffer(a.values().size());
+  for (std::size_t i = 0; i < out->size(); ++i)
+    (*out)[i] = std::max(a.at(static_cast<std::int64_t>(i)),
+                         b.at(static_cast<std::int64_t>(i)));
   NodePtr an = a.node(), bn = b.node();
   return make_result(a.shape(), std::move(out), {a, b},
                      [an, bn](const std::vector<float>& g) {
+                       const bool da = an->requires_grad,
+                                  db = bn->requires_grad;
                        for (std::size_t i = 0; i < g.size(); ++i) {
-                         if (an->value[i] >= bn->value[i]) acc(an, i, g[i]);
-                         else acc(bn, i, g[i]);
+                         if (V(an)[i] >= V(bn)[i]) {
+                           if (da) acc(an, i, g[i]);
+                         } else if (db) {
+                           acc(bn, i, g[i]);
+                         }
                        }
                      });
 }
@@ -117,8 +409,7 @@ Tensor maximum(const Tensor& a, const Tensor& b) {
 // ---------------------------------------------------------------- scalar ---
 
 Tensor add_scalar(const Tensor& a, float s) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) + s;
+  auto out = ew_forward(a, [s](float v) { return v + s; });
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an](const std::vector<float>& g) {
@@ -128,8 +419,7 @@ Tensor add_scalar(const Tensor& a, float s) {
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) * s;
+  auto out = ew_forward(a, [s](float v) { return v * s; });
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an, s](const std::vector<float>& g) {
@@ -143,59 +433,60 @@ Tensor mul_scalar(const Tensor& a, float s) {
 Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
 
 Tensor relu(const Tensor& a) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, a.at(i));
+  auto out = ew_forward(a, [](float v) { return std::max(0.0f, v); });
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an](const std::vector<float>& g) {
                        for (std::size_t i = 0; i < g.size(); ++i)
-                         if (an->value[i] > 0.0f) acc(an, i, g[i]);
+                         if (V(an)[i] > 0.0f) acc(an, i, g[i]);
                      });
 }
 
 Tensor tanh_op(const Tensor& a) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(a.at(i));
+  auto out = ew_forward(a, [](float v) { return std::tanh(v); });
   NodePtr an = a.node();
-  std::vector<float> saved = out;  // tanh'(x) = 1 - tanh(x)^2
+  // Share the output buffer with the closure instead of copying: no op
+  // mutates a result's values, so the saved handle stays valid.
+  detail::BufferPtr saved = out;  // tanh'(x) = 1 - tanh(x)^2
   return make_result(a.shape(), std::move(out), {a},
                      [an, saved = std::move(saved)](const std::vector<float>& g) {
+                       const std::vector<float>& s = *saved;
                        for (std::size_t i = 0; i < g.size(); ++i)
-                         acc(an, i, g[i] * (1.0f - saved[i] * saved[i]));
+                         acc(an, i, g[i] * (1.0f - s[i] * s[i]));
                      });
 }
 
 Tensor sigmoid(const Tensor& a) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = 1.0f / (1.0f + std::exp(-a.at(i)));
+  auto out =
+      ew_forward(a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
   NodePtr an = a.node();
-  std::vector<float> saved = out;
+  detail::BufferPtr saved = out;
   return make_result(a.shape(), std::move(out), {a},
                      [an, saved = std::move(saved)](const std::vector<float>& g) {
+                       const std::vector<float>& s = *saved;
                        for (std::size_t i = 0; i < g.size(); ++i)
-                         acc(an, i, g[i] * saved[i] * (1.0f - saved[i]));
+                         acc(an, i, g[i] * s[i] * (1.0f - s[i]));
                      });
 }
 
 Tensor exp_op(const Tensor& a) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::exp(a.at(i));
+  auto out = ew_forward(a, [](float v) { return std::exp(v); });
   NodePtr an = a.node();
-  std::vector<float> saved = out;
+  detail::BufferPtr saved = out;
   return make_result(a.shape(), std::move(out), {a},
                      [an, saved = std::move(saved)](const std::vector<float>& g) {
+                       const std::vector<float>& s = *saved;
                        for (std::size_t i = 0; i < g.size(); ++i)
-                         acc(an, i, g[i] * saved[i]);
+                         acc(an, i, g[i] * s[i]);
                      });
 }
 
 Tensor log_op(const Tensor& a, float eps) {
-  std::vector<float> out(a.values().size());
+  auto out = detail::acquire_buffer(a.values().size());
   std::vector<float> safe(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    safe[i] = std::max(a.at(i), eps);
-    out[i] = std::log(safe[i]);
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    safe[i] = std::max(a.at(static_cast<std::int64_t>(i)), eps);
+    (*out)[i] = std::log(safe[i]);
   }
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
@@ -206,25 +497,22 @@ Tensor log_op(const Tensor& a, float eps) {
 }
 
 Tensor square(const Tensor& a) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.at(i) * a.at(i);
+  auto out = ew_forward(a, [](float v) { return v * v; });
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an](const std::vector<float>& g) {
                        for (std::size_t i = 0; i < g.size(); ++i)
-                         acc(an, i, 2.0f * g[i] * an->value[i]);
+                         acc(an, i, 2.0f * g[i] * V(an)[i]);
                      });
 }
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  std::vector<float> out(a.values().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = std::clamp(a.at(i), lo, hi);
+  auto out = ew_forward(a, [lo, hi](float v) { return std::clamp(v, lo, hi); });
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an, lo, hi](const std::vector<float>& g) {
                        for (std::size_t i = 0; i < g.size(); ++i)
-                         if (an->value[i] > lo && an->value[i] < hi)
+                         if (V(an)[i] > lo && V(an)[i] < hi)
                            acc(an, i, g[i]);
                      });
 }
@@ -235,9 +523,9 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
   check(numel(new_shape) == a.size(),
         "reshape: element count mismatch " + shape_str(a.shape()) + " -> " +
             shape_str(new_shape));
-  std::vector<float> out = a.values();
   NodePtr an = a.node();
-  return make_result(std::move(new_shape), std::move(out), {a},
+  // Alias the input's value buffer: a reshape is a view, not a copy.
+  return make_result(std::move(new_shape), an->value, {a},
                      [an](const std::vector<float>& g) {
                        for (std::size_t i = 0; i < g.size(); ++i)
                          acc(an, i, g[i]);
@@ -275,10 +563,12 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
         int c0 = 0;
         for (std::size_t k = 0; k < nodes.size(); ++k) {
           const int w = widths[k];
-          for (int r = 0; r < rows; ++r)
-            for (int c = 0; c < w; ++c)
-              acc(nodes[k], static_cast<std::size_t>(r) * w + c,
-                  g[static_cast<std::size_t>(r) * total_cols + c0 + c]);
+          if (nodes[k]->requires_grad) {
+            for (int r = 0; r < rows; ++r)
+              for (int c = 0; c < w; ++c)
+                acc(nodes[k], static_cast<std::size_t>(r) * w + c,
+                    g[static_cast<std::size_t>(r) * total_cols + c0 + c]);
+          }
           c0 += w;
         }
       });
@@ -308,8 +598,10 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
                        for (std::size_t k = 0; k < nodes.size(); ++k) {
                          const std::size_t n =
                              static_cast<std::size_t>(heights[k]) * cols;
-                         for (std::size_t i = 0; i < n; ++i)
-                           acc(nodes[k], i, g[off + i]);
+                         if (nodes[k]->requires_grad) {
+                           for (std::size_t i = 0; i < n; ++i)
+                             acc(nodes[k], i, g[off + i]);
+                         }
                          off += n;
                        }
                      });
@@ -317,17 +609,14 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
 
 // --------------------------------------------------------------- lin. alg ---
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  check(a.dim() == 2 && b.dim() == 2, "matmul: inputs must be 2-D");
-  const int m = a.shape()[0], k = a.shape()[1];
-  check(b.shape()[0] == k, "matmul: inner dimension mismatch " +
-                               shape_str(a.shape()) + " x " +
-                               shape_str(b.shape()));
-  const int n = b.shape()[1];
+namespace {
+
+/// Original scalar matmul (seed kernel), kept as the reference path.
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  const int m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
   std::vector<float> out(static_cast<std::size_t>(m) * n, 0.0f);
   const float* A = a.data();
   const float* B = b.data();
-  // ikj loop order: streams over B rows, cache friendly.
   for (int i = 0; i < m; ++i) {
     for (int kk = 0; kk < k; ++kk) {
       const float av = A[static_cast<std::size_t>(i) * k + kk];
@@ -341,18 +630,52 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return make_result(
       {m, n}, std::move(out), {a, b},
       [an, bn, m, k, n](const std::vector<float>& g) {
-        // dA = g @ B^T ; dB = A^T @ g
+        // dA = g @ B^T ; dB = A^T @ g (per-element scatter form).
+        const bool da = an->requires_grad, db = bn->requires_grad;
         for (int i = 0; i < m; ++i) {
           for (int j = 0; j < n; ++j) {
             const float gv = g[static_cast<std::size_t>(i) * n + j];
             if (gv == 0.0f) continue;
             for (int kk = 0; kk < k; ++kk) {
-              an->grad[static_cast<std::size_t>(i) * k + kk] +=
-                  gv * bn->value[static_cast<std::size_t>(kk) * n + j];
-              bn->grad[static_cast<std::size_t>(kk) * n + j] +=
-                  gv * an->value[static_cast<std::size_t>(i) * k + kk];
+              if (da)
+                G(an)[static_cast<std::size_t>(i) * k + kk] +=
+                    gv * V(bn)[static_cast<std::size_t>(kk) * n + j];
+              if (db)
+                G(bn)[static_cast<std::size_t>(kk) * n + j] +=
+                    gv * V(an)[static_cast<std::size_t>(i) * k + kk];
             }
           }
+        }
+      });
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 2 && b.dim() == 2, "matmul: inputs must be 2-D");
+  const int m = a.shape()[0], k = a.shape()[1];
+  check(b.shape()[0] == k, "matmul: inner dimension mismatch " +
+                               shape_str(a.shape()) + " x " +
+                               shape_str(b.shape()));
+  const int n = b.shape()[1];
+  if (naive_kernels()) return matmul_naive(a, b);
+
+  auto out = detail::acquire_buffer(static_cast<std::size_t>(m) * n);
+  gemm_nn(m, k, n, a.data(), b.data(), out->data(), /*accumulate=*/false);
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(
+      {m, n}, std::move(out), {a, b},
+      [an, bn, m, k, n](const std::vector<float>& g) {
+        // Two proper GEMM passes into row-partitioned outputs.
+        if (an->requires_grad) {
+          // dA[M,K] += g[M,N] · B[K,N]ᵀ
+          gemm_nt(m, n, k, g.data(), V(bn).data(), G(an).data(),
+                  /*accumulate=*/true);
+        }
+        if (bn->requires_grad) {
+          // dB[K,N] += A[M,K]ᵀ · g[M,N]
+          gemm_tn(m, k, n, V(an).data(), g.data(), G(bn).data(),
+                  /*accumulate=*/true);
         }
       });
 }
@@ -361,22 +684,43 @@ Tensor add_rowvec(const Tensor& x, const Tensor& v) {
   check(x.dim() == 2, "add_rowvec: x must be 2-D");
   const int rows = x.shape()[0], cols = x.shape()[1];
   check(v.size() == cols, "add_rowvec: vector length mismatch");
-  std::vector<float> out(x.values().size());
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < cols; ++c)
-      out[static_cast<std::size_t>(r) * cols + c] =
-          x.at(static_cast<std::int64_t>(r) * cols + c) + v.at(c);
+  auto out = detail::acquire_buffer(x.values().size());
+  const float* px = x.data();
+  const float* pv = v.data();
+  float* o = out->data();
+  parallel_for(rows, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r)
+      for (int c = 0; c < cols; ++c)
+        o[r * cols + c] = px[r * cols + c] + pv[c];
+  });
   NodePtr xn = x.node(), vn = v.node();
-  return make_result({rows, cols}, std::move(out), {x, v},
-                     [xn, vn, rows, cols](const std::vector<float>& g) {
-                       for (int r = 0; r < rows; ++r)
-                         for (int c = 0; c < cols; ++c) {
-                           const float gv =
-                               g[static_cast<std::size_t>(r) * cols + c];
-                           xn->grad[static_cast<std::size_t>(r) * cols + c] += gv;
-                           vn->grad[static_cast<std::size_t>(c)] += gv;
+  return make_result(
+      {rows, cols}, std::move(out), {x, v},
+      [xn, vn, rows, cols](const std::vector<float>& g) {
+        if (xn->requires_grad) {
+          float* gx = G(xn).data();
+          const float* pg = g.data();
+          parallel_for(static_cast<std::int64_t>(g.size()), kEwGrain,
+                       [=](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i)
+                           gx[i] += pg[i];
+                       });
+        }
+        if (vn->requires_grad) {
+          // Column sums; each column owned by one chunk.
+          float* gv = G(vn).data();
+          const float* pg = g.data();
+          parallel_for(cols, grain_for(rows),
+                       [=](std::int64_t c0, std::int64_t c1) {
+                         for (std::int64_t c = c0; c < c1; ++c) {
+                           float s = 0.0f;
+                           for (int r = 0; r < rows; ++r)
+                             s += pg[static_cast<std::size_t>(r) * cols + c];
+                           gv[c] += s;
                          }
-                     });
+                       });
+        }
+      });
 }
 
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
@@ -390,7 +734,7 @@ Tensor sum_all(const Tensor& a) {
   for (std::int64_t i = 0; i < a.size(); ++i) s += a.at(i);
   NodePtr an = a.node();
   return make_result({1}, {s}, {a}, [an](const std::vector<float>& g) {
-    for (std::size_t i = 0; i < an->grad.size(); ++i) acc(an, i, g[0]);
+    for (std::size_t i = 0; i < G(an).size(); ++i) acc(an, i, g[0]);
   });
 }
 
@@ -401,7 +745,7 @@ Tensor mean_all(const Tensor& a) {
   NodePtr an = a.node();
   return make_result({1}, {s * inv}, {a},
                      [an, inv](const std::vector<float>& g) {
-                       for (std::size_t i = 0; i < an->grad.size(); ++i)
+                       for (std::size_t i = 0; i < G(an).size(); ++i)
                          acc(an, i, g[0] * inv);
                      });
 }
@@ -421,7 +765,7 @@ Tensor mean_axis0(const Tensor& a) {
                      [an, rows, cols, inv](const std::vector<float>& g) {
                        for (int r = 0; r < rows; ++r)
                          for (int c = 0; c < cols; ++c)
-                           an->grad[static_cast<std::size_t>(r) * cols + c] +=
+                           G(an)[static_cast<std::size_t>(r) * cols + c] +=
                                g[static_cast<std::size_t>(c)] * inv;
                      });
 }
@@ -435,11 +779,11 @@ Tensor sum_axis1(const Tensor& a) {
       out[static_cast<std::size_t>(r)] +=
           a.at(static_cast<std::int64_t>(r) * cols + c);
   NodePtr an = a.node();
-  return make_result({rows}, std::move(out), {a},
+  return make_result({rows, 1}, std::move(out), {a},
                      [an, rows, cols](const std::vector<float>& g) {
                        for (int r = 0; r < rows; ++r)
                          for (int c = 0; c < cols; ++c)
-                           an->grad[static_cast<std::size_t>(r) * cols + c] +=
+                           G(an)[static_cast<std::size_t>(r) * cols + c] +=
                                g[static_cast<std::size_t>(r)];
                      });
 }
@@ -449,67 +793,87 @@ Tensor sum_axis1(const Tensor& a) {
 Tensor softmax_rows(const Tensor& a) {
   check(a.dim() == 2, "softmax_rows: input must be 2-D");
   const int rows = a.shape()[0], cols = a.shape()[1];
-  std::vector<float> out(a.values().size());
-  for (int r = 0; r < rows; ++r) {
-    const float* in = a.data() + static_cast<std::size_t>(r) * cols;
-    float* o = out.data() + static_cast<std::size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
-      denom += o[c];
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  float* po = out->data();
+  parallel_for(rows, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = pa + static_cast<std::size_t>(r) * cols;
+      float* o = po + static_cast<std::size_t>(r) * cols;
+      float mx = in[0];
+      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+      float denom = 0.0f;
+      for (int c = 0; c < cols; ++c) {
+        o[c] = std::exp(in[c] - mx);
+        denom += o[c];
+      }
+      const float inv = 1.0f / denom;
+      for (int c = 0; c < cols; ++c) o[c] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int c = 0; c < cols; ++c) o[c] *= inv;
-  }
+  });
   NodePtr an = a.node();
-  std::vector<float> saved = out;
+  detail::BufferPtr saved = out;  // softmax probabilities, shared not copied
   return make_result(
       a.shape(), std::move(out), {a},
       [an, rows, cols, saved = std::move(saved)](const std::vector<float>& g) {
         // dx = p * (g - sum(g * p)) per row.
-        for (int r = 0; r < rows; ++r) {
-          const float* p = saved.data() + static_cast<std::size_t>(r) * cols;
-          const float* gr = g.data() + static_cast<std::size_t>(r) * cols;
-          float dot = 0.0f;
-          for (int c = 0; c < cols; ++c) dot += gr[c] * p[c];
-          for (int c = 0; c < cols; ++c)
-            an->grad[static_cast<std::size_t>(r) * cols + c] +=
-                p[c] * (gr[c] - dot);
-        }
+        float* ga = G(an).data();
+        const float* ps = saved->data();
+        const float* pg = g.data();
+        parallel_for(rows, grain_for(cols),
+                     [=](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* p = ps + static_cast<std::size_t>(r) * cols;
+            const float* gr = pg + static_cast<std::size_t>(r) * cols;
+            float dot = 0.0f;
+            for (int c = 0; c < cols; ++c) dot += gr[c] * p[c];
+            for (int c = 0; c < cols; ++c)
+              ga[static_cast<std::size_t>(r) * cols + c] +=
+                  p[c] * (gr[c] - dot);
+          }
+        });
       });
 }
 
 Tensor log_softmax_rows(const Tensor& a) {
   check(a.dim() == 2, "log_softmax_rows: input must be 2-D");
   const int rows = a.shape()[0], cols = a.shape()[1];
-  std::vector<float> out(a.values().size());
-  for (int r = 0; r < rows; ++r) {
-    const float* in = a.data() + static_cast<std::size_t>(r) * cols;
-    float* o = out.data() + static_cast<std::size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) denom += std::exp(in[c] - mx);
-    const float lse = mx + std::log(denom);
-    for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
-  }
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  float* po = out->data();
+  parallel_for(rows, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = pa + static_cast<std::size_t>(r) * cols;
+      float* o = po + static_cast<std::size_t>(r) * cols;
+      float mx = in[0];
+      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+      float denom = 0.0f;
+      for (int c = 0; c < cols; ++c) denom += std::exp(in[c] - mx);
+      const float lse = mx + std::log(denom);
+      for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
+    }
+  });
   NodePtr an = a.node();
-  std::vector<float> saved = out;  // log p
+  detail::BufferPtr saved = out;  // log p, shared not copied
   return make_result(
       a.shape(), std::move(out), {a},
       [an, rows, cols, saved = std::move(saved)](const std::vector<float>& g) {
         // dx = g - softmax * sum(g) per row.
-        for (int r = 0; r < rows; ++r) {
-          const float* lp = saved.data() + static_cast<std::size_t>(r) * cols;
-          const float* gr = g.data() + static_cast<std::size_t>(r) * cols;
-          float gsum = 0.0f;
-          for (int c = 0; c < cols; ++c) gsum += gr[c];
-          for (int c = 0; c < cols; ++c)
-            an->grad[static_cast<std::size_t>(r) * cols + c] +=
-                gr[c] - std::exp(lp[c]) * gsum;
-        }
+        float* ga = G(an).data();
+        const float* ps = saved->data();
+        const float* pg = g.data();
+        parallel_for(rows, grain_for(cols),
+                     [=](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* lp = ps + static_cast<std::size_t>(r) * cols;
+            const float* gr = pg + static_cast<std::size_t>(r) * cols;
+            float gsum = 0.0f;
+            for (int c = 0; c < cols; ++c) gsum += gr[c];
+            for (int c = 0; c < cols; ++c)
+              ga[static_cast<std::size_t>(r) * cols + c] +=
+                  gr[c] - std::exp(lp[c]) * gsum;
+          }
+        });
       });
 }
 
@@ -529,7 +893,7 @@ Tensor gather_rows(const Tensor& x, const std::vector<int>& rows) {
                      [xn, rows, d](const std::vector<float>& g) {
                        for (std::size_t k = 0; k < rows.size(); ++k)
                          for (int c = 0; c < d; ++c)
-                           xn->grad[static_cast<std::size_t>(rows[k]) * d + c] +=
+                           G(xn)[static_cast<std::size_t>(rows[k]) * d + c] +=
                                g[k * d + c];
                      });
 }
@@ -549,27 +913,24 @@ Tensor gather_per_row(const Tensor& x, const std::vector<int>& cols) {
   return make_result({b}, std::move(out), {x},
                      [xn, cols, n](const std::vector<float>& g) {
                        for (std::size_t r = 0; r < cols.size(); ++r)
-                         xn->grad[r * n + cols[r]] += g[r];
+                         G(xn)[r * n + cols[r]] += g[r];
                      });
 }
 
 // ------------------------------------------------------------ convolutions ---
 
-Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
-              int pad) {
-  check(x.dim() == 4, "conv2d: input must be NCHW");
-  check(w.dim() == 4, "conv2d: weight must be [OC, IC, KH, KW]");
+namespace {
+
+/// Original scalar conv2d (seed kernel), kept as the reference path.
+Tensor conv2d_naive(const Tensor& x, const Tensor& w, const Tensor& b,
+                    int stride, int pad) {
   const int B = x.shape()[0], IC = x.shape()[1], H = x.shape()[2],
             W = x.shape()[3];
   const int OC = w.shape()[0], KH = w.shape()[2], KW = w.shape()[3];
-  check(w.shape()[1] == IC, "conv2d: channel mismatch");
-  check(b.size() == OC, "conv2d: bias size mismatch");
   const int OH = (H + 2 * pad - KH) / stride + 1;
   const int OW = (W + 2 * pad - KW) / stride + 1;
-  check(OH > 0 && OW > 0, "conv2d: output would be empty");
 
-  std::vector<float> out(
-      static_cast<std::size_t>(B) * OC * OH * OW, 0.0f);
+  std::vector<float> out(static_cast<std::size_t>(B) * OC * OH * OW, 0.0f);
   const float* X = x.data();
   const float* Wt = w.data();
   const float* Bs = b.data();
@@ -616,13 +977,15 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
         auto oi = [&](int bb, int oc, int i, int j) {
           return ((static_cast<std::size_t>(bb) * OC + oc) * OH + i) * OW + j;
         };
+        const bool dx = xn->requires_grad, dw = wn->requires_grad,
+                   db = bn->requires_grad;
         for (int bb = 0; bb < B; ++bb)
           for (int oc = 0; oc < OC; ++oc)
             for (int oh = 0; oh < OH; ++oh)
               for (int ow = 0; ow < OW; ++ow) {
                 const float gv = g[oi(bb, oc, oh, ow)];
                 if (gv == 0.0f) continue;
-                bn->grad[static_cast<std::size_t>(oc)] += gv;
+                if (db) G(bn)[static_cast<std::size_t>(oc)] += gv;
                 const int ih0 = oh * stride - pad;
                 const int iw0 = ow * stride - pad;
                 for (int ic = 0; ic < IC; ++ic)
@@ -632,28 +995,26 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
                     for (int kw = 0; kw < KW; ++kw) {
                       const int iw = iw0 + kw;
                       if (iw < 0 || iw >= W) continue;
-                      xn->grad[xi(bb, ic, ih, iw)] +=
-                          gv * wn->value[wi(oc, ic, kh, kw)];
-                      wn->grad[wi(oc, ic, kh, kw)] +=
-                          gv * xn->value[xi(bb, ic, ih, iw)];
+                      if (dx)
+                        G(xn)[xi(bb, ic, ih, iw)] +=
+                            gv * V(wn)[wi(oc, ic, kh, kw)];
+                      if (dw)
+                        G(wn)[wi(oc, ic, kh, kw)] +=
+                            gv * V(xn)[xi(bb, ic, ih, iw)];
                     }
                   }
               }
       });
 }
 
-Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
-                        int stride, int pad) {
-  check(x.dim() == 4, "conv_transpose2d: input must be NCHW");
-  check(w.dim() == 4, "conv_transpose2d: weight must be [IC, OC, KH, KW]");
+/// Original scalar conv_transpose2d (seed kernel), reference path.
+Tensor conv_transpose2d_naive(const Tensor& x, const Tensor& w,
+                              const Tensor& b, int stride, int pad) {
   const int B = x.shape()[0], IC = x.shape()[1], H = x.shape()[2],
             W = x.shape()[3];
   const int OC = w.shape()[1], KH = w.shape()[2], KW = w.shape()[3];
-  check(w.shape()[0] == IC, "conv_transpose2d: channel mismatch");
-  check(b.size() == OC, "conv_transpose2d: bias size mismatch");
   const int OH = (H - 1) * stride - 2 * pad + KH;
   const int OW = (W - 1) * stride - 2 * pad + KW;
-  check(OH > 0 && OW > 0, "conv_transpose2d: output would be empty");
 
   std::vector<float> out(static_cast<std::size_t>(B) * OC * OH * OW, 0.0f);
   auto xi = [&](int bb, int c, int i, int j) {
@@ -702,18 +1063,22 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
         auto oi = [&](int bb, int oc, int i, int j) {
           return ((static_cast<std::size_t>(bb) * OC + oc) * OH + i) * OW + j;
         };
+        const bool dx = xn->requires_grad, dw = wn->requires_grad,
+                   db = bn->requires_grad;
         // Bias gradient: sum over batch and spatial dims.
-        for (int bb = 0; bb < B; ++bb)
-          for (int oc = 0; oc < OC; ++oc)
-            for (int oh = 0; oh < OH; ++oh)
-              for (int ow = 0; ow < OW; ++ow)
-                bn->grad[static_cast<std::size_t>(oc)] += g[oi(bb, oc, oh, ow)];
+        if (db) {
+          for (int bb = 0; bb < B; ++bb)
+            for (int oc = 0; oc < OC; ++oc)
+              for (int oh = 0; oh < OH; ++oh)
+                for (int ow = 0; ow < OW; ++ow)
+                  G(bn)[static_cast<std::size_t>(oc)] += g[oi(bb, oc, oh, ow)];
+        }
         for (int bb = 0; bb < B; ++bb)
           for (int ic = 0; ic < IC; ++ic)
             for (int ih = 0; ih < H; ++ih)
               for (int iw = 0; iw < W; ++iw) {
-                const float xv = xn->value[xi(bb, ic, ih, iw)];
-                float dx = 0.0f;
+                const float xv = V(xn)[xi(bb, ic, ih, iw)];
+                float dxv = 0.0f;
                 for (int oc = 0; oc < OC; ++oc)
                   for (int kh = 0; kh < KH; ++kh) {
                     const int oh = ih * stride - pad + kh;
@@ -722,12 +1087,184 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
                       const int ow = iw * stride - pad + kw;
                       if (ow < 0 || ow >= OW) continue;
                       const float gv = g[oi(bb, oc, oh, ow)];
-                      dx += gv * wn->value[wi(ic, oc, kh, kw)];
-                      wn->grad[wi(ic, oc, kh, kw)] += gv * xv;
+                      dxv += gv * V(wn)[wi(ic, oc, kh, kw)];
+                      if (dw) G(wn)[wi(ic, oc, kh, kw)] += gv * xv;
                     }
                   }
-                xn->grad[xi(bb, ic, ih, iw)] += dx;
+                if (dx) G(xn)[xi(bb, ic, ih, iw)] += dxv;
               }
+      });
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
+              int pad) {
+  check(x.dim() == 4, "conv2d: input must be NCHW");
+  check(w.dim() == 4, "conv2d: weight must be [OC, IC, KH, KW]");
+  const int B = x.shape()[0], IC = x.shape()[1], H = x.shape()[2],
+            W = x.shape()[3];
+  const int OC = w.shape()[0], KH = w.shape()[2], KW = w.shape()[3];
+  check(w.shape()[1] == IC, "conv2d: channel mismatch");
+  check(b.size() == OC, "conv2d: bias size mismatch");
+  const int OH = (H + 2 * pad - KH) / stride + 1;
+  const int OW = (W + 2 * pad - KW) / stride + 1;
+  check(OH > 0 && OW > 0, "conv2d: output would be empty");
+  if (naive_kernels()) return conv2d_naive(x, w, b, stride, pad);
+
+  const std::int64_t CK = static_cast<std::int64_t>(IC) * KH * KW;
+  const std::int64_t ohw = static_cast<std::int64_t>(OH) * OW;
+  const std::int64_t cols = static_cast<std::int64_t>(B) * ohw;
+
+  // Y[OC, B*OH*OW] = Wmat[OC, CK] · im2col(x); then scatter + bias.
+  auto col = detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+  im2col(x.data(), B, IC, H, W, KH, KW, OH, OW, stride, pad, col->data());
+  auto ymat = detail::acquire_buffer(static_cast<std::size_t>(OC * cols));
+  gemm_nn(OC, CK, cols, w.data(), col->data(), ymat->data(),
+          /*accumulate=*/false);
+  col.reset();  // back to the pool before allocating the output
+
+  auto out = detail::acquire_buffer(static_cast<std::size_t>(B) * OC * ohw);
+  {
+    const float* ym = ymat->data();
+    const float* bias = b.data();
+    float* po = out->data();
+    parallel_for(static_cast<std::int64_t>(B) * OC, grain_for(ohw),
+                 [=](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::int64_t bb = t / OC, oc = t % OC;
+        const float* src = ym + oc * cols + bb * ohw;
+        float* dst = po + (bb * OC + oc) * ohw;
+        const float bv = bias[oc];
+        for (std::int64_t i = 0; i < ohw; ++i) dst[i] = src[i] + bv;
+      }
+    });
+  }
+
+  NodePtr xn = x.node(), wn = w.node(), bn = b.node();
+  return make_result(
+      {B, OC, OH, OW}, std::move(out), {x, w, b},
+      [xn, wn, bn, B, IC, H, W, OC, KH, KW, OH, OW, stride, pad, CK, ohw,
+       cols](const std::vector<float>& g) {
+        // Gather g into channel-major [OC, B*OH*OW].
+        auto gmat = detail::acquire_buffer(static_cast<std::size_t>(OC * cols));
+        to_channel_major(g.data(), B, OC, ohw, gmat->data());
+
+        if (bn->requires_grad) {
+          float* gb = G(bn).data();
+          const float* gm = gmat->data();
+          for (int oc = 0; oc < OC; ++oc) {
+            float s = 0.0f;
+            const float* row = gm + static_cast<std::int64_t>(oc) * cols;
+            for (std::int64_t i = 0; i < cols; ++i) s += row[i];
+            gb[oc] += s;
+          }
+        }
+        if (wn->requires_grad) {
+          // dW[OC, CK] += g_mat · colᵀ — recompute col from the saved input.
+          auto col =
+              detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+          im2col(V(xn).data(), B, IC, H, W, KH, KW, OH, OW, stride, pad,
+                 col->data());
+          gemm_nt(OC, cols, CK, gmat->data(), col->data(), G(wn).data(),
+                  /*accumulate=*/true);
+        }
+        if (xn->requires_grad) {
+          // dcol[CK, B*OH*OW] = Wmatᵀ · g_mat; then col2im-accumulate.
+          auto dcol =
+              detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+          gemm_tn(OC, CK, cols, V(wn).data(), gmat->data(), dcol->data(),
+                  /*accumulate=*/false);
+          col2im_acc(dcol->data(), B, IC, H, W, KH, KW, OH, OW, stride, pad,
+                     G(xn).data());
+        }
+      });
+}
+
+Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
+                        int stride, int pad) {
+  check(x.dim() == 4, "conv_transpose2d: input must be NCHW");
+  check(w.dim() == 4, "conv_transpose2d: weight must be [IC, OC, KH, KW]");
+  const int B = x.shape()[0], IC = x.shape()[1], H = x.shape()[2],
+            W = x.shape()[3];
+  const int OC = w.shape()[1], KH = w.shape()[2], KW = w.shape()[3];
+  check(w.shape()[0] == IC, "conv_transpose2d: channel mismatch");
+  check(b.size() == OC, "conv_transpose2d: bias size mismatch");
+  const int OH = (H - 1) * stride - 2 * pad + KH;
+  const int OW = (W - 1) * stride - 2 * pad + KW;
+  check(OH > 0 && OW > 0, "conv_transpose2d: output would be empty");
+  if (naive_kernels()) return conv_transpose2d_naive(x, w, b, stride, pad);
+
+  // The transposed conv is conv2d's input-gradient: with Wmat viewed as
+  // [IC, OC*KH*KW], col[OC*KH*KW, B*H*W] = Wmatᵀ · x_mat, and the output is
+  // col2im(col) over the OUTPUT grid (patch positions indexed by the input).
+  const std::int64_t CK = static_cast<std::int64_t>(OC) * KH * KW;
+  const std::int64_t hw = static_cast<std::int64_t>(H) * W;
+  const std::int64_t cols = static_cast<std::int64_t>(B) * hw;
+  const std::int64_t ohw = static_cast<std::int64_t>(OH) * OW;
+
+  auto xmat = detail::acquire_buffer(static_cast<std::size_t>(IC * cols));
+  to_channel_major(x.data(), B, IC, hw, xmat->data());
+  auto col = detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+  gemm_tn(IC, CK, cols, w.data(), xmat->data(), col->data(),
+          /*accumulate=*/false);
+  xmat.reset();
+
+  auto out = detail::acquire_buffer(static_cast<std::size_t>(B) * OC * ohw);
+  {
+    // Initialize with bias, then scatter the column buffer.  col2im_acc
+    // with swapped roles: the "output grid" is H x W, the image is OH x OW.
+    const float* bias = b.data();
+    float* po = out->data();
+    parallel_for(static_cast<std::int64_t>(B) * OC, grain_for(ohw),
+                 [=](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::int64_t oc = t % OC;
+        std::fill(po + t * ohw, po + (t + 1) * ohw, bias[oc]);
+      }
+    });
+  }
+  col2im_acc(col->data(), B, OC, OH, OW, KH, KW, H, W, stride, pad,
+             out->data());
+
+  NodePtr xn = x.node(), wn = w.node(), bn = b.node();
+  return make_result(
+      {B, OC, OH, OW}, std::move(out), {x, w, b},
+      [xn, wn, bn, B, IC, H, W, OC, KH, KW, OH, OW, stride, pad, CK, hw, cols,
+       ohw](const std::vector<float>& g) {
+        if (bn->requires_grad) {
+          float* gb = G(bn).data();
+          for (int oc = 0; oc < OC; ++oc) {
+            float s = 0.0f;
+            for (int bb = 0; bb < B; ++bb) {
+              const float* row =
+                  g.data() + (static_cast<std::int64_t>(bb) * OC + oc) * ohw;
+              for (std::int64_t i = 0; i < ohw; ++i) s += row[i];
+            }
+            gb[oc] += s;
+          }
+        }
+        if (!xn->requires_grad && !wn->requires_grad) return;
+        // dcol = im2col(g) over the input grid positions.
+        auto dcol = detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+        im2col(g.data(), B, OC, OH, OW, KH, KW, H, W, stride, pad,
+               dcol->data());
+        if (xn->requires_grad) {
+          // dx_mat[IC, B*H*W] = Wmat · dcol, scattered back to NCHW.
+          auto dxmat =
+              detail::acquire_buffer(static_cast<std::size_t>(IC * cols));
+          gemm_nn(IC, CK, cols, V(wn).data(), dcol->data(), dxmat->data(),
+                  /*accumulate=*/false);
+          from_channel_major_acc(dxmat->data(), B, IC, hw, G(xn).data());
+        }
+        if (wn->requires_grad) {
+          // dWmat[IC, CK] += x_mat · dcolᵀ.
+          auto xmat =
+              detail::acquire_buffer(static_cast<std::size_t>(IC * cols));
+          to_channel_major(V(xn).data(), B, IC, hw, xmat->data());
+          gemm_nt(IC, cols, CK, xmat->data(), dcol->data(), G(wn).data(),
+                  /*accumulate=*/true);
+        }
       });
 }
 

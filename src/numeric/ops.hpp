@@ -6,14 +6,31 @@
 //  - Binary elementwise ops require identical shapes (no implicit
 //    broadcasting); the few broadcast patterns the models need are exposed
 //    as dedicated ops (add_rowvec, conv bias, ...).
+//  - Axis reductions KEEP the reduced axis with extent 1 (NumPy
+//    keepdims=True): mean_axis0 maps [N, D] -> [1, D] and sum_axis1 maps
+//    [B, N] -> [B, 1].  Full reductions (sum_all/mean_all) return a [1]
+//    scalar.
 //
 // Every op validates shapes and throws std::invalid_argument on mismatch —
 // shape bugs surface at the call site instead of as silent corruption.
+//
+// Performance: matmul is a cache-blocked, row-parallel GEMM whose backward
+// runs as two GEMM passes (dA = g·Bᵀ, dB = Aᵀ·g); conv2d/conv_transpose2d
+// lower to the same GEMM kernel via im2col/col2im; large elementwise ops
+// run on the shared thread pool (see numeric/parallel.hpp).  Results are
+// bitwise identical for any AFP_NUM_THREADS.
 #pragma once
 
 #include "numeric/tensor.hpp"
 
 namespace afp::num {
+
+// -- kernel selection --------------------------------------------------------
+/// When true, matmul / conv2d / conv_transpose2d run the original scalar
+/// reference kernels instead of the blocked GEMM path.  Used by the parity
+/// tests and bench_perf_core; initialized from AFP_NAIVE_KERNELS.
+bool naive_kernels();
+void set_naive_kernels(bool naive);
 
 // -- elementwise binary (identical shapes) ---------------------------------
 Tensor add(const Tensor& a, const Tensor& b);
@@ -43,7 +60,8 @@ Tensor square(const Tensor& a);
 Tensor clamp(const Tensor& a, float lo, float hi);
 
 // -- shape -------------------------------------------------------------------
-/// Same data viewed under a new shape (copies storage; grads flow back).
+/// Same data viewed under a new shape.  The result ALIASES the input's
+/// value buffer (no copy); grads flow back one-to-one.
 Tensor reshape(const Tensor& a, Shape new_shape);
 /// Concatenate 2-D tensors [B, Di] along columns -> [B, sum Di].
 Tensor concat_cols(const std::vector<Tensor>& parts);
@@ -63,7 +81,7 @@ Tensor sum_all(const Tensor& a);
 Tensor mean_all(const Tensor& a);
 /// Column-wise mean of a 2-D tensor: [N, D] -> [1, D].
 Tensor mean_axis0(const Tensor& a);
-/// Row-wise sum of a 2-D tensor: [B, N] -> [B].
+/// Row-wise sum of a 2-D tensor: [B, N] -> [B, 1] (keepdims).
 Tensor sum_axis1(const Tensor& a);
 
 // -- softmax family (over the last axis of a 2-D tensor) ----------------------

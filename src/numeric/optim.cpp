@@ -7,7 +7,7 @@ namespace afp::num {
 double Optimizer::clip_grad_norm(double max_norm) {
   double sq = 0.0;
   for (Tensor& p : params_) {
-    if (p.grad().empty()) continue;
+    if (!p.has_grad()) continue;
     for (float g : p.grad()) sq += static_cast<double>(g) * g;
   }
   const double norm = std::sqrt(sq);
@@ -30,7 +30,7 @@ SGD::SGD(std::vector<Tensor> params, float lr_, float momentum)
 void SGD::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
-    if (p.grad().empty()) continue;
+    if (!p.has_grad()) continue;
     auto& vel = velocity_[i];
     for (std::size_t j = 0; j < p.values().size(); ++j) {
       vel[j] = momentum_ * vel[j] + p.grad()[j];
@@ -60,7 +60,7 @@ void Adam::step() {
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
-    if (p.grad().empty()) continue;
+    if (!p.has_grad()) continue;
     auto& m = m_[i];
     auto& v = v_[i];
     for (std::size_t j = 0; j < p.values().size(); ++j) {

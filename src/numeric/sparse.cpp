@@ -1,0 +1,169 @@
+#include "numeric/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "numeric/parallel.hpp"
+
+namespace afp::num {
+
+SparseCSR SparseCSR::from_coo(int rows, int cols,
+                              std::vector<std::tuple<int, int, float>> coo) {
+  for (const auto& [r, c, v] : coo) {
+    (void)v;
+    if (r < 0 || r >= rows || c < 0 || c >= cols) {
+      throw std::invalid_argument("SparseCSR::from_coo: index out of range");
+    }
+  }
+  std::sort(coo.begin(), coo.end(), [](const auto& a, const auto& b) {
+    return std::tie(std::get<0>(a), std::get<1>(a)) <
+           std::tie(std::get<0>(b), std::get<1>(b));
+  });
+  SparseCSR m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(coo.size());
+  m.vals_.reserve(coo.size());
+  int prev_r = -1, prev_c = -1;
+  for (const auto& [r, c, v] : coo) {
+    if (r == prev_r && c == prev_c) {
+      m.vals_.back() += v;  // duplicate (r, c): sum
+      continue;
+    }
+    m.col_idx_.push_back(c);
+    m.vals_.push_back(v);
+    ++m.row_ptr_[static_cast<std::size_t>(r) + 1];
+    prev_r = r;
+    prev_c = c;
+  }
+  for (std::size_t i = 1; i < m.row_ptr_.size(); ++i)
+    m.row_ptr_[i] += m.row_ptr_[i - 1];
+  return m;
+}
+
+SparseCSR SparseCSR::transpose() const {
+  SparseCSR t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  t.col_idx_.resize(vals_.size());
+  t.vals_.resize(vals_.size());
+  // Counting pass over columns.
+  for (int c : col_idx_) ++t.row_ptr_[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 1; i < t.row_ptr_.size(); ++i)
+    t.row_ptr_[i] += t.row_ptr_[i - 1];
+  std::vector<int> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = col_idx_[static_cast<std::size_t>(k)];
+      const int dst = cursor[static_cast<std::size_t>(c)]++;
+      t.col_idx_[static_cast<std::size_t>(dst)] = r;
+      t.vals_[static_cast<std::size_t>(dst)] = vals_[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+Tensor SparseCSR::to_dense() const {
+  std::vector<float> d(static_cast<std::size_t>(rows_) * cols_, 0.0f);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      d[static_cast<std::size_t>(r) * cols_ +
+        col_idx_[static_cast<std::size_t>(k)]] +=
+          vals_[static_cast<std::size_t>(k)];
+    }
+  }
+  return Tensor::from_vector({rows_, cols_}, std::move(d));
+}
+
+float SparseCSR::at(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("SparseCSR::at: index out of range");
+  }
+  const auto lo = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(r)];
+  const auto hi = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(lo, hi, c);
+  if (it == hi || *it != c) return 0.0f;
+  return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+namespace {
+
+/// out[M, D] = A[M, N] (CSR) · H[N, D]; each output row owned by one chunk.
+void spmm_kernel(const SparseCSR& a, const float* H, int D, float* out) {
+  const int* rp = a.row_ptr().data();
+  const int* ci = a.col_idx().data();
+  const float* vs = a.vals().data();
+  const std::int64_t avg_work =
+      a.rows() > 0 ? (a.nnz() * D) / a.rows() + 1 : 1;
+  parallel_for(a.rows(),
+               std::max<std::int64_t>(1, (std::int64_t{1} << 15) / avg_work),
+               [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* o = out + r * D;
+      std::fill(o, o + D, 0.0f);
+      for (int k = rp[r]; k < rp[r + 1]; ++k) {
+        const float v = vs[k];
+        const float* h = H + static_cast<std::int64_t>(ci[k]) * D;
+        for (int d = 0; d < D; ++d) o[d] += v * h[d];
+      }
+    }
+  });
+}
+
+/// out[M, D] += A · H (accumulating variant for the backward pass).
+void spmm_acc_kernel(const SparseCSR& a, const float* H, int D, float* out) {
+  const int* rp = a.row_ptr().data();
+  const int* ci = a.col_idx().data();
+  const float* vs = a.vals().data();
+  const std::int64_t avg_work =
+      a.rows() > 0 ? (a.nnz() * D) / a.rows() + 1 : 1;
+  parallel_for(a.rows(),
+               std::max<std::int64_t>(1, (std::int64_t{1} << 15) / avg_work),
+               [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* o = out + r * D;
+      for (int k = rp[r]; k < rp[r + 1]; ++k) {
+        const float v = vs[k];
+        const float* h = H + static_cast<std::int64_t>(ci[k]) * D;
+        for (int d = 0; d < D; ++d) o[d] += v * h[d];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+Tensor spmm(const SparseCSR& a, const Tensor& h) {
+  if (h.dim() != 2) {
+    throw std::invalid_argument("spmm: dense operand must be 2-D");
+  }
+  if (h.shape()[0] != a.cols()) {
+    throw std::invalid_argument(
+        "spmm: dimension mismatch [" + std::to_string(a.rows()) + ", " +
+        std::to_string(a.cols()) + "] x " + shape_str(h.shape()));
+  }
+  const int D = h.shape()[1];
+  auto out = detail::acquire_buffer(static_cast<std::size_t>(a.rows()) * D);
+  spmm_kernel(a, h.data(), D, out->data());
+
+  auto hn = h.node();
+  // The transpose is only needed when gradients will flow; build it lazily
+  // at record time so inference rollouts never pay for it.
+  std::shared_ptr<SparseCSR> at;
+  if (grad_enabled() && h.requires_grad()) {
+    at = std::make_shared<SparseCSR>(a.transpose());
+  }
+  return make_result(
+      {a.rows(), D}, std::move(out), {h},
+      [hn, at, D](const std::vector<float>& g) {
+        if (!hn->requires_grad || !at) return;
+        spmm_acc_kernel(*at, g.data(), D, (*hn->grad).data());
+      });
+}
+
+}  // namespace afp::num

@@ -1,0 +1,62 @@
+// Sparse matrices for the R-GCN message-passing path.
+//
+// Circuit graphs are sparse (E << N^2), but the seed implementation
+// multiplied dense [N, N] adjacency matrices per relation.  SparseCSR
+// stores the normalized adjacency in compressed sparse row form, and spmm
+// computes A · H against a dense [N, D] matrix in O(nnz * D) — the dense
+// product costs O(N^2 * D).
+//
+// SparseCSR matrices are constants with respect to autograd (adjacency is
+// data, not a parameter); spmm differentiates through the dense operand
+// only: d(A·H)/dH = Aᵀ · g.
+#pragma once
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace afp::num {
+
+class SparseCSR {
+ public:
+  SparseCSR() = default;
+
+  /// From coordinate triplets (row, col, value).  Duplicate (row, col)
+  /// entries are summed.  O(nnz log nnz).
+  static SparseCSR from_coo(int rows, int cols,
+                            std::vector<std::tuple<int, int, float>> coo);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(vals_.size()); }
+  bool empty() const { return vals_.empty(); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& vals() const { return vals_; }
+
+  /// Aᵀ as CSR (i.e. CSC of A).  O(nnz).
+  SparseCSR transpose() const;
+
+  /// Densifies to a [rows, cols] tensor (tests / legacy callers).
+  Tensor to_dense() const;
+
+  /// Entry lookup, O(log degree).  Returns 0 for absent entries.
+  float at(int r, int c) const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<int> row_ptr_;   ///< rows+1 offsets into col_idx_/vals_
+  std::vector<int> col_idx_;
+  std::vector<float> vals_;
+};
+
+/// A [M, N] (CSR, constant) x H [N, D] (dense) -> [M, D].  Differentiable
+/// with respect to H: backward runs dH += Aᵀ · g as a second SpMM.
+/// Row-parallel on the shared thread pool; results are independent of the
+/// thread count.
+Tensor spmm(const SparseCSR& a, const Tensor& h);
+
+}  // namespace afp::num

@@ -1,6 +1,8 @@
 #include "numeric/tensor.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <unordered_set>
 
@@ -9,6 +11,80 @@ namespace afp::num {
 namespace {
 thread_local bool g_grad_enabled = true;
 }  // namespace
+
+namespace detail {
+namespace {
+
+/// Process-wide recycling pool for float buffers.  Keyed by capacity so
+/// acquire can best-fit; bounded so pathological workloads cannot hoard
+/// memory.  Intentionally leaked: buffer deleters may run during static
+/// destruction.
+class BufferPool {
+ public:
+  static BufferPool& instance() {
+    static BufferPool* pool = new BufferPool;  // leaked by design
+    return *pool;
+  }
+
+  std::vector<float> acquire(std::size_t n) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = free_.lower_bound(n);
+    // Don't hand a much larger buffer to a small request; the capacity
+    // would be pinned under it.
+    if (it != free_.end() && it->first <= std::max<std::size_t>(64, 4 * n)) {
+      std::vector<float> v = std::move(it->second);
+      bytes_ -= it->first * sizeof(float);
+      free_.erase(it);
+      v.resize(n);
+      return v;
+    }
+    return std::vector<float>(n);
+  }
+
+  void release(std::vector<float>&& v) {
+    const std::size_t cap = v.capacity();
+    if (cap == 0) return;
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (free_.size() >= kMaxEntries || bytes_ + cap * sizeof(float) > kMaxBytes) {
+      return;  // let it free normally
+    }
+    bytes_ += cap * sizeof(float);
+    free_.emplace(cap, std::move(v));
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return free_.size();
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 1024;
+  static constexpr std::size_t kMaxBytes = 256u << 20;  // 256 MiB
+
+  mutable std::mutex mutex_;
+  std::multimap<std::size_t, std::vector<float>> free_;
+  std::size_t bytes_ = 0;
+};
+
+BufferPtr pooled(std::vector<float>&& v) {
+  auto* heap = new std::vector<float>(std::move(v));
+  return BufferPtr(heap, [](std::vector<float>* p) {
+    BufferPool::instance().release(std::move(*p));
+    delete p;
+  });
+}
+
+}  // namespace
+
+BufferPtr acquire_buffer(std::size_t n) {
+  return pooled(BufferPool::instance().acquire(n));
+}
+
+BufferPtr adopt_buffer(std::vector<float>&& v) { return pooled(std::move(v)); }
+
+std::size_t buffer_pool_size() { return BufferPool::instance().size(); }
+
+}  // namespace detail
 
 bool grad_enabled() { return g_grad_enabled; }
 
@@ -26,6 +102,11 @@ std::string shape_str(const Shape& s) {
   return os.str();
 }
 
+const std::vector<float>& Tensor::empty_grad() {
+  static const std::vector<float> empty;
+  return empty;
+}
+
 Tensor Tensor::zeros(Shape shape, bool requires_grad) {
   return full(std::move(shape), 0.0f, requires_grad);
 }
@@ -37,7 +118,8 @@ Tensor Tensor::ones(Shape shape, bool requires_grad) {
 Tensor Tensor::full(Shape shape, float v, bool requires_grad) {
   auto n = std::make_shared<detail::Node>();
   n->shape = std::move(shape);
-  n->value.assign(static_cast<std::size_t>(numel(n->shape)), v);
+  n->value = detail::acquire_buffer(static_cast<std::size_t>(numel(n->shape)));
+  std::fill(n->value->begin(), n->value->end(), v);
   n->requires_grad = requires_grad;
   return wrap(std::move(n));
 }
@@ -51,7 +133,7 @@ Tensor Tensor::from_vector(Shape shape, std::vector<float> data,
   }
   auto n = std::make_shared<detail::Node>();
   n->shape = std::move(shape);
-  n->value = std::move(data);
+  n->value = detail::adopt_buffer(std::move(data));
   n->requires_grad = requires_grad;
   return wrap(std::move(n));
 }
@@ -65,8 +147,8 @@ Tensor Tensor::randn(Shape shape, std::mt19937_64& rng, float std,
   std::normal_distribution<float> dist(0.0f, std);
   auto n = std::make_shared<detail::Node>();
   n->shape = std::move(shape);
-  n->value.resize(static_cast<std::size_t>(numel(n->shape)));
-  for (float& v : n->value) v = dist(rng);
+  n->value = detail::acquire_buffer(static_cast<std::size_t>(numel(n->shape)));
+  for (float& v : *n->value) v = dist(rng);
   n->requires_grad = requires_grad;
   return wrap(std::move(n));
 }
@@ -76,30 +158,30 @@ Tensor Tensor::uniform(Shape shape, std::mt19937_64& rng, float lo, float hi,
   std::uniform_real_distribution<float> dist(lo, hi);
   auto n = std::make_shared<detail::Node>();
   n->shape = std::move(shape);
-  n->value.resize(static_cast<std::size_t>(numel(n->shape)));
-  for (float& v : n->value) v = dist(rng);
+  n->value = detail::acquire_buffer(static_cast<std::size_t>(numel(n->shape)));
+  for (float& v : *n->value) v = dist(rng);
   n->requires_grad = requires_grad;
   return wrap(std::move(n));
 }
 
 float Tensor::item() const {
-  if (!node_ || node_->value.size() != 1) {
+  if (!node_ || node_->value->size() != 1) {
     throw std::logic_error("item(): tensor is not a scalar");
   }
-  return node_->value[0];
+  return (*node_->value)[0];
 }
 
 Tensor Tensor::detach() const {
   auto n = std::make_shared<detail::Node>();
   n->shape = node_->shape;
-  n->value = node_->value;
+  n->value = node_->value;  // shared storage, no copy
   n->requires_grad = false;
   return wrap(std::move(n));
 }
 
 void Tensor::backward() {
   if (!node_) throw std::logic_error("backward(): undefined tensor");
-  if (node_->value.size() != 1) {
+  if (node_->value->size() != 1) {
     throw std::logic_error("backward(): only scalar roots are supported");
   }
   // Topological order by DFS.
@@ -121,15 +203,23 @@ void Tensor::backward() {
       stack.pop_back();
     }
   }
-  // Seed the root gradient and run closures in reverse topological order.
+  // Materialize gradient buffers for exactly the nodes in the sweep, seed
+  // the root, and run closures in reverse topological order.
   for (detail::Node* n : order) n->ensure_grad();
-  node_->grad[0] = 1.0f;
+  (*node_->grad)[0] = 1.0f;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if ((*it)->backward_fn) (*it)->backward_fn((*it)->grad);
+    if ((*it)->backward_fn) (*it)->backward_fn(*(*it)->grad);
   }
 }
 
 Tensor make_result(Shape shape, std::vector<float> value,
+                   std::vector<Tensor> parents,
+                   std::function<void(const std::vector<float>&)> backward_fn) {
+  return make_result(std::move(shape), detail::adopt_buffer(std::move(value)),
+                     std::move(parents), std::move(backward_fn));
+}
+
+Tensor make_result(Shape shape, detail::BufferPtr value,
                    std::vector<Tensor> parents,
                    std::function<void(const std::vector<float>&)> backward_fn) {
   auto n = std::make_shared<detail::Node>();
@@ -145,8 +235,6 @@ Tensor make_result(Shape shape, std::vector<float> value,
     n->requires_grad = true;
     n->parents.reserve(parents.size());
     for (Tensor& p : parents) n->parents.push_back(p.node());
-    // Parents must have gradient buffers before the closure runs.
-    for (auto& p : n->parents) p->ensure_grad();
     n->backward_fn = std::move(backward_fn);
   }
   return Tensor::wrap(std::move(n));

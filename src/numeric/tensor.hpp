@@ -8,6 +8,19 @@
 // Tensor::backward() on a scalar performs a topological sort of the
 // recorded graph and runs the closures in reverse order.
 //
+// Storage: value and gradient buffers are shared_ptr<vector<float>> handles
+// drawn from a process-wide recycling pool (see detail::acquire_buffer).
+// Freed buffers return to the pool instead of the allocator, which removes
+// most allocation traffic from the training hot loop.  Buffer handles can
+// be shared between nodes: detach() and reshape() alias the source value
+// buffer instead of copying it.
+//
+// Gradient buffers are allocated lazily — an op records its backward
+// closure without touching parent grads; backward() materializes grads for
+// exactly the nodes participating in the sweep.  Backward closures must
+// therefore only write into parents with requires_grad set (the engine
+// guarantees those are allocated and zeroed before closures run).
+//
 // The engine supports exactly the operations needed by the paper's models
 // (R-GCN encoder, CNN feature extractor, deconvolutional policy head,
 // masked-categorical PPO losses); it does not attempt NumPy-style general
@@ -42,9 +55,19 @@ class Tensor;
 
 namespace detail {
 
+/// Pooled float buffer.  The deleter returns the vector to the pool.
+using BufferPtr = std::shared_ptr<std::vector<float>>;
+
+/// A buffer of exactly n elements (contents unspecified) from the pool.
+BufferPtr acquire_buffer(std::size_t n);
+/// Wraps an existing vector so its storage recycles through the pool.
+BufferPtr adopt_buffer(std::vector<float>&& v);
+/// Buffers currently parked in the pool (diagnostics / tests).
+std::size_t buffer_pool_size();
+
 struct Node {
-  std::vector<float> value;
-  std::vector<float> grad;  ///< same size as value once backward touches it
+  BufferPtr value;
+  BufferPtr grad;  ///< null until backward (or zero_grad) touches the node
   Shape shape;
   bool requires_grad = false;
   std::vector<std::shared_ptr<Node>> parents;
@@ -52,8 +75,14 @@ struct Node {
   /// closure->node reference cycle) into the parents' grad buffers.
   std::function<void(const std::vector<float>&)> backward_fn;
 
+  std::vector<float>& val() { return *value; }
+  const std::vector<float>& val() const { return *value; }
+
   void ensure_grad() {
-    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+    if (!grad || grad->size() != value->size()) {
+      grad = acquire_buffer(value->size());
+      std::fill(grad->begin(), grad->end(), 0.0f);
+    }
   }
 };
 
@@ -98,31 +127,45 @@ class Tensor {
   bool defined() const { return node_ != nullptr; }
   const Shape& shape() const { return node_->shape; }
   int dim() const { return static_cast<int>(node_->shape.size()); }
-  std::int64_t size() const { return static_cast<std::int64_t>(node_->value.size()); }
+  std::int64_t size() const { return static_cast<std::int64_t>(node_->value->size()); }
   bool requires_grad() const { return node_ && node_->requires_grad; }
 
-  float* data() { return node_->value.data(); }
-  const float* data() const { return node_->value.data(); }
-  std::vector<float>& values() { return node_->value; }
-  const std::vector<float>& values() const { return node_->value; }
+  float* data() { return node_->value->data(); }
+  const float* data() const { return node_->value->data(); }
+  std::vector<float>& values() { return *node_->value; }
+  const std::vector<float>& values() const { return *node_->value; }
 
   /// Value of a scalar (1-element) tensor.
   float item() const;
 
   /// Element access by flat index (no autograd tracking).
-  float at(std::int64_t i) const { return node_->value[static_cast<std::size_t>(i)]; }
-  void set(std::int64_t i, float v) { node_->value[static_cast<std::size_t>(i)] = v; }
+  float at(std::int64_t i) const { return (*node_->value)[static_cast<std::size_t>(i)]; }
+  void set(std::int64_t i, float v) { (*node_->value)[static_cast<std::size_t>(i)] = v; }
 
   // -- autograd -----------------------------------------------------------
-  /// Gradient buffer (valid after backward()).
-  const std::vector<float>& grad() const { return node_->grad; }
-  std::vector<float>& grad() { return node_->grad; }
+  /// True once backward()/zero_grad() has materialized a gradient buffer.
+  /// Use this (not grad().empty()) for skip checks: the non-const grad()
+  /// allocates on demand.
+  bool has_grad() const { return node_ && node_->grad != nullptr; }
+  /// Gradient buffer.  Populated after backward(); empty before the first
+  /// backward()/zero_grad() touches this tensor.
+  const std::vector<float>& grad() const {
+    return node_->grad ? *node_->grad : empty_grad();
+  }
+  std::vector<float>& grad() {
+    if (!node_->grad) node_->ensure_grad();
+    return *node_->grad;
+  }
   void zero_grad() {
-    if (node_) node_->grad.assign(node_->value.size(), 0.0f);
+    if (!node_) return;
+    node_->ensure_grad();
+    std::fill(node_->grad->begin(), node_->grad->end(), 0.0f);
   }
   /// Runs reverse-mode AD from this scalar tensor.
   void backward();
-  /// Same value, detached from the autograd graph.
+  /// Same value, detached from the autograd graph.  Shares the value
+  /// buffer with this tensor (no copy): in-place writes through either
+  /// handle are visible through both.
   Tensor detach() const;
 
   // internal: used by ops
@@ -134,12 +177,22 @@ class Tensor {
   }
 
  private:
+  static const std::vector<float>& empty_grad();
+
   std::shared_ptr<detail::Node> node_;
 };
 
 /// Creates a result node for an op.  `track` decides whether the node
-/// participates in the autograd graph.
+/// participates in the autograd graph.  Parent gradient buffers are NOT
+/// allocated here; backward() materializes them lazily, and closures must
+/// only write into parents whose requires_grad flag is set.
 Tensor make_result(Shape shape, std::vector<float> value,
+                   std::vector<Tensor> parents,
+                   std::function<void(const std::vector<float>&)> backward_fn);
+
+/// Variant taking a pooled buffer directly (used by ops that stream into a
+/// pool-acquired buffer, and by reshape to alias its input's storage).
+Tensor make_result(Shape shape, detail::BufferPtr value,
                    std::vector<Tensor> parents,
                    std::function<void(const std::vector<float>&)> backward_fn);
 

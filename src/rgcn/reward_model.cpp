@@ -30,7 +30,8 @@ RewardModel::RewardModel(std::mt19937_64& rng) {
 }
 
 CircuitEncoding RewardModel::encode(const graphir::CircuitGraph& g) const {
-  const auto adj = g.adjacency();
+  // Sparse message passing: circuit graphs have E << N^2.
+  const auto adj = g.adjacency_csr();
   num::Tensor h = g.feature_matrix();
   h = l1_->forward(h, adj);
   h = l2_->forward(h, adj);

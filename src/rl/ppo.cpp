@@ -42,23 +42,33 @@ PPOTrainer::PPOTrainer(ActorCritic& policy, std::vector<TaskContext> tasks,
     throw std::invalid_argument("PPOTrainer: at least one task required");
   }
   tasks_.reserve(static_cast<std::size_t>(cfg.n_envs));
-  envs_.reserve(static_cast<std::size_t>(cfg.n_envs));
   for (int i = 0; i < cfg.n_envs; ++i) {
     tasks_.push_back(tasks[static_cast<std::size_t>(i) % tasks.size()]);
-    envs_.push_back(std::make_unique<env::FloorplanEnv>(
-        tasks_.back().instance, env_cfg_));
   }
-  obs_.resize(static_cast<std::size_t>(cfg.n_envs));
-  for (int i = 0; i < cfg.n_envs; ++i) {
-    obs_[static_cast<std::size_t>(i)] = envs_[static_cast<std::size_t>(i)]->reset();
-  }
+  vec_ = std::make_unique<env::VecEnv>(
+      cfg.n_envs,
+      [this](int i) { return tasks_[static_cast<std::size_t>(i)].instance; },
+      env_cfg_);
+  // Episode boundaries consult the curriculum hook; hooks run serially in
+  // env order (see VecEnv::step_all), so the shared RNG draw order is
+  // deterministic.
+  vec_->on_episode_end =
+      [this](int e, const env::StepResult&) -> std::optional<floorplan::Instance> {
+    if (!next_task) return std::nullopt;
+    if (auto nt = next_task(e)) {
+      tasks_[static_cast<std::size_t>(e)] = std::move(*nt);
+      return tasks_[static_cast<std::size_t>(e)].instance;
+    }
+    return std::nullopt;
+  };
+  obs_ = vec_->reset_all();
   episode_reward_.assign(static_cast<std::size_t>(cfg.n_envs), 0.0);
   opt_ = std::make_unique<num::Adam>(policy.parameters(), cfg.lr);
 }
 
 IterationStats PPOTrainer::iterate(std::mt19937_64& rng) {
   const int n = policy_->config().grid;
-  const int mc = envs_[0]->mask_channels();
+  const int mc = vec_->env(0).mask_channels();
   if (mc != policy_->config().in_channels) {
     throw std::logic_error(
         "PPOTrainer: policy in_channels does not match env mask channels");
@@ -117,9 +127,11 @@ IterationStats PPOTrainer::iterate(std::mt19937_64& rng) {
       }
     }
 
+    // All envs advance concurrently; auto-reset + curriculum swaps have
+    // already been applied when step_all returns.
+    std::vector<env::StepResult> results = vec_->step_all(actions);
     for (int e = 0; e < cfg_.n_envs; ++e) {
-      auto& environ = *envs_[static_cast<std::size_t>(e)];
-      env::StepResult res = environ.step(actions[static_cast<std::size_t>(e)]);
+      env::StepResult& res = results[static_cast<std::size_t>(e)];
       episode_reward_[static_cast<std::size_t>(e)] += res.reward;
 
       Transition tr;
@@ -145,18 +157,10 @@ IterationStats PPOTrainer::iterate(std::mt19937_64& rng) {
         if (res.violated) ++violated_count;
         episode_reward_[static_cast<std::size_t>(e)] = 0.0;
         ++episodes_done_;
-        if (next_task) {
-          if (auto nt = next_task(e)) {
-            tasks_[static_cast<std::size_t>(e)] = std::move(*nt);
-            obs_[static_cast<std::size_t>(e)] =
-                environ.set_instance(tasks_[static_cast<std::size_t>(e)].instance);
-            continue;
-          }
-        }
-        obs_[static_cast<std::size_t>(e)] = environ.reset();
-      } else {
-        obs_[static_cast<std::size_t>(e)] = std::move(res.obs);
       }
+      // On done, res.obs already holds the next episode's first
+      // observation (auto-reset, possibly on a curriculum-swapped task).
+      obs_[static_cast<std::size_t>(e)] = std::move(res.obs);
     }
   }
 

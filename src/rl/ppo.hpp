@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "env/env.hpp"
+#include "env/vec_env.hpp"
 #include "numeric/optim.hpp"
 #include "rl/policy.hpp"
 #include "rl/task.hpp"
@@ -55,8 +56,10 @@ struct IterationStats {
 
 class PPOTrainer {
  public:
-  /// The trainer owns one FloorplanEnv per parallel slot; `tasks` supplies
-  /// the initial circuit of each slot (recycled modulo size).
+  /// The trainer owns a VecEnv with one FloorplanEnv per parallel slot;
+  /// `tasks` supplies the initial circuit of each slot (recycled modulo
+  /// size).  Rollouts step all slots concurrently on the shared thread
+  /// pool (see env::VecEnv::step_all).
   PPOTrainer(ActorCritic& policy, std::vector<TaskContext> tasks,
              PPOConfig cfg = {}, env::EnvConfig env_cfg = {});
 
@@ -90,7 +93,8 @@ class PPOTrainer {
   PPOConfig cfg_;
   env::EnvConfig env_cfg_;
   std::vector<TaskContext> tasks_;
-  std::vector<std::unique_ptr<env::FloorplanEnv>> envs_;
+  /// Parallel slots; rollouts step all of them at once via step_all.
+  std::unique_ptr<env::VecEnv> vec_;
   std::vector<env::Observation> obs_;
   std::vector<double> episode_reward_;
   std::unique_ptr<num::Adam> opt_;
