@@ -5,7 +5,8 @@
 // PRs.  Results are printed and written to BENCH_perf_core.json.
 //
 // Knobs: AFP_BENCH_SCALE scales iteration counts (0.05 for CI smoke runs),
-// AFP_NUM_THREADS sizes the pool.
+// AFP_NUM_THREADS sizes the pool, AFP_KERNEL_TIER pins the micro-kernel
+// tier (the *_tier rows compare avx2 vs scalar explicitly, single-thread).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +18,7 @@
 #include "nn/rgcn_layer.hpp"
 #include "numeric/ops.hpp"
 #include "numeric/parallel.hpp"
+#include "numeric/simd.hpp"
 #include "numeric/sparse.hpp"
 #include "rgcn/reward_model.hpp"
 #include "rl/agent.hpp"
@@ -93,6 +95,80 @@ Row bench_gemm_train(std::mt19937_64& rng) {
     num::sum_all(num::matmul(ac, bc)).backward();
   });
   std::printf("%-28s fast %8.2f ms  naive %8.2f ms  speedup %5.2fx\n",
+              row.name.c_str(), row.fast_s * 1e3, row.naive_s * 1e3,
+              row.speedup());
+  return row;
+}
+
+/// Times fn single-threaded under the avx2 tier ("fast") vs the scalar tier
+/// ("naive" column), restoring the ambient tier (which may be pinned via
+/// AFP_KERNEL_TIER) and pool afterwards.
+template <class Fn>
+Row compare_tiers(const std::string& name, int iters, Fn&& fn) {
+  Row row;
+  const num::KernelTier entry = num::kernel_tier();
+  num::set_num_threads(1);
+  num::set_kernel_tier(num::KernelTier::kAvx2);
+  // On hardware without AVX2 the request falls back to scalar; label the
+  // row with the tier that actually ran so the JSON can't masquerade a
+  // scalar-vs-scalar measurement as an AVX2 speedup.
+  const char* fast_tier = num::kernel_tier_name(num::kernel_tier());
+  row.name = name + "_" + fast_tier + "_vs_scalar";
+  row.fast_s = time_median(iters, fn);
+  num::set_kernel_tier(num::KernelTier::kScalar);
+  row.naive_s = time_median(iters, fn);
+  num::set_kernel_tier(entry);
+  num::set_num_threads(0);
+  std::printf("%-28s %s %6.2f ms  scalar %8.2f ms  speedup %5.2fx (1 thread)\n",
+              row.name.c_str(), fast_tier, row.fast_s * 1e3, row.naive_s * 1e3,
+              row.speedup());
+  return row;
+}
+
+Row bench_gemm_tier(std::mt19937_64& rng) {
+  // PR 2 acceptance metric: single-core GEMM fwd+bwd, explicit AVX2 tier
+  // vs PR 1's scalar-blocked kernels.
+  const int n = 256;
+  const auto a = num::Tensor::randn({n, n}, rng, 1.0f, true);
+  const auto b = num::Tensor::randn({n, n}, rng, 1.0f, true);
+  return compare_tiers("gemm_fwd_bwd_256", scaled(10), [&] {
+    auto ac = a;
+    auto bc = b;
+    ac.zero_grad();
+    bc.zero_grad();
+    num::sum_all(num::matmul(ac, bc)).backward();
+  });
+}
+
+Row bench_softmax_tier(std::mt19937_64& rng) {
+  const auto x = num::Tensor::randn({4096, 65}, rng, 2.0f, true);
+  return compare_tiers("softmax_ew_fwd_bwd", scaled(20), [&] {
+    auto xc = x;
+    xc.zero_grad();
+    num::sum_all(num::square(num::softmax_rows(num::relu(xc)))).backward();
+  });
+}
+
+Row bench_linear_relu_fused(std::mt19937_64& rng) {
+  // Fused linear_relu vs relu(linear(...)) under the ambient tier, at a
+  // skinny-K shape (rollout batches through a narrow head) where the saved
+  // elementwise passes and intermediate tensors are visible next to the
+  // GEMM.
+  const auto x = num::Tensor::randn({4096, 24}, rng, 1.0f, true);
+  const auto w = num::Tensor::randn({24, 96}, rng, 0.5f, true);
+  const auto b = num::Tensor::randn({96}, rng, 0.5f, true);
+  auto step = [&](bool fused) {
+    auto wc = w;
+    wc.zero_grad();
+    auto h = fused ? num::linear_relu(x, wc, b)
+                   : num::relu(num::linear(x, wc, b));
+    num::sum_all(num::square(h)).backward();
+  };
+  Row row;
+  row.name = "linear_relu_fused_vs_split";
+  row.fast_s = time_median(scaled(20), [&] { step(true); });
+  row.naive_s = time_median(scaled(20), [&] { step(false); });
+  std::printf("%-28s fused %7.2f ms  split %8.2f ms  speedup %5.2fx\n",
               row.name.c_str(), row.fast_s * 1e3, row.naive_s * 1e3,
               row.speedup());
   return row;
@@ -249,6 +325,9 @@ int main() {
   std::vector<Row> rows;
   rows.push_back(bench_gemm(rng));
   rows.push_back(bench_gemm_train(rng));
+  rows.push_back(bench_gemm_tier(rng));
+  rows.push_back(bench_softmax_tier(rng));
+  rows.push_back(bench_linear_relu_fused(rng));
   rows.push_back(bench_conv_policy(rng));
   rows.push_back(bench_deconv_policy(rng));
   rows.push_back(bench_rgcn_forward(rng));

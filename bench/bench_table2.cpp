@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "metaheur/parallel_search.hpp"
 #include "rl/agent.hpp"
 
 namespace {
@@ -78,7 +79,11 @@ void run_table2() {
     metaheur::SAParams manual_sa;
     manual_sa.iterations = bench::scaled(20000);
     manual_sa.spacing_um = prep.instance.canvas_w / 32.0;
-    const auto manual = metaheur::run_sa(prep.instance, manual_sa, rng);
+    // Four seeded restarts on the thread pool stand in for the engineer
+    // iterating on the floorplan; best-of-restarts is the reference.
+    const auto manual = metaheur::run_sa_multi(prep.instance, manual_sa,
+                                               {/*restarts=*/4,
+                                                /*base_seed=*/42});
     const auto mroute =
         route::global_route(prep.instance, manual.rects);
     const auto mlayout = layoutgen::generate_layout(prep.instance,

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "numeric/parallel.hpp"
+
 namespace afp::metaheur {
 
 namespace {
@@ -39,6 +41,26 @@ Move random_move(std::mt19937_64& rng) {
 /// RL method's quantization reserves (Section V-B fairness note).
 double resolve_spacing(const floorplan::Instance& inst, double spacing) {
   return spacing >= 0.0 ? spacing : inst.canvas_w / 32.0;
+}
+
+/// Scores a batch of candidates on the shared thread pool.  pack/sp_cost
+/// draw no randomness, so population methods generate candidates serially
+/// (one RNG stream, the same draws as a sequential run) and fan the pure
+/// evaluations out here — results are bitwise identical for any thread
+/// count.
+std::vector<double> eval_population(const floorplan::Instance& inst,
+                                    const std::vector<SequencePair>& pop,
+                                    double spacing) {
+  std::vector<double> cost(pop.size());
+  num::parallel_for(static_cast<std::int64_t>(pop.size()), 1,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                      for (std::int64_t i = i0; i < i1; ++i)
+                        cost[static_cast<std::size_t>(i)] = sp_cost(
+                            inst,
+                            pack(inst, pop[static_cast<std::size_t>(i)],
+                                 spacing));
+                    });
+  return cost;
 }
 
 }  // namespace
@@ -80,13 +102,12 @@ BaselineResult run_ga(const floorplan::Instance& inst, const GAParams& p,
   const double spacing = resolve_spacing(inst, p.spacing_um);
   const int n = inst.num_blocks();
   std::vector<SequencePair> pop;
-  std::vector<double> cost;
   long evals = 0;
   for (int i = 0; i < p.population; ++i) {
     pop.push_back(SequencePair::random(n, rng));
-    cost.push_back(sp_cost(inst, pack(inst, pop.back(), spacing)));
-    ++evals;
   }
+  std::vector<double> cost = eval_population(inst, pop, spacing);
+  evals += p.population;
 
   auto tournament = [&](int k) {
     std::uniform_int_distribution<int> d(0, p.population - 1);
@@ -121,13 +142,10 @@ BaselineResult run_ga(const floorplan::Instance& inst, const GAParams& p,
 
   std::uniform_real_distribution<double> unif(0.0, 1.0);
   for (int gen = 0; gen < p.generations; ++gen) {
-    std::vector<SequencePair> next;
-    std::vector<double> next_cost;
-    // Elitism: keep the incumbent best.
-    const auto best_it = std::min_element(cost.begin(), cost.end());
-    next.push_back(pop[static_cast<std::size_t>(best_it - cost.begin())]);
-    next_cost.push_back(*best_it);
-    while (static_cast<int>(next.size()) < p.population) {
+    // Selection, crossover and mutation draw from the single RNG stream;
+    // the offspring are then scored in parallel (see eval_population).
+    std::vector<SequencePair> children;
+    while (static_cast<int>(children.size()) + 1 < p.population) {
       const SequencePair& pa = pop[static_cast<std::size_t>(tournament(p.tournament))];
       const SequencePair& pb = pop[static_cast<std::size_t>(tournament(p.tournament))];
       SequencePair child = pa;
@@ -141,9 +159,21 @@ BaselineResult run_ga(const floorplan::Instance& inst, const GAParams& p,
         }
       }
       if (unif(rng) < p.mutation_rate) apply_move(child, random_move(rng), rng);
-      next_cost.push_back(sp_cost(inst, pack(inst, child, spacing)));
-      next.push_back(std::move(child));
-      ++evals;
+      children.push_back(std::move(child));
+    }
+    std::vector<double> child_cost = eval_population(inst, children, spacing);
+    evals += static_cast<long>(children.size());
+    // Elitism: keep the incumbent best, then install the offspring.
+    const auto best_it = std::min_element(cost.begin(), cost.end());
+    std::vector<SequencePair> next;
+    std::vector<double> next_cost;
+    next.reserve(children.size() + 1);
+    next_cost.reserve(children.size() + 1);
+    next.push_back(pop[static_cast<std::size_t>(best_it - cost.begin())]);
+    next_cost.push_back(*best_it);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      next.push_back(std::move(children[i]));
+      next_cost.push_back(child_cost[i]);
     }
     pop = std::move(next);
     cost = std::move(next_cost);
@@ -194,21 +224,42 @@ BaselineResult run_pso(const floorplan::Instance& inst, const PSOParams& p,
   double gbest_cost = 1e300;
   long evals = 0;
 
+  // Decode + score the whole swarm on the thread pool; decode is RNG-free.
+  auto eval_swarm = [&]() {
+    std::vector<SequencePair> decoded(pos.size());
+    num::parallel_for(static_cast<std::int64_t>(pos.size()), 1,
+                      [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i)
+                          decoded[static_cast<std::size_t>(i)] =
+                              decode(pos[static_cast<std::size_t>(i)]);
+                      });
+    evals += static_cast<long>(pos.size());
+    return eval_population(inst, decoded, spacing);
+  };
+  // Best updates run serially in particle order after each synchronous
+  // sweep (classic synchronous PSO: an iteration's social term uses the
+  // previous iteration's global best).
+  auto update_bests = [&](const std::vector<double>& cost) {
+    for (int i = 0; i < p.particles; ++i) {
+      const double c = cost[static_cast<std::size_t>(i)];
+      if (c < pbest_cost[static_cast<std::size_t>(i)]) {
+        pbest_cost[static_cast<std::size_t>(i)] = c;
+        pbest[static_cast<std::size_t>(i)] = pos[static_cast<std::size_t>(i)];
+        if (c < gbest_cost) {
+          gbest_cost = c;
+          gbest = pos[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+  };
+
   for (int i = 0; i < p.particles; ++i) {
     auto& x = pos[static_cast<std::size_t>(i)];
-    auto& v = vel[static_cast<std::size_t>(i)];
+    vel[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(dim), 0.0);
     x.resize(static_cast<std::size_t>(dim));
-    v.assign(static_cast<std::size_t>(dim), 0.0);
     for (double& xi : x) xi = unif(rng);
-    const double c = sp_cost(inst, pack(inst, decode(x), spacing));
-    ++evals;
-    pbest[static_cast<std::size_t>(i)] = x;
-    pbest_cost[static_cast<std::size_t>(i)] = c;
-    if (c < gbest_cost) {
-      gbest_cost = c;
-      gbest = x;
-    }
   }
+  update_bests(eval_swarm());
 
   for (int it = 0; it < p.iterations; ++it) {
     for (int i = 0; i < p.particles; ++i) {
@@ -224,17 +275,8 @@ BaselineResult run_pso(const floorplan::Instance& inst, const PSOParams& p,
         x[static_cast<std::size_t>(d)] += v[static_cast<std::size_t>(d)];
         x[static_cast<std::size_t>(d)] = std::clamp(x[static_cast<std::size_t>(d)], 0.0, 1.0);
       }
-      const double c = sp_cost(inst, pack(inst, decode(x), spacing));
-      ++evals;
-      if (c < pbest_cost[static_cast<std::size_t>(i)]) {
-        pbest_cost[static_cast<std::size_t>(i)] = c;
-        pbest[static_cast<std::size_t>(i)] = x;
-        if (c < gbest_cost) {
-          gbest_cost = c;
-          gbest = x;
-        }
-      }
     }
+    update_bests(eval_swarm());
   }
   return finish("PSO", inst, decode(gbest), spacing, t0, evals);
 }

@@ -69,9 +69,13 @@ MLP::MLP(const std::vector<int>& dims, Activation hidden, Activation output,
 num::Tensor MLP::forward(const num::Tensor& x) const {
   num::Tensor h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->forward(h);
     const bool last = (i + 1 == layers_.size());
-    h = activate(h, last ? output_ : hidden_);
+    const Activation act = last ? output_ : hidden_;
+    if (act == Activation::kRelu) {
+      h = layers_[i]->forward_relu(h);
+    } else {
+      h = activate(layers_[i]->forward(h), act);
+    }
   }
   return h;
 }

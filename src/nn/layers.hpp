@@ -24,6 +24,12 @@ class Linear final : public Module {
     return num::linear(x, weight, bias);
   }
 
+  /// Fused linear + relu (one output pass, masked backward); equivalent to
+  /// activate(forward(x), kRelu).
+  num::Tensor forward_relu(const num::Tensor& x) const {
+    return num::linear_relu(x, weight, bias);
+  }
+
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "numeric/parallel.hpp"
+#include "numeric/scratch.hpp"
+#include "numeric/simd.hpp"
 
 namespace afp::num {
 
@@ -40,126 +42,68 @@ std::int64_t grain_for(std::int64_t work_per_index) {
       1, (std::int64_t{1} << 15) / std::max<std::int64_t>(1, work_per_index));
 }
 
-bool g_naive_kernels = [] {
-  if (const char* s = std::getenv("AFP_NAIVE_KERNELS")) {
-    return std::atoi(s) != 0;
-  }
-  return false;
-}();
-
 // ====================================================================== GEMM
 //
 // All three kernels are row-parallel over their output matrix: each output
-// row is produced entirely by one chunk with a fixed accumulation order,
-// so results do not depend on the thread count.
+// row is produced entirely by one chunk with a fixed accumulation order, so
+// results do not depend on the thread count.  The inner loops dispatch to
+// the active micro-kernel tier (numeric/simd.hpp).
 
-/// C[M,N] (+)= A[M,K] · B[K,N].  Register-blocked over 4 output rows (each
-/// B row is loaded once per 4 C-row updates) with the C rows hot in L1.
+/// C[M,N] (+)= A[M,K] · B[K,N].
 void gemm_nn(std::int64_t M, std::int64_t K, std::int64_t N, const float* A,
              const float* B, float* C, bool accumulate) {
+  const auto rows = simd::kernels().gemm_nn_rows;
   parallel_for(M, grain_for(K * N), [=](std::int64_t i0, std::int64_t i1) {
-    if (!accumulate) std::fill(C + i0 * N, C + i1 * N, 0.0f);
-    std::int64_t i = i0;
-    for (; i + 4 <= i1; i += 4) {
-      const float* a0 = A + i * K;
-      const float* a1 = a0 + K;
-      const float* a2 = a1 + K;
-      const float* a3 = a2 + K;
-      float* c0 = C + i * N;
-      float* c1 = c0 + N;
-      float* c2 = c1 + N;
-      float* c3 = c2 + N;
-      for (std::int64_t k = 0; k < K; ++k) {
-        const float* b = B + k * N;
-        const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
-        for (std::int64_t j = 0; j < N; ++j) {
-          const float bv = b[j];
-          c0[j] += v0 * bv;
-          c1[j] += v1 * bv;
-          c2[j] += v2 * bv;
-          c3[j] += v3 * bv;
-        }
-      }
-    }
-    // Remainder rows: plain ikj.  No zero-skip here — the blocked path
-    // always accumulates, and which path a row takes depends on the chunk
-    // boundaries, so both must use the exact same FP operation sequence to
-    // keep results independent of the thread count.
-    for (; i < i1; ++i) {
-      const float* a = A + i * K;
-      float* c = C + i * N;
-      for (std::int64_t k = 0; k < K; ++k) {
-        const float av = a[k];
-        const float* b = B + k * N;
-        for (std::int64_t j = 0; j < N; ++j) c[j] += av * b[j];
-      }
-    }
+    rows(i0, i1, K, N, A, K, B, N, C, N, accumulate);
   });
 }
 
 /// C[M,N] (+)= A[M,K] · B[N,K]ᵀ (rows of B are dotted against rows of A).
 void gemm_nt(std::int64_t M, std::int64_t K, std::int64_t N, const float* A,
              const float* B, float* C, bool accumulate) {
+  const auto rows = simd::kernels().gemm_nt_rows;
   parallel_for(M, grain_for(K * N), [=](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* a = A + i * K;
-      float* c = C + i * N;
-      for (std::int64_t j = 0; j < N; ++j) {
-        const float* b = B + j * K;
-        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-        std::int64_t k = 0;
-        for (; k + 4 <= K; k += 4) {
-          s0 += a[k] * b[k];
-          s1 += a[k + 1] * b[k + 1];
-          s2 += a[k + 2] * b[k + 2];
-          s3 += a[k + 3] * b[k + 3];
-        }
-        float s = (s0 + s1) + (s2 + s3);
-        for (; k < K; ++k) s += a[k] * b[k];
-        if (accumulate) c[j] += s;
-        else c[j] = s;
-      }
-    }
+    rows(i0, i1, K, N, A, K, B, K, C, N, accumulate);
   });
 }
 
-/// C[K,N] (+)= A[M,K]ᵀ · B[M,N].  Row-parallel over C (i.e. over K),
-/// register-blocked over 4 output rows so each B row is loaded once per 4
-/// C-row updates and the A column reads become contiguous 4-float loads.
+/// C[K,N] (+)= A[M,K]ᵀ · B[M,N].  Row-parallel over C (i.e. over K).
 void gemm_tn(std::int64_t M, std::int64_t K, std::int64_t N, const float* A,
              const float* B, float* C, bool accumulate) {
+  const auto rows = simd::kernels().gemm_tn_rows;
   parallel_for(K, grain_for(M * N), [=](std::int64_t k0, std::int64_t k1) {
-    if (!accumulate) std::fill(C + k0 * N, C + k1 * N, 0.0f);
-    std::int64_t k = k0;
-    for (; k + 4 <= k1; k += 4) {
-      float* c0 = C + k * N;
-      float* c1 = c0 + N;
-      float* c2 = c1 + N;
-      float* c3 = c2 + N;
-      for (std::int64_t i = 0; i < M; ++i) {
-        const float* a = A + i * K + k;
-        const float v0 = a[0], v1 = a[1], v2 = a[2], v3 = a[3];
-        const float* b = B + i * N;
-        for (std::int64_t j = 0; j < N; ++j) {
-          const float bv = b[j];
-          c0[j] += v0 * bv;
-          c1[j] += v1 * bv;
-          c2[j] += v2 * bv;
-          c3[j] += v3 * bv;
-        }
-      }
-    }
-    // Remainder rows: no zero-skip, same reasoning as gemm_nn — the FP
-    // operation sequence must match the blocked path exactly.
-    for (; k < k1; ++k) {
-      float* c = C + k * N;
-      for (std::int64_t i = 0; i < M; ++i) {
-        const float av = A[i * K + k];
-        const float* b = B + i * N;
-        for (std::int64_t j = 0; j < N; ++j) c[j] += av * b[j];
-      }
-    }
+    rows(k0, k1, M, N, A, K, B, N, C, N, accumulate);
   });
+}
+
+/// C[M,N] += Σ_b A_b[M,K]·B_b[N,K]ᵀ where A and B store image b's block at
+/// column offset b*K of a [.., BATCH*K] row-major matrix (the conv im2col /
+/// channel-major layout).  Parallel over the batch with per-image partials
+/// in thread scratch, then a fixed-order (b ascending) reduction — bitwise
+/// identical for any thread count, unlike parallelizing the K loop.
+void gemm_nt_batched_acc(std::int64_t BATCH, std::int64_t M, std::int64_t K,
+                         std::int64_t N, const float* A, const float* B,
+                         float* C) {
+  // The split must depend only on the shape — never on the thread count —
+  // or the summation order (and hence the bits) would change with the pool
+  // size.  BATCH == 1 degenerates to a plain row-parallel contraction.
+  if (BATCH <= 1) {
+    gemm_nt(M, BATCH * K, N, A, B, C, /*accumulate=*/true);
+    return;
+  }
+  const auto rows = simd::kernels().gemm_nt_rows;
+  const std::int64_t part = M * N;
+  ScratchLease partials(static_cast<std::size_t>(BATCH * part));
+  float* P = partials.data();
+  parallel_for(BATCH, grain_for(M * K * N),
+               [=](std::int64_t b0, std::int64_t b1) {
+                 for (std::int64_t b = b0; b < b1; ++b) {
+                   rows(0, M, K, N, A + b * K, BATCH * K, B + b * K, BATCH * K,
+                        P + b * part, N, /*accumulate=*/false);
+                 }
+               });
+  const auto acc = simd::kernels().acc;
+  for (std::int64_t b = 0; b < BATCH; ++b) acc(C, P + b * part, part);
 }
 
 // ================================================================ im2col ===
@@ -271,77 +215,81 @@ detail::BufferPtr ew_forward(const Tensor& a, Fwd&& f) {
   return out;
 }
 
-}  // namespace
+/// Like ew_forward but streams subranges through a tier kernel of the form
+/// k(in, out, n) instead of a per-element lambda.
+template <class Kernel>
+detail::BufferPtr ew_forward_kernel(const Tensor& a, Kernel k) {
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* in = a.data();
+  float* o = out->data();
+  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 k(in + i0, o + i0, i1 - i0);
+               });
+  return out;
+}
 
-bool naive_kernels() { return g_naive_kernels; }
-void set_naive_kernels(bool naive) { g_naive_kernels = naive; }
+/// Binary elementwise op with tier-dispatched forward and accumulate-style
+/// backward kernels.  `fwd(a, b, o, n)` writes the subrange; `bwd_a`/`bwd_b`
+/// accumulate the full gradient (they run once, on the backward thread).
+template <class Fwd, class BwdA, class BwdB>
+Tensor ew_binary(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
+                 BwdA bwd_a, BwdB bwd_b) {
+  check_same_shape(a, b, name);
+  auto out = detail::acquire_buffer(a.values().size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out->data();
+  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 fwd(pa + i0, pb + i0, o + i0, i1 - i0);
+               });
+  NodePtr an = a.node(), bn = b.node();
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [an, bn, bwd_a, bwd_b](const std::vector<float>& g) {
+                       const std::int64_t n =
+                           static_cast<std::int64_t>(g.size());
+                       if (an->requires_grad) bwd_a(an, g.data(), n);
+                       if (bn->requires_grad) bwd_b(bn, g.data(), n);
+                     });
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- binary ---
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "add");
-  auto out = detail::acquire_buffer(a.values().size());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* o = out->data();
-  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
-               [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] + pb[i];
-               });
-  NodePtr an = a.node(), bn = b.node();
-  return make_result(a.shape(), std::move(out), {a, b},
-                     [an, bn](const std::vector<float>& g) {
-                       const bool da = an->requires_grad,
-                                  db = bn->requires_grad;
-                       for (std::size_t i = 0; i < g.size(); ++i) {
-                         if (da) acc(an, i, g[i]);
-                         if (db) acc(bn, i, g[i]);
-                       }
-                     });
+  return ew_binary(
+      "add", a, b, simd::kernels().add,
+      [](const NodePtr& n, const float* g, std::int64_t sz) {
+        simd::kernels().acc(G(n).data(), g, sz);
+      },
+      [](const NodePtr& n, const float* g, std::int64_t sz) {
+        simd::kernels().acc(G(n).data(), g, sz);
+      });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "sub");
-  auto out = detail::acquire_buffer(a.values().size());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* o = out->data();
-  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
-               [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] - pb[i];
-               });
-  NodePtr an = a.node(), bn = b.node();
-  return make_result(a.shape(), std::move(out), {a, b},
-                     [an, bn](const std::vector<float>& g) {
-                       const bool da = an->requires_grad,
-                                  db = bn->requires_grad;
-                       for (std::size_t i = 0; i < g.size(); ++i) {
-                         if (da) acc(an, i, g[i]);
-                         if (db) acc(bn, i, -g[i]);
-                       }
-                     });
+  return ew_binary(
+      "sub", a, b, simd::kernels().sub,
+      [](const NodePtr& n, const float* g, std::int64_t sz) {
+        simd::kernels().acc(G(n).data(), g, sz);
+      },
+      [](const NodePtr& n, const float* g, std::int64_t sz) {
+        simd::kernels().acc_scaled(G(n).data(), g, -1.0f, sz);
+      });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "mul");
-  auto out = detail::acquire_buffer(a.values().size());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* o = out->data();
-  parallel_for(static_cast<std::int64_t>(out->size()), kEwGrain,
-               [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] * pb[i];
-               });
   NodePtr an = a.node(), bn = b.node();
-  return make_result(a.shape(), std::move(out), {a, b},
-                     [an, bn](const std::vector<float>& g) {
-                       const bool da = an->requires_grad,
-                                  db = bn->requires_grad;
-                       for (std::size_t i = 0; i < g.size(); ++i) {
-                         if (da) acc(an, i, g[i] * V(bn)[i]);
-                         if (db) acc(bn, i, g[i] * V(an)[i]);
-                       }
-                     });
+  return ew_binary(
+      "mul", a, b, simd::kernels().mul,
+      [bn](const NodePtr& n, const float* g, std::int64_t sz) {
+        simd::kernels().acc_mul(G(n).data(), g, V(bn).data(), sz);
+      },
+      [an](const NodePtr& n, const float* g, std::int64_t sz) {
+        simd::kernels().acc_mul(G(n).data(), g, V(an).data(), sz);
+      });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
@@ -413,18 +361,23 @@ Tensor add_scalar(const Tensor& a, float s) {
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an](const std::vector<float>& g) {
-                       for (std::size_t i = 0; i < g.size(); ++i)
-                         acc(an, i, g[i]);
+                       simd::kernels().acc(G(an).data(), g.data(),
+                                           static_cast<std::int64_t>(g.size()));
                      });
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  auto out = ew_forward(a, [s](float v) { return v * s; });
+  const auto vscale = simd::kernels().scale;
+  auto out = ew_forward_kernel(
+      a, [vscale, s](const float* in, float* o, std::int64_t n) {
+        vscale(in, s, o, n);
+      });
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an, s](const std::vector<float>& g) {
-                       for (std::size_t i = 0; i < g.size(); ++i)
-                         acc(an, i, g[i] * s);
+                       simd::kernels().acc_scaled(
+                           G(an).data(), g.data(), s,
+                           static_cast<std::int64_t>(g.size()));
                      });
 }
 
@@ -433,12 +386,13 @@ Tensor mul_scalar(const Tensor& a, float s) {
 Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
 
 Tensor relu(const Tensor& a) {
-  auto out = ew_forward(a, [](float v) { return std::max(0.0f, v); });
+  auto out = ew_forward_kernel(a, simd::kernels().relu);
   NodePtr an = a.node();
   return make_result(a.shape(), std::move(out), {a},
                      [an](const std::vector<float>& g) {
-                       for (std::size_t i = 0; i < g.size(); ++i)
-                         if (V(an)[i] > 0.0f) acc(an, i, g[i]);
+                       simd::kernels().relu_bwd_acc(
+                           V(an).data(), g.data(), G(an).data(),
+                           static_cast<std::int64_t>(g.size()));
                      });
 }
 
@@ -688,10 +642,10 @@ Tensor add_rowvec(const Tensor& x, const Tensor& v) {
   const float* px = x.data();
   const float* pv = v.data();
   float* o = out->data();
+  const auto vadd = simd::kernels().add;
   parallel_for(rows, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r)
-      for (int c = 0; c < cols; ++c)
-        o[r * cols + c] = px[r * cols + c] + pv[c];
+      vadd(px + r * cols, pv, o + r * cols, cols);
   });
   NodePtr xn = x.node(), vn = v.node();
   return make_result(
@@ -700,24 +654,24 @@ Tensor add_rowvec(const Tensor& x, const Tensor& v) {
         if (xn->requires_grad) {
           float* gx = G(xn).data();
           const float* pg = g.data();
+          const auto vacc = simd::kernels().acc;
           parallel_for(static_cast<std::int64_t>(g.size()), kEwGrain,
                        [=](std::int64_t i0, std::int64_t i1) {
-                         for (std::int64_t i = i0; i < i1; ++i)
-                           gx[i] += pg[i];
+                         vacc(gx + i0, pg + i0, i1 - i0);
                        });
         }
         if (vn->requires_grad) {
-          // Column sums; each column owned by one chunk.
+          // Column sums, accumulated row by row (r ascending) so the order
+          // is fixed; each column segment is owned by one chunk.
           float* gv = G(vn).data();
           const float* pg = g.data();
+          const auto vacc = simd::kernels().acc;
           parallel_for(cols, grain_for(rows),
                        [=](std::int64_t c0, std::int64_t c1) {
-                         for (std::int64_t c = c0; c < c1; ++c) {
-                           float s = 0.0f;
-                           for (int r = 0; r < rows; ++r)
-                             s += pg[static_cast<std::size_t>(r) * cols + c];
-                           gv[c] += s;
-                         }
+                         for (int r = 0; r < rows; ++r)
+                           vacc(gv + c0,
+                                pg + static_cast<std::int64_t>(r) * cols + c0,
+                                c1 - c0);
                        });
         }
       });
@@ -727,26 +681,84 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   return add_rowvec(matmul(x, w), b);
 }
 
+Tensor linear_relu(const Tensor& x, const Tensor& w, const Tensor& b) {
+  check(x.dim() == 2 && w.dim() == 2, "linear_relu: inputs must be 2-D");
+  const int m = x.shape()[0], k = x.shape()[1], n = w.shape()[1];
+  check(w.shape()[0] == k, "linear_relu: inner dimension mismatch " +
+                               shape_str(x.shape()) + " x " +
+                               shape_str(w.shape()));
+  check(b.size() == n, "linear_relu: bias size mismatch");
+  // The naive tier has no fused kernel: compose the reference ops so the
+  // parity tests can diff against it.
+  if (naive_kernels()) return relu(linear(x, w, b));
+
+  auto out = detail::acquire_buffer(static_cast<std::size_t>(m) * n);
+  {
+    const auto rows = simd::kernels().gemm_nn_rows;
+    const auto epilogue = simd::kernels().bias_relu_row;
+    const float* X = x.data();
+    const float* W = w.data();
+    const float* B = b.data();
+    float* O = out->data();
+    parallel_for(m, grain_for(static_cast<std::int64_t>(k) * n),
+                 [=](std::int64_t i0, std::int64_t i1) {
+                   rows(i0, i1, k, n, X, k, W, n, O, n, /*accumulate=*/false);
+                   for (std::int64_t i = i0; i < i1; ++i)
+                     epilogue(O + i * n, B, O + i * n, n);
+                 });
+  }
+  NodePtr xn = x.node(), wn = w.node(), bn = b.node();
+  detail::BufferPtr saved = out;  // post-relu activations, shared not copied
+  return make_result(
+      {m, n}, std::move(out), {x, w, b},
+      [xn, wn, bn, m, k, n, saved = std::move(saved)](
+          const std::vector<float>& g) {
+        // Mask the upstream gradient through the relu once, in scratch.
+        const std::int64_t total = static_cast<std::int64_t>(m) * n;
+        ScratchLease gm(static_cast<std::size_t>(total));
+        std::fill(gm.data(), gm.data() + total, 0.0f);
+        simd::kernels().relu_bwd_acc(saved->data(), g.data(), gm.data(),
+                                     total);
+        if (bn->requires_grad) {
+          // db = column sums of the masked gradient, r ascending.
+          simd::Kernels const& kr = simd::kernels();
+          float* gb = G(bn).data();
+          for (int r = 0; r < m; ++r)
+            kr.acc(gb, gm.data() + static_cast<std::int64_t>(r) * n, n);
+        }
+        if (xn->requires_grad) {
+          // dx[M,K] += gm[M,N] · W[K,N]ᵀ
+          gemm_nt(m, n, k, gm.data(), V(wn).data(), G(xn).data(),
+                  /*accumulate=*/true);
+        }
+        if (wn->requires_grad) {
+          // dW[K,N] += X[M,K]ᵀ · gm[M,N]
+          gemm_tn(m, k, n, V(xn).data(), gm.data(), G(wn).data(),
+                  /*accumulate=*/true);
+        }
+      });
+}
+
 // -------------------------------------------------------------- reductions ---
 
 Tensor sum_all(const Tensor& a) {
-  float s = 0.0f;
-  for (std::int64_t i = 0; i < a.size(); ++i) s += a.at(i);
+  const float s = simd::kernels().reduce_sum(a.data(), a.size());
   NodePtr an = a.node();
   return make_result({1}, {s}, {a}, [an](const std::vector<float>& g) {
-    for (std::size_t i = 0; i < G(an).size(); ++i) acc(an, i, g[0]);
+    simd::kernels().acc_const(G(an).data(), g[0],
+                              static_cast<std::int64_t>(G(an).size()));
   });
 }
 
 Tensor mean_all(const Tensor& a) {
   const float inv = 1.0f / static_cast<float>(a.size());
-  float s = 0.0f;
-  for (std::int64_t i = 0; i < a.size(); ++i) s += a.at(i);
+  const float s = simd::kernels().reduce_sum(a.data(), a.size());
   NodePtr an = a.node();
   return make_result({1}, {s * inv}, {a},
                      [an, inv](const std::vector<float>& g) {
-                       for (std::size_t i = 0; i < G(an).size(); ++i)
-                         acc(an, i, g[0] * inv);
+                       simd::kernels().acc_const(
+                           G(an).data(), g[0] * inv,
+                           static_cast<std::int64_t>(G(an).size()));
                      });
 }
 
@@ -755,18 +767,18 @@ Tensor mean_axis0(const Tensor& a) {
   const int rows = a.shape()[0], cols = a.shape()[1];
   const float inv = 1.0f / static_cast<float>(rows);
   std::vector<float> out(static_cast<std::size_t>(cols), 0.0f);
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < cols; ++c)
-      out[static_cast<std::size_t>(c)] +=
-          a.at(static_cast<std::int64_t>(r) * cols + c);
-  for (float& v : out) v *= inv;
+  const simd::Kernels& kr = simd::kernels();
+  for (int r = 0; r < rows; ++r)  // r ascending: fixed accumulation order
+    kr.acc(out.data(), a.data() + static_cast<std::int64_t>(r) * cols, cols);
+  kr.scale(out.data(), inv, out.data(), cols);
   NodePtr an = a.node();
   return make_result({1, cols}, std::move(out), {a},
                      [an, rows, cols, inv](const std::vector<float>& g) {
                        for (int r = 0; r < rows; ++r)
-                         for (int c = 0; c < cols; ++c)
-                           G(an)[static_cast<std::size_t>(r) * cols + c] +=
-                               g[static_cast<std::size_t>(c)] * inv;
+                         simd::kernels().acc_scaled(
+                             G(an).data() +
+                                 static_cast<std::int64_t>(r) * cols,
+                             g.data(), inv, cols);
                      });
 }
 
@@ -774,17 +786,18 @@ Tensor sum_axis1(const Tensor& a) {
   check(a.dim() == 2, "sum_axis1: input must be 2-D");
   const int rows = a.shape()[0], cols = a.shape()[1];
   std::vector<float> out(static_cast<std::size_t>(rows), 0.0f);
+  const simd::Kernels& kr = simd::kernels();
   for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < cols; ++c)
-      out[static_cast<std::size_t>(r)] +=
-          a.at(static_cast<std::int64_t>(r) * cols + c);
+    out[static_cast<std::size_t>(r)] =
+        kr.reduce_sum(a.data() + static_cast<std::int64_t>(r) * cols, cols);
   NodePtr an = a.node();
   return make_result({rows, 1}, std::move(out), {a},
                      [an, rows, cols](const std::vector<float>& g) {
                        for (int r = 0; r < rows; ++r)
-                         for (int c = 0; c < cols; ++c)
-                           G(an)[static_cast<std::size_t>(r) * cols + c] +=
-                               g[static_cast<std::size_t>(r)];
+                         simd::kernels().acc_const(
+                             G(an).data() +
+                                 static_cast<std::int64_t>(r) * cols,
+                             g[static_cast<std::size_t>(r)], cols);
                      });
 }
 
@@ -796,40 +809,29 @@ Tensor softmax_rows(const Tensor& a) {
   auto out = detail::acquire_buffer(a.values().size());
   const float* pa = a.data();
   float* po = out->data();
+  const auto row_kernel = simd::kernels().softmax_row;
   parallel_for(rows, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t r = r0; r < r1; ++r) {
-      const float* in = pa + static_cast<std::size_t>(r) * cols;
-      float* o = po + static_cast<std::size_t>(r) * cols;
-      float mx = in[0];
-      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-      float denom = 0.0f;
-      for (int c = 0; c < cols; ++c) {
-        o[c] = std::exp(in[c] - mx);
-        denom += o[c];
-      }
-      const float inv = 1.0f / denom;
-      for (int c = 0; c < cols; ++c) o[c] *= inv;
-    }
+    for (std::int64_t r = r0; r < r1; ++r)
+      row_kernel(pa + r * cols, po + r * cols, cols);
   });
   NodePtr an = a.node();
   detail::BufferPtr saved = out;  // softmax probabilities, shared not copied
   return make_result(
       a.shape(), std::move(out), {a},
       [an, rows, cols, saved = std::move(saved)](const std::vector<float>& g) {
-        // dx = p * (g - sum(g * p)) per row.
+        // dx = p * g - p * sum(g * p) per row, two vector passes.
         float* ga = G(an).data();
         const float* ps = saved->data();
         const float* pg = g.data();
+        const simd::Kernels& kr = simd::kernels();
         parallel_for(rows, grain_for(cols),
                      [=](std::int64_t r0, std::int64_t r1) {
           for (std::int64_t r = r0; r < r1; ++r) {
-            const float* p = ps + static_cast<std::size_t>(r) * cols;
-            const float* gr = pg + static_cast<std::size_t>(r) * cols;
-            float dot = 0.0f;
-            for (int c = 0; c < cols; ++c) dot += gr[c] * p[c];
-            for (int c = 0; c < cols; ++c)
-              ga[static_cast<std::size_t>(r) * cols + c] +=
-                  p[c] * (gr[c] - dot);
+            const float* p = ps + r * cols;
+            const float* gr = pg + r * cols;
+            const float dot = kr.dot(gr, p, cols);
+            kr.acc_mul(ga + r * cols, p, gr, cols);
+            kr.acc_scaled(ga + r * cols, p, -dot, cols);
           }
         });
       });
@@ -841,17 +843,10 @@ Tensor log_softmax_rows(const Tensor& a) {
   auto out = detail::acquire_buffer(a.values().size());
   const float* pa = a.data();
   float* po = out->data();
+  const auto row_kernel = simd::kernels().log_softmax_row;
   parallel_for(rows, grain_for(cols), [=](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t r = r0; r < r1; ++r) {
-      const float* in = pa + static_cast<std::size_t>(r) * cols;
-      float* o = po + static_cast<std::size_t>(r) * cols;
-      float mx = in[0];
-      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-      float denom = 0.0f;
-      for (int c = 0; c < cols; ++c) denom += std::exp(in[c] - mx);
-      const float lse = mx + std::log(denom);
-      for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
-    }
+    for (std::int64_t r = r0; r < r1; ++r)
+      row_kernel(pa + r * cols, po + r * cols, cols);
   });
   NodePtr an = a.node();
   detail::BufferPtr saved = out;  // log p, shared not copied
@@ -862,16 +857,18 @@ Tensor log_softmax_rows(const Tensor& a) {
         float* ga = G(an).data();
         const float* ps = saved->data();
         const float* pg = g.data();
+        const simd::Kernels& kr = simd::kernels();
         parallel_for(rows, grain_for(cols),
                      [=](std::int64_t r0, std::int64_t r1) {
+          // exp(log p) is recovered per chunk in thread-local scratch.
+          ScratchLease probs(static_cast<std::size_t>(cols));
           for (std::int64_t r = r0; r < r1; ++r) {
-            const float* lp = ps + static_cast<std::size_t>(r) * cols;
-            const float* gr = pg + static_cast<std::size_t>(r) * cols;
-            float gsum = 0.0f;
-            for (int c = 0; c < cols; ++c) gsum += gr[c];
-            for (int c = 0; c < cols; ++c)
-              ga[static_cast<std::size_t>(r) * cols + c] +=
-                  gr[c] - std::exp(lp[c]) * gsum;
+            const float* lp = ps + r * cols;
+            const float* gr = pg + r * cols;
+            const float gsum = kr.reduce_sum(gr, cols);
+            for (int c = 0; c < cols; ++c) probs.data()[c] = std::exp(lp[c]);
+            kr.acc(ga + r * cols, gr, cols);
+            kr.acc_scaled(ga + r * cols, probs.data(), -gsum, cols);
           }
         });
       });
@@ -1116,17 +1113,18 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
   const std::int64_t ohw = static_cast<std::int64_t>(OH) * OW;
   const std::int64_t cols = static_cast<std::int64_t>(B) * ohw;
 
-  // Y[OC, B*OH*OW] = Wmat[OC, CK] · im2col(x); then scatter + bias.
-  auto col = detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
-  im2col(x.data(), B, IC, H, W, KH, KW, OH, OW, stride, pad, col->data());
-  auto ymat = detail::acquire_buffer(static_cast<std::size_t>(OC * cols));
-  gemm_nn(OC, CK, cols, w.data(), col->data(), ymat->data(),
+  // Y[OC, B*OH*OW] = Wmat[OC, CK] · im2col(x); then scatter + bias.  The
+  // workspace comes from the scratch arena, so the im2col column buffer
+  // persists across training iterations instead of cycling the pool.
+  ScratchLease col(static_cast<std::size_t>(CK * cols));
+  im2col(x.data(), B, IC, H, W, KH, KW, OH, OW, stride, pad, col.data());
+  ScratchLease ymat(static_cast<std::size_t>(OC * cols));
+  gemm_nn(OC, CK, cols, w.data(), col.data(), ymat.data(),
           /*accumulate=*/false);
-  col.reset();  // back to the pool before allocating the output
 
   auto out = detail::acquire_buffer(static_cast<std::size_t>(B) * OC * ohw);
   {
-    const float* ym = ymat->data();
+    const float* ym = ymat.data();
     const float* bias = b.data();
     float* po = out->data();
     parallel_for(static_cast<std::int64_t>(B) * OC, grain_for(ohw),
@@ -1147,35 +1145,32 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
       [xn, wn, bn, B, IC, H, W, OC, KH, KW, OH, OW, stride, pad, CK, ohw,
        cols](const std::vector<float>& g) {
         // Gather g into channel-major [OC, B*OH*OW].
-        auto gmat = detail::acquire_buffer(static_cast<std::size_t>(OC * cols));
-        to_channel_major(g.data(), B, OC, ohw, gmat->data());
+        ScratchLease gmat(static_cast<std::size_t>(OC * cols));
+        to_channel_major(g.data(), B, OC, ohw, gmat.data());
 
         if (bn->requires_grad) {
           float* gb = G(bn).data();
-          const float* gm = gmat->data();
-          for (int oc = 0; oc < OC; ++oc) {
-            float s = 0.0f;
-            const float* row = gm + static_cast<std::int64_t>(oc) * cols;
-            for (std::int64_t i = 0; i < cols; ++i) s += row[i];
-            gb[oc] += s;
-          }
+          const float* gm = gmat.data();
+          const auto rsum = simd::kernels().reduce_sum;
+          for (int oc = 0; oc < OC; ++oc)
+            gb[oc] += rsum(gm + static_cast<std::int64_t>(oc) * cols, cols);
         }
         if (wn->requires_grad) {
-          // dW[OC, CK] += g_mat · colᵀ — recompute col from the saved input.
-          auto col =
-              detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+          // dW[OC, CK] += g_mat · colᵀ — recompute col from the saved input,
+          // then accumulate image by image so the contraction parallelizes
+          // across the batch (not just over the OC rows).
+          ScratchLease col(static_cast<std::size_t>(CK * cols));
           im2col(V(xn).data(), B, IC, H, W, KH, KW, OH, OW, stride, pad,
-                 col->data());
-          gemm_nt(OC, cols, CK, gmat->data(), col->data(), G(wn).data(),
-                  /*accumulate=*/true);
+                 col.data());
+          gemm_nt_batched_acc(B, OC, ohw, CK, gmat.data(), col.data(),
+                              G(wn).data());
         }
         if (xn->requires_grad) {
           // dcol[CK, B*OH*OW] = Wmatᵀ · g_mat; then col2im-accumulate.
-          auto dcol =
-              detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
-          gemm_tn(OC, CK, cols, V(wn).data(), gmat->data(), dcol->data(),
+          ScratchLease dcol(static_cast<std::size_t>(CK * cols));
+          gemm_tn(OC, CK, cols, V(wn).data(), gmat.data(), dcol.data(),
                   /*accumulate=*/false);
-          col2im_acc(dcol->data(), B, IC, H, W, KH, KW, OH, OW, stride, pad,
+          col2im_acc(dcol.data(), B, IC, H, W, KH, KW, OH, OW, stride, pad,
                      G(xn).data());
         }
       });
@@ -1203,12 +1198,11 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
   const std::int64_t cols = static_cast<std::int64_t>(B) * hw;
   const std::int64_t ohw = static_cast<std::int64_t>(OH) * OW;
 
-  auto xmat = detail::acquire_buffer(static_cast<std::size_t>(IC * cols));
-  to_channel_major(x.data(), B, IC, hw, xmat->data());
-  auto col = detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
-  gemm_tn(IC, CK, cols, w.data(), xmat->data(), col->data(),
+  ScratchLease xmat(static_cast<std::size_t>(IC * cols));
+  to_channel_major(x.data(), B, IC, hw, xmat.data());
+  ScratchLease col(static_cast<std::size_t>(CK * cols));
+  gemm_tn(IC, CK, cols, w.data(), xmat.data(), col.data(),
           /*accumulate=*/false);
-  xmat.reset();
 
   auto out = detail::acquire_buffer(static_cast<std::size_t>(B) * OC * ohw);
   {
@@ -1224,7 +1218,7 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
       }
     });
   }
-  col2im_acc(col->data(), B, OC, OH, OW, KH, KW, H, W, stride, pad,
+  col2im_acc(col.data(), B, OC, OH, OW, KH, KW, H, W, stride, pad,
              out->data());
 
   NodePtr xn = x.node(), wn = w.node(), bn = b.node();
@@ -1234,36 +1228,35 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
        ohw](const std::vector<float>& g) {
         if (bn->requires_grad) {
           float* gb = G(bn).data();
+          const auto rsum = simd::kernels().reduce_sum;
           for (int oc = 0; oc < OC; ++oc) {
             float s = 0.0f;
-            for (int bb = 0; bb < B; ++bb) {
-              const float* row =
-                  g.data() + (static_cast<std::int64_t>(bb) * OC + oc) * ohw;
-              for (std::int64_t i = 0; i < ohw; ++i) s += row[i];
-            }
+            for (int bb = 0; bb < B; ++bb)
+              s += rsum(g.data() +
+                            (static_cast<std::int64_t>(bb) * OC + oc) * ohw,
+                        ohw);
             gb[oc] += s;
           }
         }
         if (!xn->requires_grad && !wn->requires_grad) return;
         // dcol = im2col(g) over the input grid positions.
-        auto dcol = detail::acquire_buffer(static_cast<std::size_t>(CK * cols));
+        ScratchLease dcol(static_cast<std::size_t>(CK * cols));
         im2col(g.data(), B, OC, OH, OW, KH, KW, H, W, stride, pad,
-               dcol->data());
+               dcol.data());
         if (xn->requires_grad) {
           // dx_mat[IC, B*H*W] = Wmat · dcol, scattered back to NCHW.
-          auto dxmat =
-              detail::acquire_buffer(static_cast<std::size_t>(IC * cols));
-          gemm_nn(IC, CK, cols, V(wn).data(), dcol->data(), dxmat->data(),
+          ScratchLease dxmat(static_cast<std::size_t>(IC * cols));
+          gemm_nn(IC, CK, cols, V(wn).data(), dcol.data(), dxmat.data(),
                   /*accumulate=*/false);
-          from_channel_major_acc(dxmat->data(), B, IC, hw, G(xn).data());
+          from_channel_major_acc(dxmat.data(), B, IC, hw, G(xn).data());
         }
         if (wn->requires_grad) {
-          // dWmat[IC, CK] += x_mat · dcolᵀ.
-          auto xmat =
-              detail::acquire_buffer(static_cast<std::size_t>(IC * cols));
-          to_channel_major(V(xn).data(), B, IC, hw, xmat->data());
-          gemm_nt(IC, cols, CK, xmat->data(), dcol->data(), G(wn).data(),
-                  /*accumulate=*/true);
+          // dWmat[IC, CK] += x_mat · dcolᵀ, accumulated image by image so
+          // the contraction parallelizes across the batch.
+          ScratchLease xmat(static_cast<std::size_t>(IC * cols));
+          to_channel_major(V(xn).data(), B, IC, hw, xmat.data());
+          gemm_nt_batched_acc(B, IC, hw, CK, xmat.data(), dcol.data(),
+                              G(wn).data());
         }
       });
 }

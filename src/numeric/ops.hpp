@@ -16,9 +16,13 @@
 //
 // Performance: matmul is a cache-blocked, row-parallel GEMM whose backward
 // runs as two GEMM passes (dA = g·Bᵀ, dB = Aᵀ·g); conv2d/conv_transpose2d
-// lower to the same GEMM kernel via im2col/col2im; large elementwise ops
-// run on the shared thread pool (see numeric/parallel.hpp).  Results are
-// bitwise identical for any AFP_NUM_THREADS.
+// lower to the same GEMM kernel via im2col/col2im with workspace from the
+// per-thread scratch arena (numeric/scratch.hpp); large elementwise ops run
+// on the shared thread pool (see numeric/parallel.hpp).  The GEMM inner
+// loops, elementwise ops and softmax/reduction hot paths dispatch to a
+// runtime-selected micro-kernel tier — explicit AVX2 or portable scalar —
+// controlled by AFP_KERNEL_TIER (see numeric/simd.hpp).  Within a tier,
+// results are bitwise identical for any AFP_NUM_THREADS.
 #pragma once
 
 #include "numeric/tensor.hpp"
@@ -27,8 +31,11 @@ namespace afp::num {
 
 // -- kernel selection --------------------------------------------------------
 /// When true, matmul / conv2d / conv_transpose2d run the original scalar
-/// reference kernels instead of the blocked GEMM path.  Used by the parity
-/// tests and bench_perf_core; initialized from AFP_NAIVE_KERNELS.
+/// reference kernels instead of the blocked GEMM path (and linear_relu
+/// decomposes into relu(linear(...))).  Used by the parity tests and
+/// bench_perf_core; initialized from AFP_NAIVE_KERNELS and equivalent to
+/// the "naive" AFP_KERNEL_TIER value.  Tier selection beyond the naive
+/// toggle lives in numeric/simd.hpp.
 bool naive_kernels();
 void set_naive_kernels(bool naive);
 
@@ -75,6 +82,10 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor add_rowvec(const Tensor& x, const Tensor& v);
 /// Fully connected layer: x [B, in] @ w [in, out] + b [out].
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b);
+/// Fused relu(linear(x, w, b)): one pass over the output applies bias and
+/// activation, and the backward masks the gradient once before the two GEMM
+/// passes (no intermediate pre-activation tensor).
+Tensor linear_relu(const Tensor& x, const Tensor& w, const Tensor& b);
 
 // -- reductions ---------------------------------------------------------------
 Tensor sum_all(const Tensor& a);

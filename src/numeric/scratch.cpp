@@ -1,0 +1,90 @@
+#include "numeric/scratch.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace afp::num {
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+struct Slab {
+  std::unique_ptr<float[]> data;
+  std::size_t capacity = 0;
+  bool in_use = false;
+};
+
+/// Thread-local slab list.  Small (a handful of live leases at a time), so
+/// linear best-fit scan is cheap.  Slabs live until thread exit.
+class Arena {
+ public:
+  int acquire(std::size_t n) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(slabs_.size()); ++i) {
+      const Slab& s = slabs_[static_cast<std::size_t>(i)];
+      if (s.in_use || s.capacity < n) continue;
+      if (best < 0 ||
+          s.capacity < slabs_[static_cast<std::size_t>(best)].capacity) {
+        best = i;
+      }
+    }
+    if (best < 0) {
+      Slab s;
+      // Round up so a size that drifts by a few elements between calls
+      // (e.g. conv workspace across circuits) still reuses the slab:
+      // powers of two while small, then 1 MiB granules so a large conv
+      // workspace never pins more than ~1 MiB of slack per slab.
+      constexpr std::size_t kGranule = std::size_t{1} << 18;  // floats, 1 MiB
+      std::size_t cap = 64;
+      while (cap < n && cap < kGranule) cap *= 2;
+      if (cap < n) cap = (n + kGranule - 1) / kGranule * kGranule;
+      s.data = std::make_unique<float[]>(cap);
+      s.capacity = cap;
+      g_allocations.fetch_add(1, std::memory_order_relaxed);
+      g_bytes.fetch_add(cap * sizeof(float), std::memory_order_relaxed);
+      slabs_.push_back(std::move(s));
+      best = static_cast<int>(slabs_.size()) - 1;
+    }
+    slabs_[static_cast<std::size_t>(best)].in_use = true;
+    return best;
+  }
+
+  float* data(int slot) {
+    return slabs_[static_cast<std::size_t>(slot)].data.get();
+  }
+
+  void release(int slot) {
+    slabs_[static_cast<std::size_t>(slot)].in_use = false;
+  }
+
+  static Arena& local() {
+    thread_local Arena arena;
+    return arena;
+  }
+
+ private:
+  std::vector<Slab> slabs_;
+};
+
+}  // namespace
+
+ScratchLease::ScratchLease(std::size_t n) : size_(n) {
+  slot_ = Arena::local().acquire(n);
+  data_ = Arena::local().data(slot_);
+}
+
+ScratchLease::~ScratchLease() { Arena::local().release(slot_); }
+
+std::uint64_t scratch_allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t scratch_allocated_bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace afp::num

@@ -1,0 +1,48 @@
+// Per-thread scratch arena for transient kernel workspace.
+//
+// The numeric kernels need short-lived float buffers (im2col columns,
+// channel-major gathers, per-image dW partials) whose sizes repeat every
+// training iteration.  The tensor buffer pool already recycles storage, but
+// it is shared (mutex per acquire) and best-fit bounded; the scratch arena
+// is thread-local — no locking — and its slabs are never returned to the
+// allocator, so after the first iteration warm-up a steady-state training
+// loop performs zero workspace allocations (see the allocation counters,
+// asserted by the perf-core tests).
+//
+// Usage: `ScratchLease ws(n);` leases n floats from the calling thread's
+// arena; the slab is marked free again when the lease goes out of scope.
+// Leases nest (im2col column buffer + GEMM output live together), and must
+// be released by the same thread that acquired them — the RAII scoping
+// guarantees that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace afp::num {
+
+class ScratchLease {
+ public:
+  explicit ScratchLease(std::size_t n);
+  ~ScratchLease();
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  float* data_;
+  std::size_t size_;
+  int slot_;
+};
+
+/// Slabs malloc'd by all arenas since process start (monotonic; a flat
+/// value across iterations proves workspace reuse).
+std::uint64_t scratch_allocation_count();
+
+/// Bytes currently held by all arenas (monotonic per thread).
+std::uint64_t scratch_allocated_bytes();
+
+}  // namespace afp::num

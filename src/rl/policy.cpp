@@ -75,10 +75,10 @@ PolicyOutput ActorCritic::forward(const num::Tensor& masks,
     x = num::relu(conv->forward(x));
   }
   x = num::reshape(x, {b, static_cast<int>(x.size() / b)});
-  num::Tensor feat = num::relu(feat_fc_->forward(x));
+  num::Tensor feat = feat_fc_->forward_relu(x);
   num::Tensor state = num::concat_cols({node_emb, graph_emb, feat});
 
-  num::Tensor p = num::relu(policy_fc_->forward(state));
+  num::Tensor p = policy_fc_->forward_relu(state);
   p = num::reshape(p, {b, cfg_.policy_seed_channels, deconv_in_hw_,
                        deconv_in_hw_});
   for (const auto& deconv : deconvs_) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "numeric/simd.hpp"
+
 namespace afp::rl {
 
 GaeResult compute_gae(const std::vector<float>& rewards,
@@ -216,15 +218,19 @@ IterationStats PPOTrainer::iterate(std::mt19937_64& rng) {
       returns[idx_of[k]] = g.returns[k];
     }
   }
-  // Advantage normalization.
+  // Advantage normalization.  Moments accumulate in double for stability;
+  // the center-and-scale pass runs on the tiered vector kernels.
   {
     double mean = 0.0, sq = 0.0;
     for (float a : advantages) mean += a;
     mean /= static_cast<double>(total);
     for (float a : advantages) sq += (a - mean) * (a - mean);
     const double stdev = std::sqrt(sq / static_cast<double>(total)) + 1e-8;
-    for (float& a : advantages)
-      a = static_cast<float>((a - mean) / stdev);
+    const num::simd::Kernels& kr = num::simd::kernels();
+    kr.acc_const(advantages.data(), static_cast<float>(-mean),
+                 static_cast<std::int64_t>(total));
+    kr.scale(advantages.data(), static_cast<float>(1.0 / stdev),
+             advantages.data(), static_cast<std::int64_t>(total));
   }
 
   // ---- PPO update -----------------------------------------------------------

@@ -1,0 +1,134 @@
+// Determinism tests for the parallel metaheuristics: SA multi-restart, GA
+// and PSO (parallel population scoring) and B*-tree SA multi-restart must
+// produce bitwise-identical best cost and layout whether the shared pool
+// runs 1 or 4 threads, and seeded runs must be reproducible across repeats.
+#include <gtest/gtest.h>
+
+#include "metaheur/parallel_search.hpp"
+#include "netlist/library.hpp"
+#include "numeric/parallel.hpp"
+
+namespace afp::metaheur {
+namespace {
+
+floorplan::Instance instance_of(const netlist::Netlist& nl) {
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  return floorplan::make_instance(g);
+}
+
+void expect_identical(const BaselineResult& a, const BaselineResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.method, b.method) << what;
+  EXPECT_EQ(a.evaluations, b.evaluations) << what;
+  // Bitwise-equal reward and layout: the packed rectangles are pure doubles
+  // computed from the same candidate, so any drift means the search path
+  // diverged.
+  EXPECT_EQ(a.eval.reward, b.eval.reward) << what;
+  EXPECT_EQ(a.eval.hpwl, b.eval.hpwl) << what;
+  ASSERT_EQ(a.rects.size(), b.rects.size()) << what;
+  for (std::size_t i = 0; i < a.rects.size(); ++i)
+    EXPECT_EQ(a.rects[i], b.rects[i]) << what << " rect " << i;
+}
+
+/// Runs `search` under 1 and 4 pool threads plus a repeat, and requires all
+/// three results to be identical.
+void check_thread_invariance(
+    const std::function<BaselineResult()>& search, const char* what) {
+  num::set_num_threads(1);
+  const BaselineResult r1 = search();
+  const BaselineResult r1_repeat = search();
+  num::set_num_threads(4);
+  const BaselineResult r4 = search();
+  num::set_num_threads(0);  // restore the ambient default
+  expect_identical(r1, r1_repeat, (std::string(what) + " repeat").c_str());
+  expect_identical(r1, r4, (std::string(what) + " 1-vs-4 threads").c_str());
+}
+
+TEST(RestartRng, StreamsAreStableAndDistinct) {
+  auto a = restart_rng(7, 0);
+  auto b = restart_rng(7, 0);
+  EXPECT_EQ(a(), b());  // same (seed, restart) -> same stream
+  auto c = restart_rng(7, 1);
+  auto d = restart_rng(8, 0);
+  std::mt19937_64 a2 = restart_rng(7, 0);
+  EXPECT_NE(a2(), c());
+  EXPECT_NE(a2(), d());
+}
+
+TEST(MultiStart, RejectsZeroRestarts) {
+  const auto inst = instance_of(netlist::make_ota_small());
+  EXPECT_THROW(run_sa_multi(inst, SAParams{}, {0, 1}), std::invalid_argument);
+}
+
+TEST(MultiStart, SaIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota2());
+  SAParams p;
+  p.iterations = 600;
+  check_thread_invariance(
+      [&] { return run_sa_multi(inst, p, {4, 11}); }, "SA x4");
+}
+
+TEST(MultiStart, BStarSaIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_bias1());
+  BStarSAParams p;
+  p.iterations = 600;
+  check_thread_invariance(
+      [&] { return run_sa_bstar_multi(inst, p, {4, 5}); }, "SA-B* x4");
+}
+
+TEST(ParallelPopulations, GaIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota2());
+  GAParams p;
+  p.population = 10;
+  p.generations = 8;
+  check_thread_invariance(
+      [&] {
+        std::mt19937_64 rng(33);  // fresh stream per run
+        return run_ga(inst, p, rng);
+      },
+      "GA");
+}
+
+TEST(ParallelPopulations, PsoIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota2());
+  PSOParams p;
+  p.particles = 8;
+  p.iterations = 10;
+  check_thread_invariance(
+      [&] {
+        std::mt19937_64 rng(44);
+        return run_pso(inst, p, rng);
+      },
+      "PSO");
+}
+
+TEST(MultiStart, GaWrapperIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota_small());
+  GAParams p;
+  p.population = 8;
+  p.generations = 5;
+  check_thread_invariance(
+      [&] { return run_ga_multi(inst, p, {3, 9}); }, "GA x3");
+}
+
+TEST(MultiStart, BestOfRestartsIsNoWorseThanAnySingleRestart) {
+  const auto inst = instance_of(netlist::make_ota2());
+  SAParams p;
+  p.iterations = 500;
+  const MultiStartOptions opt{4, 21};
+  const auto multi = run_sa_multi(inst, p, opt);
+  const double multi_cost = sp_cost(inst, multi.rects);
+  long total_evals = 0;
+  for (int k = 0; k < opt.restarts; ++k) {
+    auto rng = restart_rng(opt.base_seed, k);
+    const auto single = run_sa(inst, p, rng);
+    EXPECT_GE(sp_cost(inst, single.rects), multi_cost - 1e-12)
+        << "restart " << k;
+    total_evals += single.evaluations;
+  }
+  EXPECT_EQ(multi.evaluations, total_evals);
+  EXPECT_EQ(multi.method, "SAx4");
+}
+
+}  // namespace
+}  // namespace afp::metaheur

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 #include <vector>
 
 #include "nn/rgcn_layer.hpp"
 #include "numeric/ops.hpp"
 #include "numeric/parallel.hpp"
+#include "numeric/scratch.hpp"
 #include "numeric/sparse.hpp"
 #include "numeric/tensor.hpp"
 
@@ -285,6 +287,95 @@ TEST(Storage, ReshapeAndDetachAliasTheValueBuffer) {
   // Writes through the view are visible through the source handle.
   r.set(0, 42.0f);
   EXPECT_FLOAT_EQ(a.at(0), 42.0f);
+}
+
+TEST(LinearRelu, FusedMatchesComposition) {
+  // The fused op and relu(linear(...)) compute the same function; forward
+  // values and all three gradients must agree within the parity tolerance.
+  auto rng = rng_fixed();
+  for (const auto& [b, in, out] : {std::tuple{1, 5, 3}, std::tuple{12, 40, 24},
+                                   std::tuple{33, 17, 65}}) {
+    std::vector<Tensor> inputs{Tensor::randn({b, in}, rng, 1.0f, true),
+                               Tensor::randn({in, out}, rng, 0.5f, true),
+                               Tensor::randn({out}, rng, 0.5f, true)};
+    const Eval fused = evaluate(
+        [](std::vector<Tensor>& v) { return linear_relu(v[0], v[1], v[2]); },
+        inputs);
+    const Eval composed = evaluate(
+        [](std::vector<Tensor>& v) {
+          return relu(linear(v[0], v[1], v[2]));
+        },
+        inputs);
+    expect_close(composed.out, fused.out, "linear_relu forward");
+    for (std::size_t i = 0; i < composed.grads.size(); ++i)
+      expect_close(composed.grads[i], fused.grads[i],
+                   ("linear_relu grad " + std::to_string(i)).c_str());
+  }
+}
+
+TEST(LinearRelu, GradientsMatchFiniteDifferences) {
+  auto rng = rng_fixed();
+  std::vector<Tensor> inputs{Tensor::randn({3, 4}, rng, 1.0f, true),
+                             Tensor::randn({4, 2}, rng, 1.0f, true),
+                             Tensor::randn({2}, rng, 1.0f, true)};
+  auto loss_of = [&]() {
+    return sum_all(square(linear_relu(inputs[0], inputs[1], inputs[2])));
+  };
+  for (auto& t : inputs) t.zero_grad();
+  loss_of().backward();
+  const float eps = 1e-2f;
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    for (std::int64_t i = 0; i < inputs[t].size(); ++i) {
+      const float orig = inputs[t].at(i);
+      inputs[t].set(i, orig + eps);
+      const float up = loss_of().item();
+      inputs[t].set(i, orig - eps);
+      const float down = loss_of().item();
+      inputs[t].set(i, orig);
+      const float fd = (up - down) / (2.0f * eps);
+      const float an = inputs[t].grad()[static_cast<std::size_t>(i)];
+      // Central differences in float are noisy; 2e-2 absolute-or-relative
+      // is tight enough to catch a wrong mask or transposed GEMM.
+      EXPECT_NEAR(an, fd, 2e-2f * std::max(1.0f, std::abs(fd)))
+          << "input " << t << " coord " << i;
+    }
+  }
+}
+
+TEST(ScratchArena, NoAllocationGrowthAcrossTrainingIterations) {
+  // A steady-state training loop must stop allocating workspace once the
+  // per-thread arenas are warm: the im2col buffers, channel-major gathers
+  // and per-image dW partials all reuse their slabs.
+  //
+  // The naive reference kernels bypass the arena entirely, so pin a fast
+  // tier for the duration (the binary may run under AFP_NAIVE_KERNELS=1).
+  const bool naive_entry = naive_kernels();
+  set_naive_kernels(false);
+  auto rng = rng_fixed();
+  const Tensor x = Tensor::randn({4, 3, 16, 16}, rng, 1.0f);
+  Tensor w = Tensor::randn({6, 3, 3, 3}, rng, 0.3f, true);
+  Tensor b = Tensor::randn({6}, rng, 0.3f, true);
+  Tensor fw = Tensor::randn({6 * 16 * 16, 32}, rng, 0.1f, true);
+  Tensor fb = Tensor::randn({32}, rng, 0.1f, true);
+  auto train_step = [&] {
+    w.zero_grad();
+    b.zero_grad();
+    fw.zero_grad();
+    fb.zero_grad();
+    Tensor h = conv2d(x, w, b, 1, 1);
+    h = reshape(h, {4, 6 * 16 * 16});
+    h = linear_relu(h, fw, fb);
+    sum_all(square(h)).backward();
+  };
+  for (int i = 0; i < 2; ++i) train_step();  // warm-up fills the arena
+  const std::uint64_t allocs = scratch_allocation_count();
+  const std::uint64_t bytes = scratch_allocated_bytes();
+  EXPECT_GT(allocs, 0u);  // the loop really does run through the arena
+  for (int i = 0; i < 8; ++i) train_step();
+  EXPECT_EQ(scratch_allocation_count(), allocs)
+      << "workspace allocated after warm-up";
+  EXPECT_EQ(scratch_allocated_bytes(), bytes);
+  set_naive_kernels(naive_entry);
 }
 
 TEST(Storage, BufferPoolRecyclesFreedBuffers) {

@@ -14,6 +14,10 @@
 //   afp graph <circuit|netlist.sp> [--dot out.dot]
 //       Print the heterogeneous circuit graph.
 //
+// Global options: --threads N (numeric thread-pool size; wired through
+// TrainOptions::num_threads for `train`), --tier naive|scalar|avx2|auto
+// (kernel tier), --help.  See kUsage below for the full text.
+//
 // A <circuit> argument is first looked up in the registry; otherwise it is
 // treated as a path to a SPICE-like netlist file.
 #include <cstdio>
@@ -27,10 +31,44 @@
 #include "core/training.hpp"
 #include "netlist/library.hpp"
 #include "nn/checkpoint.hpp"
+#include "numeric/parallel.hpp"
+#include "numeric/simd.hpp"
 
 namespace {
 
 using namespace afp;
+
+const char kUsage[] = R"(afp — analog floorplanning pipeline (R-GCN + PPO + metaheuristics)
+
+usage: afp <command> [args] [options]
+
+commands:
+  list                              List the built-in circuit registry.
+  floorplan <circuit|netlist.sp>    Run the full pipeline with a
+      [--method sa|ga|pso|rlsa|rlsp] metaheuristic floorplanner.
+      [--constrained] [--seed N]
+      [--svg out.svg]
+  train [--episodes N] [--seed N]   Pre-train the R-GCN and HCL-train the
+      [--out prefix]                PPO agent; writes <prefix>_policy.bin
+                                    and <prefix>_encoder.bin.
+  eval <circuit|netlist.sp>         Floorplan with a trained agent
+      --agent prefix [--attempts K] checkpoint (zero-shot).
+      [--seed N] [--constrained]
+      [--svg out.svg]
+  graph <circuit|netlist.sp>        Print the heterogeneous circuit graph.
+      [--dot out.dot]
+
+global options:
+  --threads N   Size of the shared numeric thread pool (kernels, rollouts,
+                metaheuristic restarts).  Default: AFP_NUM_THREADS or the
+                hardware concurrency.  Results are identical for any N.
+  --tier T      Kernel tier: naive | scalar | avx2 | auto (default auto;
+                also settable via AFP_KERNEL_TIER).
+  --help, -h    Show this message.
+
+A <circuit> argument is first looked up in the registry (see `afp list`);
+otherwise it is treated as a path to a SPICE-like netlist file.
+)";
 
 /// Minimal flag parser: positional args plus --key [value] options.
 struct Args {
@@ -146,6 +184,7 @@ int cmd_floorplan(const Args& args) {
 int cmd_train(const Args& args) {
   core::TrainOptions opt = core::TrainOptions::fast(
       static_cast<unsigned>(std::stoul(args.get("seed", "1"))));
+  opt.num_threads = std::stoi(args.get("threads", "0"));
   opt.hcl.circuits = {"ota_small", "bias_small", "ota1", "ota2", "bias1"};
   opt.hcl.episodes_per_circuit = std::stoi(args.get("episodes", "64"));
   opt.ppo.n_envs = 4;
@@ -231,13 +270,33 @@ int cmd_graph(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: afp <list|floorplan|train|eval|graph> ...\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   const Args args = Args::parse(argc, argv, 2);
+  if (args.has("help") || args.has("h")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   try {
+    // Global knobs, honored by every command: pool size and kernel tier.
+    if (args.has("threads")) {
+      num::set_num_threads(std::stoi(args.get("threads", "0")));
+    }
+    if (args.has("tier")) {
+      num::KernelTier tier;
+      if (!num::parse_kernel_tier(args.get("tier", "auto").c_str(), &tier)) {
+        std::fprintf(stderr, "unknown kernel tier '%s'\n",
+                     args.get("tier", "").c_str());
+        return 2;
+      }
+      num::set_kernel_tier(tier);
+    }
     if (cmd == "list") return cmd_list();
     if (cmd == "floorplan") return cmd_floorplan(args);
     if (cmd == "train") return cmd_train(args);
