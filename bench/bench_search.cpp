@@ -1,0 +1,145 @@
+// Search-quality bench: single-chain SA vs best-of-restarts SA vs parallel
+// tempering (both representations) at an EQUAL packed-and-scored move budget
+// over the Table I circuits and seeds.  The point of the comparison is the
+// acceptance bar for the tempering baseline: at the same number of cost
+// evaluations, replica exchange must beat the single chain's mean best cost.
+//
+// Self-timed (no Google Benchmark), always builds; results are printed and
+// written to BENCH_search.json.  AFP_BENCH_SCALE scales the move budget.
+#include <fstream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "metaheur/tempering.hpp"
+#include "numeric/parallel.hpp"
+
+namespace afp::bench {
+
+namespace {
+
+constexpr int kSeeds = 5;  // matches bench_table1's per-cell seed count
+
+const std::vector<std::string> kCircuits = {"ota1",     "ota2",   "bias1",
+                                            "rs_latch", "driver", "bias2"};
+
+struct MethodStats {
+  std::vector<double> best_cost;
+  std::vector<double> runtime_s;
+  long evaluations = 0;
+
+  static double mean(const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  }
+  double mean_cost() const { return mean(best_cost); }
+  double mean_runtime() const { return mean(runtime_s); }
+};
+
+floorplan::Instance instance_of(const std::string& name) {
+  auto nl = make_circuit(name);
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  return floorplan::make_instance(g);
+}
+
+}  // namespace
+
+}  // namespace afp::bench
+
+int main() {
+  using namespace afp;
+  using namespace afp::bench;
+
+  // Equal total budget for every method: evaluations = kBudget exactly.
+  //   SA:    1 initial + (kBudget - 1) moves
+  //   SAxR:  R restarts of 1 + kBudget/R - 1 moves
+  //   PT:    K replicas, K + K * iterations evaluations in total
+  const int kBudget = scaled(2496);
+  const int kRestarts = 4;
+
+  metaheur::SAParams sa;
+  sa.iterations = kBudget - 1;
+  metaheur::SAParams sa_r;
+  sa_r.iterations = kBudget / kRestarts - 1;
+  metaheur::PTParams pt;  // tuned defaults; only the budget is overridden
+  pt.iterations = kBudget / pt.replicas - 1;
+  metaheur::PTParams ptb = pt;
+  ptb.representation = metaheur::Representation::kBStarTree;
+
+  std::printf("search bench: %d threads, budget %d evaluations/method\n\n",
+              num::num_threads(), kBudget);
+  std::printf("%-10s %12s %12s %12s %12s   (mean best cost, %d seeds)\n",
+              "circuit", "SA", "SAx4", "PT", "PT-B*", kSeeds);
+
+  // methods x circuits -> stats; summary aggregates over all circuits.
+  const std::vector<std::string> kMethodNames = {"SA", "SAx4", "PT", "PT-B*"};
+  std::map<std::string, std::map<std::string, MethodStats>> table;
+  std::map<std::string, MethodStats> overall;
+
+  for (const auto& name : kCircuits) {
+    const auto inst = instance_of(name);
+    for (int s = 0; s < kSeeds; ++s) {
+      const std::uint64_t seed = 400 + static_cast<std::uint64_t>(s);
+      auto record = [&](const std::string& method,
+                        const metaheur::BaselineResult& r) {
+        auto& cell = table[name][method];
+        cell.best_cost.push_back(metaheur::sp_cost(inst, r.rects));
+        cell.runtime_s.push_back(r.runtime_s);
+        cell.evaluations = r.evaluations;
+        overall[method].best_cost.push_back(cell.best_cost.back());
+      };
+      {
+        std::mt19937_64 rng(seed);
+        record("SA", metaheur::run_sa(inst, sa, rng));
+      }
+      record("SAx4",
+             metaheur::run_sa_multi(inst, sa_r, {kRestarts, seed}));
+      {
+        std::mt19937_64 rng(seed);
+        record("PT", metaheur::run_pt(inst, pt, rng));
+      }
+      {
+        std::mt19937_64 rng(seed);
+        record("PT-B*", metaheur::run_pt(inst, ptb, rng));
+      }
+    }
+    std::printf("%-10s %12.4f %12.4f %12.4f %12.4f\n", name.c_str(),
+                table[name]["SA"].mean_cost(), table[name]["SAx4"].mean_cost(),
+                table[name]["PT"].mean_cost(),
+                table[name]["PT-B*"].mean_cost());
+  }
+
+  const double sa_mean = overall["SA"].mean_cost();
+  const double pt_mean = overall["PT"].mean_cost();
+  std::printf("\noverall mean best cost: SA %.4f | SAx4 %.4f | PT %.4f | "
+              "PT-B* %.4f\n",
+              sa_mean, overall["SAx4"].mean_cost(), pt_mean,
+              overall["PT-B*"].mean_cost());
+  std::printf("PT %s single-chain SA at equal move budget (%.4f vs %.4f)\n",
+              pt_mean < sa_mean ? "beats" : "DOES NOT beat", pt_mean, sa_mean);
+
+  std::ofstream os("BENCH_search.json");
+  os << "{\n  \"bench\": \"search\",\n  \"threads\": " << num::num_threads()
+     << ",\n  \"budget_evaluations\": " << kBudget
+     << ",\n  \"seeds\": " << kSeeds << ",\n  \"circuits\": [\n";
+  for (std::size_t c = 0; c < kCircuits.size(); ++c) {
+    os << "    {\"circuit\": \"" << kCircuits[c] << "\"";
+    for (const auto& m : kMethodNames) {
+      const auto& cell = table[kCircuits[c]][m];
+      os << ", \"" << m << "\": {\"mean_cost\": " << cell.mean_cost()
+         << ", \"mean_runtime_s\": " << cell.mean_runtime()
+         << ", \"evaluations\": " << cell.evaluations << "}";
+    }
+    os << "}" << (c + 1 < kCircuits.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"summary\": {";
+  for (std::size_t i = 0; i < kMethodNames.size(); ++i) {
+    os << "\"" << kMethodNames[i]
+       << "_mean_cost\": " << overall[kMethodNames[i]].mean_cost()
+       << (i + 1 < kMethodNames.size() ? ", " : "");
+  }
+  os << ", \"pt_beats_sa\": " << (pt_mean < sa_mean ? "true" : "false")
+     << "}\n}\n";
+  std::printf("wrote BENCH_search.json\n");
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "metaheur/bstar.hpp"
 #include "metaheur/parallel_search.hpp"
+#include "metaheur/tempering.hpp"
 #include "numeric/parallel.hpp"
 #include "rl/agent.hpp"
 
@@ -43,7 +44,7 @@ const std::vector<CircuitSpec> kCircuits = {
 const std::vector<std::string> kMethods = {
     "R-GCN RL 0-shot", "R-GCN RL 1-shot", "R-GCN RL 100-shot",
     "R-GCN RL 1000-shot", "SA", "GA", "PSO", "RL-SA [13]", "RL [13]",
-    "SA-B* [15]"};
+    "SA-B* [15]", "PT"};
 
 constexpr int kSeeds = 5;
 
@@ -173,6 +174,16 @@ void run_table1() {
          })) {
       row["SA-B* [15]"].samples.add(res.runtime_s, res.eval);
     }
+    // Extra baseline: parallel tempering at SA's total move budget (the
+    // replicas share the 2500 evaluations — see metaheur/tempering.hpp).
+    for (const auto& res : run_seeds(400, [&](const floorplan::Instance& inst,
+                                              std::mt19937_64& rng) {
+           metaheur::PTParams pp;
+           pp.iterations = 2500 / pp.replicas - 1;
+           return metaheur::run_pt(inst, pp, rng);
+         })) {
+      row["PT"].samples.add(res.runtime_s, res.eval);
+    }
     for (const auto& [label, method] : baselines) {
       const auto results =
           run_seeds(400, [&](const floorplan::Instance& inst,
@@ -262,6 +273,23 @@ void BM_SaIteration1000(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SaIteration1000)->Unit(benchmark::kMillisecond);
+
+void BM_PtBudget1000(benchmark::State& state) {
+  // Parallel tempering at a 1000-evaluation total budget; the replicas
+  // step concurrently, so wall time approaches the cold chain's share as
+  // AFP_NUM_THREADS grows.
+  auto nl = bench::make_circuit("bias2");
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  const auto inst = floorplan::make_instance(g);
+  for (auto _ : state) {
+    std::mt19937_64 rng(2);
+    metaheur::PTParams p;
+    p.iterations = 1000 / p.replicas - 1;
+    auto res = metaheur::run_pt(inst, p, rng);
+    benchmark::DoNotOptimize(res.eval.reward);
+  }
+}
+BENCHMARK(BM_PtBudget1000)->Unit(benchmark::kMillisecond);
 
 void BM_SaMultistart4(benchmark::State& state) {
   // Four 1000-iteration restarts on the shared pool; wall time approaches a

@@ -12,7 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "metaheur/parallel_search.hpp"
+#include "metaheur/tempering.hpp"
 #include "rl/agent.hpp"
 
 namespace {
@@ -100,7 +100,31 @@ void run_table2() {
                 ours_final_h, pct(ours_final_h, c.manual_hours));
     std::printf("%-8s %-8s %14.1f %16.2f %14s %14s %14.1f\n", c.label.c_str(),
                 "Manual", man_area, man_ds, "-", "-", c.manual_hours);
-    std::printf("         DRC %s (%zu violations), LVS %s (%zu opens, %zu shorts), routed nets %zu/%zu\n\n",
+
+    // ---- parallel tempering row --------------------------------------------
+    // The strongest classical search at the same spacing budget: multi-start
+    // replica exchange, then the same routing + layout generation back half.
+    const auto t_pt0 = std::chrono::steady_clock::now();
+    metaheur::PTParams ptp;
+    ptp.iterations = bench::scaled(20000) / ptp.replicas - 1;
+    ptp.spacing_um = prep.instance.canvas_w / 32.0;
+    const auto pt = metaheur::run_pt_multi(prep.instance, ptp,
+                                           {/*restarts=*/4,
+                                            /*base_seed=*/42});
+    const auto ptroute = route::global_route(prep.instance, pt.rects);
+    const auto ptlayout = layoutgen::generate_layout(prep.instance, pt.rects,
+                                                     ptroute);
+    const double pt_template_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_pt0)
+            .count();
+    const double pt_area = ptlayout.area();
+    const double pt_ds = ptlayout.dead_space(prep.instance) * 100.0;
+    std::printf("%-8s %-8s %8.1f (%+5.1f%%) %8.2f (%+5.2f%%) %14.2f %14s %10.2f (%+5.1f%%)\n",
+                c.label.c_str(), "PT", pt_area, pct(pt_area, man_area), pt_ds,
+                pt_ds - man_ds, pt_template_s, "-", pt_template_s / 3600.0,
+                pct(pt_template_s / 3600.0, c.manual_hours));
+    std::printf("         Ours: DRC %s (%zu violations), LVS %s (%zu opens, %zu shorts), routed nets %zu/%zu\n\n",
                 res.drc.clean() ? "clean" : "dirty", res.drc.violations.size(),
                 res.lvs.clean() ? "clean" : "dirty", res.lvs.open_nets.size(),
                 res.lvs.shorted.size(), res.route.trees.size(),

@@ -1,0 +1,37 @@
+# Smoke test for the CLI's unknown-flag handling: an unrecognized option
+# must exit with code 2 and print the usage text (plus the offending flag)
+# to stderr — never be silently ignored.
+#
+# Invoked by CTest as:
+#   cmake -DAFP_CLI=<path-to-afp_cli> -P expect_usage_error.cmake
+if(NOT AFP_CLI)
+  message(FATAL_ERROR "usage: cmake -DAFP_CLI=... -P expect_usage_error.cmake")
+endif()
+
+execute_process(
+  COMMAND ${AFP_CLI} floorplan ota_small --definitely-bogus
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "expected exit code 2 for an unknown flag, got ${rc}")
+endif()
+if(NOT err MATCHES "unknown option '--definitely-bogus'")
+  message(FATAL_ERROR "stderr does not name the unknown flag: ${err}")
+endif()
+if(NOT err MATCHES "usage: afp")
+  message(FATAL_ERROR "stderr does not contain the usage text: ${err}")
+endif()
+# A flag that only exists on a different command must be rejected too.
+execute_process(
+  COMMAND ${AFP_CLI} train --pt-replicas 8
+  RESULT_VARIABLE rc2
+  OUTPUT_QUIET
+  ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 2)
+  message(FATAL_ERROR "expected exit code 2 for a wrong-command flag, got ${rc2}")
+endif()
+if(NOT err2 MATCHES "unknown option '--pt-replicas' for 'train'")
+  message(FATAL_ERROR "stderr does not name the wrong-command flag: ${err2}")
+endif()
+message(STATUS "unknown flags rejected with exit 2 and usage on stderr")

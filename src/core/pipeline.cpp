@@ -17,6 +17,8 @@ std::string to_string(Method m) {
     case Method::kPSO: return "PSO";
     case Method::kRlSa: return "RL-SA[13]";
     case Method::kRlSp: return "RL[13]";
+    case Method::kSaBStar: return "SA-B*[15]";
+    case Method::kPT: return "PT";
   }
   return "?";
 }
@@ -100,22 +102,38 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
                                       std::mt19937_64& rng) const {
   Prepared prep = prepare(nl, rng);
   const auto t0 = Clock::now();
+  const auto single = [&](std::mt19937_64& r) -> metaheur::BaselineResult {
+    switch (method) {
+      case Method::kSA: return metaheur::run_sa(prep.instance, cfg_.sa, r);
+      case Method::kGA: return metaheur::run_ga(prep.instance, cfg_.ga, r);
+      case Method::kPSO: return metaheur::run_pso(prep.instance, cfg_.pso, r);
+      case Method::kRlSa:
+        return metaheur::run_rlsa(prep.instance, cfg_.rlsa, r);
+      case Method::kRlSp:
+        return metaheur::run_rlsp(prep.instance, cfg_.rlsp, r);
+      case Method::kSaBStar:
+        return metaheur::run_sa_bstar(prep.instance, cfg_.bstar, r);
+      case Method::kPT:
+        return metaheur::run_pt(prep.instance, cfg_.search.pt, r);
+      case Method::kRgcnRl:
+        break;
+    }
+    throw std::invalid_argument(
+        "FloorplanPipeline: use the ActorCritic overload for R-GCN RL");
+  };
   metaheur::BaselineResult base;
-  switch (method) {
-    case Method::kSA: base = metaheur::run_sa(prep.instance, cfg_.sa, rng); break;
-    case Method::kGA: base = metaheur::run_ga(prep.instance, cfg_.ga, rng); break;
-    case Method::kPSO:
-      base = metaheur::run_pso(prep.instance, cfg_.pso, rng);
-      break;
-    case Method::kRlSa:
-      base = metaheur::run_rlsa(prep.instance, cfg_.rlsa, rng);
-      break;
-    case Method::kRlSp:
-      base = metaheur::run_rlsp(prep.instance, cfg_.rlsp, rng);
-      break;
-    case Method::kRgcnRl:
-      throw std::invalid_argument(
-          "FloorplanPipeline: use the ActorCritic overload for R-GCN RL");
+  if (cfg_.search.restarts > 1) {
+    // Fan the whole search out on the pool; each restart gets its own
+    // SplitMix64 stream, so the result is thread-count invariant and a pure
+    // function of (base_seed, restarts).
+    metaheur::MultiStartOptions opt;
+    opt.restarts = cfg_.search.restarts;
+    opt.base_seed = cfg_.search.base_seed ? cfg_.search.base_seed : rng();
+    base = metaheur::run_multistart(
+        prep.instance,
+        [&](int, std::mt19937_64& r) { return single(r); }, opt);
+  } else {
+    base = single(rng);
   }
   return back_half(std::move(prep), std::move(base.rects), since(t0), 1e-6);
 }

@@ -8,11 +8,12 @@
 
 #include "layoutgen/layoutgen.hpp"
 #include "metaheur/baselines.hpp"
+#include "metaheur/tempering.hpp"
 #include "rl/agent.hpp"
 
 namespace afp::core {
 
-enum class Method { kRgcnRl, kSA, kGA, kPSO, kRlSa, kRlSp };
+enum class Method { kRgcnRl, kSA, kGA, kPSO, kRlSa, kRlSp, kSaBStar, kPT };
 
 std::string to_string(Method m);
 
@@ -39,6 +40,16 @@ struct PipelineResult {
   StageTimings timings;
 };
 
+/// Multi-start / tempering configuration shared by every baseline method:
+/// restarts > 1 fans the chosen search out on the thread pool via
+/// metaheur::run_multistart and keeps the best result; `pt` holds the
+/// replica-exchange budgets used by Method::kPT.
+struct SearchConfig {
+  int restarts = 1;             ///< > 1: best-of-restarts on the pool
+  std::uint64_t base_seed = 0;  ///< 0: drawn from the pipeline rng
+  metaheur::PTParams pt{};
+};
+
 struct PipelineConfig {
   bool constrained = false;  ///< apply default positional constraints
   env::EnvConfig env{};
@@ -52,6 +63,8 @@ struct PipelineConfig {
   metaheur::PSOParams pso{};
   metaheur::RLSAParams rlsa{};
   metaheur::RLSPParams rlsp{};
+  metaheur::BStarSAParams bstar{};
+  SearchConfig search{};
 };
 
 class FloorplanPipeline {

@@ -36,13 +36,6 @@ Move random_move(std::mt19937_64& rng) {
 }
 
 
-/// Resolves the congestion-aware spacing: negative means "auto", one grid
-/// cell of the 32x32 placement canvas — the same routing allowance the
-/// RL method's quantization reserves (Section V-B fairness note).
-double resolve_spacing(const floorplan::Instance& inst, double spacing) {
-  return spacing >= 0.0 ? spacing : inst.canvas_w / 32.0;
-}
-
 /// Scores a batch of candidates on the shared thread pool.  pack/sp_cost
 /// draw no randomness, so population methods generate candidates serially
 /// (one RNG stream, the same draws as a sequential run) and fan the pure
@@ -64,6 +57,10 @@ std::vector<double> eval_population(const floorplan::Instance& inst,
 }
 
 }  // namespace
+
+double resolve_spacing(const floorplan::Instance& inst, double spacing_um) {
+  return spacing_um >= 0.0 ? spacing_um : inst.canvas_w / 32.0;
+}
 
 BaselineResult run_sa(const floorplan::Instance& inst, const SAParams& p,
                       std::mt19937_64& rng) {

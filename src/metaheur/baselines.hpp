@@ -62,6 +62,12 @@ struct RLSPParams {
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
 };
 
+/// Resolves a congestion-aware spacing parameter: negative means "auto",
+/// one grid cell of the 32x32 placement canvas — the same routing allowance
+/// the RL method's quantization reserves (Section V-B fairness note).
+/// Shared by every representation so equal-budget comparisons stay fair.
+double resolve_spacing(const floorplan::Instance& inst, double spacing_um);
+
 BaselineResult run_sa(const floorplan::Instance& inst, const SAParams& p,
                       std::mt19937_64& rng);
 BaselineResult run_ga(const floorplan::Instance& inst, const GAParams& p,

@@ -222,8 +222,7 @@ void apply_bstar_move(BStarTree& tree, BStarMove move, std::mt19937_64& rng) {
 BaselineResult run_sa_bstar(const floorplan::Instance& inst,
                             const BStarSAParams& p, std::mt19937_64& rng) {
   const auto t0 = std::chrono::steady_clock::now();
-  const double spacing =
-      p.spacing_um >= 0.0 ? p.spacing_um : inst.canvas_w / 32.0;
+  const double spacing = resolve_spacing(inst, p.spacing_um);
   BStarTree cur = BStarTree::random(inst.num_blocks(), rng);
   double cur_cost = sp_cost(inst, pack_bstar(inst, cur, spacing));
   BStarTree best = cur;

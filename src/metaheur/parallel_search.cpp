@@ -8,16 +8,12 @@
 
 namespace afp::metaheur {
 
-namespace {
-
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
 }
-
-}  // namespace
 
 std::mt19937_64 restart_rng(std::uint64_t base_seed, int restart) {
   const std::uint64_t mixed =

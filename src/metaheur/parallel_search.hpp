@@ -21,6 +21,11 @@
 
 namespace afp::metaheur {
 
+/// SplitMix64 finalizer used to derive all the independent search streams
+/// (restart_rng here, replica_rng in metaheur/tempering) — one definition so
+/// the domain-separation contract between them cannot silently diverge.
+std::uint64_t splitmix64(std::uint64_t x);
+
 /// Independent RNG stream for restart `restart` of `base_seed` (SplitMix64
 /// over the pair, so neighboring seeds/restarts are decorrelated).
 std::mt19937_64 restart_rng(std::uint64_t base_seed, int restart);

@@ -4,7 +4,10 @@
 // runs 1 or 4 threads, and seeded runs must be reproducible across repeats.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metaheur/parallel_search.hpp"
+#include "metaheur/tempering.hpp"
 #include "netlist/library.hpp"
 #include "numeric/parallel.hpp"
 
@@ -109,6 +112,153 @@ TEST(MultiStart, GaWrapperIsThreadCountInvariant) {
   p.generations = 5;
   check_thread_invariance(
       [&] { return run_ga_multi(inst, p, {3, 9}); }, "GA x3");
+}
+
+// ------------------------------------------------ parallel tempering ---
+
+TEST(Tempering, SwapProbabilityMatchesHandComputedReference) {
+  // P(swap) = min(1, exp((1/Ti - 1/Tj)(Ci - Cj))).  Hand-computed cases:
+  //  Ti=0.5, Tj=1.0, Ci=3, Cj=5: exponent (2-1)(3-5) = -2  -> e^-2
+  EXPECT_DOUBLE_EQ(pt_swap_probability(3.0, 5.0, 0.5, 1.0), std::exp(-2.0));
+  //  Ti=0.5, Tj=1.0, Ci=5, Cj=3: exponent (2-1)(5-3) = +2  -> clipped to 1
+  EXPECT_DOUBLE_EQ(pt_swap_probability(5.0, 3.0, 0.5, 1.0), 1.0);
+  //  Ti=0.25, Tj=2.0, Ci=1.5, Cj=1.0: (4-0.5)(0.5) = 1.75 -> 1
+  EXPECT_DOUBLE_EQ(pt_swap_probability(1.5, 1.0, 0.25, 2.0), 1.0);
+  //  Symmetric temperatures never reject: exponent 0 -> 1
+  EXPECT_DOUBLE_EQ(pt_swap_probability(4.0, 9.0, 1.0, 1.0), 1.0);
+  //  Ti=1, Tj=4, Ci=2, Cj=10: (1-0.25)(-8) = -6 -> e^-6
+  EXPECT_DOUBLE_EQ(pt_swap_probability(2.0, 10.0, 1.0, 4.0), std::exp(-6.0));
+}
+
+TEST(Tempering, GeometricLadderIsMonotoneAndGeometric) {
+  const auto t = geometric_ladder(1e-3, 2.0, 6);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t.front(), 1e-3);
+  EXPECT_DOUBLE_EQ(t.back(), 2.0);
+  for (std::size_t k = 1; k < t.size(); ++k) {
+    EXPECT_GT(t[k], t[k - 1]) << "rung " << k;
+  }
+  // Constant ratio between adjacent rungs (geometric schedule).
+  const double ratio = t[1] / t[0];
+  for (std::size_t k = 2; k < t.size(); ++k) {
+    EXPECT_NEAR(t[k] / t[k - 1], ratio, 1e-9) << "rung " << k;
+  }
+  EXPECT_THROW(geometric_ladder(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(geometric_ladder(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Tempering, AutoHotTemperatureTracksInitialCostSpread) {
+  EXPECT_DOUBLE_EQ(auto_hot_temperature({3.0, 8.5, 4.0}), 5.5);
+  EXPECT_DOUBLE_EQ(auto_hot_temperature({2.0, 2.1}), 1.0);  // floored
+  EXPECT_DOUBLE_EQ(auto_hot_temperature({}), 1.0);
+}
+
+TEST(Tempering, ReplicaStreamsAreStableDistinctAndSeparated) {
+  auto a = replica_rng(7, 0);
+  auto b = replica_rng(7, 0);
+  EXPECT_EQ(a(), b());  // same (seed, replica) -> same stream
+  auto c = replica_rng(7, 1);
+  auto d = replica_rng(8, 0);
+  auto swap_stream = replica_rng(7, -1);
+  std::mt19937_64 a2 = replica_rng(7, 0);
+  EXPECT_NE(a2(), c());
+  EXPECT_NE(a2(), d());
+  EXPECT_NE(a2(), swap_stream());
+  // Domain separation from the multi-restart streams.
+  auto restart = restart_rng(7, 0);
+  std::mt19937_64 a3 = replica_rng(7, 0);
+  EXPECT_NE(a3(), restart());
+}
+
+TEST(Tempering, RejectsDegenerateParams) {
+  const auto inst = instance_of(netlist::make_ota_small());
+  std::mt19937_64 rng(1);
+  PTParams p;
+  p.replicas = 1;
+  EXPECT_THROW(run_pt(inst, p, rng), std::invalid_argument);
+  p = {};
+  p.swap_interval = 0;
+  EXPECT_THROW(run_pt(inst, p, rng), std::invalid_argument);
+  p = {};
+  p.t_hot = 1e-4;  // below t_cold
+  EXPECT_THROW(run_pt(inst, p, rng), std::invalid_argument);
+}
+
+TEST(Tempering, PtIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota2());
+  PTParams p;
+  p.replicas = 6;
+  p.iterations = 120;
+  p.swap_interval = 8;
+  check_thread_invariance(
+      [&] {
+        std::mt19937_64 rng(17);
+        return run_pt(inst, p, rng);
+      },
+      "PT");
+}
+
+TEST(Tempering, PtBStarIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_bias1());
+  PTParams p;
+  p.replicas = 5;
+  p.iterations = 100;
+  p.swap_interval = 10;
+  p.representation = Representation::kBStarTree;
+  check_thread_invariance(
+      [&] {
+        std::mt19937_64 rng(23);
+        return run_pt(inst, p, rng);
+      },
+      "PT-B*");
+}
+
+TEST(Tempering, AdaptiveSwapIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota2());
+  PTParams p;
+  p.replicas = 4;
+  p.iterations = 160;
+  p.swap_interval = 4;
+  p.adaptive_swap = true;
+  check_thread_invariance(
+      [&] {
+        std::mt19937_64 rng(29);
+        return run_pt(inst, p, rng);
+      },
+      "PT adaptive");
+}
+
+TEST(Tempering, MultiStartPtIsThreadCountInvariant) {
+  const auto inst = instance_of(netlist::make_ota_small());
+  PTParams p;
+  p.replicas = 4;
+  p.iterations = 80;
+  check_thread_invariance(
+      [&] { return run_pt_multi(inst, p, {3, 13}); }, "PT x3");
+}
+
+TEST(Tempering, BestIsNoWorseThanEveryReplicaStart) {
+  // The returned best must beat (or match) each replica's initial state:
+  // the chains only ever improve their per-replica best.
+  const auto inst = instance_of(netlist::make_ota2());
+  PTParams p;
+  p.replicas = 6;
+  p.iterations = 200;
+  std::mt19937_64 rng(31);
+  const auto res = run_pt(inst, p, rng);
+  const double best = sp_cost(inst, res.rects);
+  const double spacing = inst.canvas_w / 32.0;
+  std::mt19937_64 seed_rng(31);
+  const std::uint64_t base_seed = seed_rng();
+  for (int k = 0; k < p.replicas; ++k) {
+    auto rrng = replica_rng(base_seed, k);
+    const auto sp = SequencePair::random(inst.num_blocks(), rrng);
+    EXPECT_GE(sp_cost(inst, pack(inst, sp, spacing)), best - 1e-12)
+        << "replica " << k;
+  }
+  EXPECT_EQ(res.evaluations,
+            static_cast<long>(p.replicas) * (1 + p.iterations));
+  EXPECT_EQ(res.method, "PT");
 }
 
 TEST(MultiStart, BestOfRestartsIsNoWorseThanAnySingleRestart) {

@@ -2,7 +2,9 @@
 //
 //   afp list
 //       List the built-in circuit registry.
-//   afp floorplan <circuit|netlist.sp> [--method sa|ga|pso|rlsa|rlsp]
+//   afp floorplan <circuit|netlist.sp>
+//       [--baseline sa|ga|pso|rlsa|rlsp|sab|pt|pt-bstar] [--restarts N]
+//       [--iters N] [--pt-replicas K] [--pt-swap-interval M] [--pt-adaptive]
 //       [--constrained] [--seed N] [--svg out.svg] [--report out.txt]
 //       Run the full pipeline with a metaheuristic floorplanner.
 //   afp train [--episodes N] [--seed N] [--out prefix]
@@ -25,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "core/pipeline.hpp"
@@ -45,9 +48,9 @@ usage: afp <command> [args] [options]
 commands:
   list                              List the built-in circuit registry.
   floorplan <circuit|netlist.sp>    Run the full pipeline with a
-      [--method sa|ga|pso|rlsa|rlsp] metaheuristic floorplanner.
-      [--constrained] [--seed N]
-      [--svg out.svg]
+      [--baseline B] [--constrained] metaheuristic floorplanner.
+      [--seed N] [--svg out.svg]
+      [--report out.txt]
   train [--episodes N] [--seed N]   Pre-train the R-GCN and HCL-train the
       [--out prefix]                PPO agent; writes <prefix>_policy.bin
                                     and <prefix>_encoder.bin.
@@ -57,6 +60,24 @@ commands:
       [--svg out.svg]
   graph <circuit|netlist.sp>        Print the heterogeneous circuit graph.
       [--dot out.dot]
+
+search options (floorplan):
+  --baseline B  sa | ga | pso | rlsa | rlsp | sab | pt | pt-bstar
+                (default sa; --method is an alias).  `pt` is parallel
+                tempering / replica exchange over sequence pairs,
+                `pt-bstar` the same over B*-trees, `sab` is SA over
+                B*-trees [15].
+  --restarts N  Best-of-N independent searches on the thread pool
+                (default 1).  Deterministic for any thread count.
+  --iters N     Per-chain move budget for SA / RL-SA / SA-B* and the
+                per-replica budget for PT.
+  --pt-replicas K       Tempering ladder size (default 3).
+  --pt-swap-interval M  Cold-chain moves between replica-exchange rounds
+                        (default 8).
+  --pt-adaptive         Adapt the swap interval to the observed exchange
+                        acceptance rate (still deterministic).
+  --report F    Write a machine-checkable run report (full-precision best
+                cost, metrics and rectangles; no timings) to file F.
 
 global options:
   --threads N   Size of the shared numeric thread pool (kernels, rollouts,
@@ -68,7 +89,24 @@ global options:
 
 A <circuit> argument is first looked up in the registry (see `afp list`);
 otherwise it is treated as a path to a SPICE-like netlist file.
+Unknown options are rejected with exit code 2.
 )";
+
+/// Options every command accepts.
+const std::set<std::string> kGlobalOptions = {"threads", "tier", "help", "h"};
+
+/// Per-command options; anything outside the command's set plus the globals
+/// is a usage error (exit code 2) instead of being silently ignored — this
+/// also catches options that only exist on a *different* command.
+const std::map<std::string, std::set<std::string>> kCommandOptions = {
+    {"list", {}},
+    {"floorplan",
+     {"method", "baseline", "constrained", "seed", "svg", "report",
+      "restarts", "iters", "pt-replicas", "pt-swap-interval", "pt-adaptive"}},
+    {"train", {"episodes", "seed", "out"}},
+    {"eval", {"agent", "attempts", "seed", "constrained", "svg"}},
+    {"graph", {"dot"}},
+};
 
 /// Minimal flag parser: positional args plus --key [value] options.
 struct Args {
@@ -91,6 +129,18 @@ struct Args {
       }
     }
     return a;
+  }
+
+  /// First option key `cmd` does not understand, or empty when all are
+  /// known (globals are accepted everywhere).
+  std::string first_unknown(const std::string& cmd) const {
+    const auto it = kCommandOptions.find(cmd);
+    for (const auto& [key, value] : options) {
+      if (kGlobalOptions.count(key)) continue;
+      if (it != kCommandOptions.end() && it->second.count(key)) continue;
+      return key;
+    }
+    return {};
   }
 
   std::string get(const std::string& key, const std::string& dflt) const {
@@ -150,33 +200,93 @@ int cmd_list() {
   return 0;
 }
 
+/// Deterministic run report: everything a reproducibility check needs
+/// (method, best cost, metrics, rectangles, routed length) at full
+/// precision, and nothing timing-dependent.  Compared bitwise by the e2e
+/// determinism test across thread counts, kernel tiers and repeats.
+void write_report(const std::string& path, const std::string& baseline,
+                  const core::PipelineResult& res) {
+  std::ofstream os(path);
+  os.precision(17);
+  os << "baseline " << baseline << "\n";
+  os << "blocks " << res.rects.size() << "\n";
+  os << "cost " << metaheur::sp_cost(res.instance, res.rects) << "\n";
+  os << "area " << res.eval.area << "\n";
+  os << "dead_space " << res.eval.dead_space << "\n";
+  os << "hpwl " << res.eval.hpwl << "\n";
+  os << "reward " << res.eval.reward << "\n";
+  os << "constraints_ok " << (res.eval.constraints_ok ? 1 : 0) << "\n";
+  os << "route_wirelength " << res.route.total_wirelength << "\n";
+  os << "layout_wires " << res.layout.wires.size() << " vias "
+     << res.layout.vias.size() << "\n";
+  for (const auto& r : res.rects) {
+    os << "rect " << r.x << " " << r.y << " " << r.w << " " << r.h << "\n";
+  }
+  if (!os) {
+    throw std::runtime_error("failed to write report '" + path + "'");
+  }
+}
+
 int cmd_floorplan(const Args& args) {
   if (args.positional.empty()) {
-    std::fprintf(stderr, "usage: afp floorplan <circuit> [--method sa]\n");
+    std::fprintf(stderr, "usage: afp floorplan <circuit> [--baseline sa]\n");
     return 2;
   }
   const auto nl = load_circuit(args.positional[0]);
-  const std::string method_s = args.get("method", "sa");
-  const std::map<std::string, core::Method> methods = {
-      {"sa", core::Method::kSA},
-      {"ga", core::Method::kGA},
-      {"pso", core::Method::kPSO},
-      {"rlsa", core::Method::kRlSa},
-      {"rlsp", core::Method::kRlSp}};
+  // --baseline is the documented spelling; --method stays as an alias.
+  const std::string method_s =
+      args.has("baseline") ? args.get("baseline", "sa")
+                           : args.get("method", "sa");
+  struct MethodSpec {
+    core::Method method;
+    metaheur::Representation pt_rep = metaheur::Representation::kSequencePair;
+  };
+  const std::map<std::string, MethodSpec> methods = {
+      {"sa", {core::Method::kSA}},
+      {"ga", {core::Method::kGA}},
+      {"pso", {core::Method::kPSO}},
+      {"rlsa", {core::Method::kRlSa}},
+      {"rlsp", {core::Method::kRlSp}},
+      {"sab", {core::Method::kSaBStar}},
+      {"sa-bstar", {core::Method::kSaBStar}},
+      {"pt", {core::Method::kPT}},
+      {"pt-bstar",
+       {core::Method::kPT, metaheur::Representation::kBStarTree}}};
   const auto mit = methods.find(method_s);
   if (mit == methods.end()) {
-    std::fprintf(stderr, "unknown method '%s'\n", method_s.c_str());
+    std::fprintf(stderr, "unknown baseline '%s'\n", method_s.c_str());
     return 2;
   }
   core::PipelineConfig cfg;
   cfg.constrained = args.has("constrained");
+  cfg.search.restarts = std::stoi(args.get("restarts", "1"));
+  cfg.search.pt.representation = mit->second.pt_rep;
+  if (args.has("pt-replicas")) {
+    cfg.search.pt.replicas = std::stoi(args.get("pt-replicas", "3"));
+  }
+  if (args.has("pt-swap-interval")) {
+    cfg.search.pt.swap_interval =
+        std::stoi(args.get("pt-swap-interval", "8"));
+  }
+  cfg.search.pt.adaptive_swap = args.has("pt-adaptive");
+  if (args.has("iters")) {
+    const int iters = std::stoi(args.get("iters", "0"));
+    cfg.sa.iterations = iters;
+    cfg.rlsa.iterations = iters;
+    cfg.bstar.iterations = iters;
+    cfg.search.pt.iterations = iters;
+  }
   core::FloorplanPipeline pipe(cfg);
   std::mt19937_64 rng(std::stoul(args.get("seed", "1")));
-  const auto res = pipe.run(nl, mit->second, rng);
+  const auto res = pipe.run(nl, mit->second.method, rng);
   print_result(res);
   if (args.has("svg")) {
     layoutgen::write_svg(args.get("svg", "layout.svg"), res.layout);
     std::printf("wrote %s\n", args.get("svg", "layout.svg").c_str());
+  }
+  if (args.has("report")) {
+    write_report(args.get("report", "report.txt"), method_s, res);
+    std::printf("wrote %s\n", args.get("report", "report.txt").c_str());
   }
   return 0;
 }
@@ -283,6 +393,17 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+  if (!kCommandOptions.count(cmd)) {
+    std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (const std::string unknown = args.first_unknown(cmd); !unknown.empty()) {
+    std::fprintf(stderr, "error: unknown option '--%s' for '%s'\n\n",
+                 unknown.c_str(), cmd.c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   try {
     // Global knobs, honored by every command: pool size and kernel tier.
     if (args.has("threads")) {
@@ -306,6 +427,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  // Unreachable: cmd was validated against kCommandOptions above and every
+  // listed command is dispatched in the try block.
   return 2;
 }
