@@ -6,10 +6,16 @@
 //
 // Self-timed (no Google Benchmark), always builds; results are printed and
 // written to BENCH_search.json.  AFP_BENCH_SCALE scales the move budget.
+// A JobService section times an N-circuit batch serially (1 thread) vs on a
+// 4-thread pool, asserts the reports are bitwise identical (thread-count
+// invariance + repeatability), and records the speedup — ≥2x on a ≥4-core
+// box; bounded by the physical core count (a 1-core CI runner records ~1x).
 #include <fstream>
 #include <map>
 
 #include "bench_common.hpp"
+#include "core/job_service.hpp"
+#include "metaheur/optimizer.hpp"
 #include "metaheur/tempering.hpp"
 #include "numeric/parallel.hpp"
 
@@ -57,14 +63,17 @@ int main() {
   const int kBudget = scaled(2496);
   const int kRestarts = 4;
 
-  metaheur::SAParams sa;
-  sa.iterations = kBudget - 1;
-  metaheur::SAParams sa_r;
-  sa_r.iterations = kBudget / kRestarts - 1;
-  metaheur::PTParams pt;  // tuned defaults; only the budget is overridden
-  pt.iterations = kBudget / pt.replicas - 1;
-  metaheur::PTParams ptb = pt;
-  ptb.representation = metaheur::Representation::kBStarTree;
+  // Everything below goes through the registry: the solver is a name plus
+  // an option map, exactly as the pipeline/CLI/JobService consume it.
+  const metaheur::Options pt_budget = {
+      {"iterations", std::to_string(kBudget / metaheur::PTParams{}.replicas -
+                                    1)}};  // tuned defaults otherwise
+  const auto sa = metaheur::make_optimizer(
+      "sa", {{"iterations", std::to_string(kBudget - 1)}});
+  const auto sa_r = metaheur::make_optimizer(
+      "sa", {{"iterations", std::to_string(kBudget / kRestarts - 1)}});
+  const auto pt = metaheur::make_optimizer("pt", pt_budget);
+  const auto ptb = metaheur::make_optimizer("pt-bstar", pt_budget);
 
   std::printf("search bench: %d threads, budget %d evaluations/method\n\n",
               num::num_threads(), kBudget);
@@ -90,23 +99,83 @@ int main() {
       };
       {
         std::mt19937_64 rng(seed);
-        record("SA", metaheur::run_sa(inst, sa, rng));
+        record("SA", sa->run(inst, {}, rng));
       }
-      record("SAx4",
-             metaheur::run_sa_multi(inst, sa_r, {kRestarts, seed}));
+      record("SAx4", metaheur::run_multistart(
+                         inst,
+                         [&](int, std::mt19937_64& rng) {
+                           return sa_r->run(inst, {}, rng);
+                         },
+                         {kRestarts, seed}));
       {
         std::mt19937_64 rng(seed);
-        record("PT", metaheur::run_pt(inst, pt, rng));
+        record("PT", pt->run(inst, {}, rng));
       }
       {
         std::mt19937_64 rng(seed);
-        record("PT-B*", metaheur::run_pt(inst, ptb, rng));
+        record("PT-B*", ptb->run(inst, {}, rng));
       }
     }
     std::printf("%-10s %12.4f %12.4f %12.4f %12.4f\n", name.c_str(),
                 table[name]["SA"].mean_cost(), table[name]["SAx4"].mean_cost(),
                 table[name]["PT"].mean_cost(),
                 table[name]["PT-B*"].mean_cost());
+  }
+
+  // ---- JobService batch: determinism + parallel throughput ---------------
+  // One SA job per circuit through the full pipeline (recognition, search,
+  // routing, layout), scheduled by core::JobService.  Runs: serial
+  // reference (1 thread), 4-thread pool, 4-thread repeat.  All three must
+  // be bitwise identical; the speedup column of BENCH_search.json records
+  // serial_s / batch_s.
+  std::vector<core::JobSpec> jobs;
+  for (const auto& name : kCircuits) {
+    core::JobSpec spec;
+    spec.name = name;
+    spec.netlist = make_circuit(name);
+    spec.config.optimizer = "sa";
+    // 8x the table budget: a job must be long enough (tens of ms) that the
+    // speedup measures scheduling, not parallel_for launch overhead.
+    spec.config.options = {{"iterations", std::to_string(8 * kBudget)}};
+    jobs.push_back(std::move(spec));
+  }
+  core::JobServiceOptions jopts;
+  jopts.base_seed = 400;
+  const int ambient_threads = num::num_threads();
+  auto timed_batch = [&](int threads, double* seconds) {
+    num::set_num_threads(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto reports = core::JobService::run_batch(jobs, jopts);
+    *seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return reports;
+  };
+  double serial_s = 0.0, batch_s = 0.0, repeat_s = 0.0;
+  const auto serial_reports = timed_batch(1, &serial_s);
+  const auto batch_reports = timed_batch(4, &batch_s);
+  const auto repeat_reports = timed_batch(4, &repeat_s);
+  num::set_num_threads(0);
+  bool deterministic = true;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const auto* other : {&batch_reports[j], &repeat_reports[j]}) {
+      deterministic &= serial_reports[j].status == core::JobStatus::kDone &&
+                       other->status == core::JobStatus::kDone &&
+                       serial_reports[j].result.rects == other->result.rects &&
+                       serial_reports[j].result.eval.reward ==
+                           other->result.eval.reward;
+    }
+  }
+  const double speedup = batch_s > 0.0 ? serial_s / batch_s : 0.0;
+  std::printf("\nJobService batch (%zu jobs, full pipeline): serial %.2fs | "
+              "4 threads %.2fs | speedup %.2fx (%d hw threads) | %s\n",
+              jobs.size(), serial_s, batch_s, speedup, ambient_threads,
+              deterministic ? "deterministic" : "NONDETERMINISTIC");
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FATAL: JobService batch results differ across thread "
+                 "counts/repeats\n");
+    return 1;
   }
 
   const double sa_mean = overall["SA"].mean_cost();
@@ -139,6 +208,12 @@ int main() {
        << (i + 1 < kMethodNames.size() ? ", " : "");
   }
   os << ", \"pt_beats_sa\": " << (pt_mean < sa_mean ? "true" : "false")
+     << "},\n  \"job_service\": {\"jobs\": " << jobs.size()
+     << ", \"hw_threads\": " << ambient_threads
+     << ", \"serial_s\": " << serial_s << ", \"batch_threads\": 4"
+     << ", \"batch_s\": " << batch_s << ", \"repeat_s\": " << repeat_s
+     << ", \"speedup\": " << speedup
+     << ", \"deterministic\": " << (deterministic ? "true" : "false")
      << "}\n}\n";
   std::printf("wrote BENCH_search.json\n");
   return 0;

@@ -16,9 +16,8 @@
 #include <ctime>
 
 #include "bench_common.hpp"
-#include "metaheur/bstar.hpp"
+#include "metaheur/optimizer.hpp"
 #include "metaheur/parallel_search.hpp"
-#include "metaheur/tempering.hpp"
 #include "numeric/parallel.hpp"
 #include "rl/agent.hpp"
 
@@ -117,22 +116,20 @@ void run_table1() {
     }
 
     // --- baselines ---------------------------------------------------------
-    core::PipelineConfig pcfg;
-    pcfg.sa.iterations = 2500;
-    pcfg.ga.population = 16;
-    pcfg.ga.generations = 30;
-    pcfg.pso.particles = 14;
-    pcfg.pso.iterations = 40;
-    pcfg.rlsa.iterations = 2500;
-    pcfg.rlsp.episodes = 60;
-    pcfg.rlsp.steps_per_episode = 50;
-    core::FloorplanPipeline pipe(pcfg);
-    const std::vector<std::pair<std::string, core::Method>> baselines = {
-        {"SA", core::Method::kSA},
-        {"GA", core::Method::kGA},
-        {"PSO", core::Method::kPSO},
-        {"RL-SA [13]", core::Method::kRlSa},
-        {"RL [13]", core::Method::kRlSp}};
+    // Every baseline is a registry entry: label + optimizer name + options.
+    core::FloorplanPipeline pipe;
+    struct BaselineSpec {
+      std::string label;
+      std::string optimizer;
+      metaheur::Options options;
+    };
+    const std::vector<BaselineSpec> baselines = {
+        {"SA", "sa", {{"iterations", "2500"}}},
+        {"GA", "ga", {{"population", "16"}, {"generations", "30"}}},
+        {"PSO", "pso", {{"particles", "14"}, {"iterations", "40"}}},
+        {"RL-SA [13]", "rlsa", {{"iterations", "2500"}}},
+        {"RL [13]", "rlsp",
+         {{"episodes", "60"}, {"steps_per_episode", "50"}}}};
     // The per-seed baseline runs are independent searches, so they fan out
     // on the shared thread pool (one seed per chunk); samples are gathered
     // in seed order afterwards so the printed statistics stay deterministic.
@@ -166,43 +163,40 @@ void run_table1() {
           return res;
         };
     // Extra baseline beyond the paper's table: SA over B*-trees [15].
-    for (const auto& res : run_seeds(500, [&](const floorplan::Instance& inst,
-                                              std::mt19937_64& rng) {
-           metaheur::BStarSAParams bp;
-           bp.iterations = 2500;
-           return metaheur::run_sa_bstar(inst, bp, rng);
-         })) {
-      row["SA-B* [15]"].samples.add(res.runtime_s, res.eval);
+    {
+      const auto sab =
+          metaheur::make_optimizer("sab", {{"iterations", "2500"}});
+      for (const auto& res :
+           run_seeds(500, [&](const floorplan::Instance& inst,
+                              std::mt19937_64& rng) {
+             return sab->run(inst, {}, rng);
+           })) {
+        row["SA-B* [15]"].samples.add(res.runtime_s, res.eval);
+      }
     }
     // Extra baseline: parallel tempering at SA's total move budget (the
     // replicas share the 2500 evaluations — see metaheur/tempering.hpp).
-    for (const auto& res : run_seeds(400, [&](const floorplan::Instance& inst,
-                                              std::mt19937_64& rng) {
-           metaheur::PTParams pp;
-           pp.iterations = 2500 / pp.replicas - 1;
-           return metaheur::run_pt(inst, pp, rng);
-         })) {
-      row["PT"].samples.add(res.runtime_s, res.eval);
+    {
+      const auto pt = metaheur::make_optimizer(
+          "pt", {{"iterations",
+                  std::to_string(2500 / metaheur::PTParams{}.replicas - 1)}});
+      for (const auto& res :
+           run_seeds(400, [&](const floorplan::Instance& inst,
+                              std::mt19937_64& rng) {
+             return pt->run(inst, {}, rng);
+           })) {
+        row["PT"].samples.add(res.runtime_s, res.eval);
+      }
     }
-    for (const auto& [label, method] : baselines) {
+    for (const auto& spec : baselines) {
+      const auto opt = metaheur::make_optimizer(spec.optimizer, spec.options);
       const auto results =
           run_seeds(400, [&](const floorplan::Instance& inst,
                              std::mt19937_64& rng) {
-            switch (method) {
-              case core::Method::kSA:
-                return metaheur::run_sa(inst, pcfg.sa, rng);
-              case core::Method::kGA:
-                return metaheur::run_ga(inst, pcfg.ga, rng);
-              case core::Method::kPSO:
-                return metaheur::run_pso(inst, pcfg.pso, rng);
-              case core::Method::kRlSa:
-                return metaheur::run_rlsa(inst, pcfg.rlsa, rng);
-              default:
-                return metaheur::run_rlsp(inst, pcfg.rlsp, rng);
-            }
+            return opt->run(inst, {}, rng);
           });
       for (const auto& res : results)
-        row[label].samples.add(res.runtime_s, res.eval);
+        row[spec.label].samples.add(res.runtime_s, res.eval);
     }
 
     // --- print the circuit's block ------------------------------------------

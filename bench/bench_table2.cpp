@@ -12,7 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "metaheur/tempering.hpp"
+#include "metaheur/optimizer.hpp"
+#include "metaheur/parallel_search.hpp"
 #include "rl/agent.hpp"
 
 namespace {
@@ -76,14 +77,20 @@ void run_table2() {
 
     // ---- "manual" reference -------------------------------------------------
     auto prep = pipe.prepare(nl, rng);
-    metaheur::SAParams manual_sa;
-    manual_sa.iterations = bench::scaled(20000);
-    manual_sa.spacing_um = prep.instance.canvas_w / 32.0;
+    char spacing[64];  // full precision: the parsed double must round-trip
+    std::snprintf(spacing, sizeof spacing, "%.17g",
+                  prep.instance.canvas_w / 32.0);
+    const auto manual_sa = metaheur::make_optimizer(
+        "sa", {{"iterations", std::to_string(bench::scaled(20000))},
+               {"spacing_um", spacing}});
     // Four seeded restarts on the thread pool stand in for the engineer
     // iterating on the floorplan; best-of-restarts is the reference.
-    const auto manual = metaheur::run_sa_multi(prep.instance, manual_sa,
-                                               {/*restarts=*/4,
-                                                /*base_seed=*/42});
+    const auto manual = metaheur::run_multistart(
+        prep.instance,
+        [&](int, std::mt19937_64& r) {
+          return manual_sa->run(prep.instance, {}, r);
+        },
+        {/*restarts=*/4, /*base_seed=*/42});
     const auto mroute =
         route::global_route(prep.instance, manual.rects);
     const auto mlayout = layoutgen::generate_layout(prep.instance,

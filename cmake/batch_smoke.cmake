@@ -1,0 +1,49 @@
+# Bench-smoke for the async batch front end: a 3-netlist --batch job under a
+# wall-clock --time-budget must finish every job, emit a batch JSON report,
+# and that report must validate against the checked-in mini-schema.
+#
+# Invoked by CTest as:
+#   cmake -DAFP_CLI=... -DPYTHON=... -DSCHEMA_DIR=... -DWORK_DIR=... -P batch_smoke.cmake
+# (PYTHON may be empty: the schema validation is skipped then.)
+if(NOT AFP_CLI OR NOT SCHEMA_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DAFP_CLI=... -DPYTHON=... -DSCHEMA_DIR=... -DWORK_DIR=... -P batch_smoke.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(manifest "${WORK_DIR}/batch_manifest.txt")
+set(report "${WORK_DIR}/batch.json")
+file(WRITE "${manifest}" "# 3-netlist smoke batch (registry circuits)
+ota_small
+ota1
+bias_small
+")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env AFP_NUM_THREADS=4
+          ${AFP_CLI} floorplan --batch ${manifest} --baseline sa --iters 200
+          --time-budget 0.5 --seed 9 --report-json ${report}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batch run failed (rc ${rc}): ${out}\n${err}")
+endif()
+foreach(job ota_small ota1 bias_small)
+  if(NOT out MATCHES "${job} +done")
+    message(FATAL_ERROR "job '${job}' did not finish:\n${out}")
+  endif()
+endforeach()
+
+if(PYTHON)
+  execute_process(
+    COMMAND ${PYTHON} ${SCHEMA_DIR}/check_report_json.py
+            ${SCHEMA_DIR}/report_schema.json ${report} batch
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE vout
+    ERROR_VARIABLE verr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "batch JSON violates the schema: ${verr}")
+  endif()
+  message(STATUS "${vout}")
+endif()
+message(STATUS "3-netlist time-budgeted batch finished cleanly")

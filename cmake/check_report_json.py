@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validate an afp --report-json file against cmake/report_schema.json.
+
+Usage: check_report_json.py <schema.json> <report.json> [report|batch]
+
+The schema is a self-contained mini-language (stdlib only, no jsonschema):
+
+* "int" / "num" / "str" / "bool"  — scalar types (int also matches a whole
+  number; bool is NOT accepted as int),
+* [T]                             — array whose elements all match T,
+* {...}                           — object with exactly these required keys,
+* {"__values__": T}               — map with free-form keys, values match T,
+* "<name>|null"                   — named top-level schema or JSON null.
+
+When the shape argument is omitted the checker picks "batch" when the top
+level has a "jobs" array, "report" otherwise.  Exits 0 on success, 1 with a
+path-qualified message on the first mismatch.
+"""
+import json
+import sys
+
+
+class Mismatch(Exception):
+    pass
+
+
+def check(value, schema, schemas, path):
+    if isinstance(schema, str):
+        if "|" in schema:
+            name, _null = schema.split("|", 1)
+            if value is None:
+                return
+            check(value, schemas[name], schemas, path)
+            return
+        if schema == "int":
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif schema == "num":
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif schema == "str":
+            ok = isinstance(value, str)
+        elif schema == "bool":
+            ok = isinstance(value, bool)
+        else:
+            raise Mismatch(f"{path}: unknown schema type '{schema}'")
+        if not ok:
+            raise Mismatch(f"{path}: expected {schema}, got {value!r}")
+        return
+    if isinstance(schema, list):
+        if not isinstance(value, list):
+            raise Mismatch(f"{path}: expected an array, got {value!r}")
+        for i, item in enumerate(value):
+            check(item, schema[0], schemas, f"{path}[{i}]")
+        return
+    if isinstance(schema, dict):
+        if not isinstance(value, dict):
+            raise Mismatch(f"{path}: expected an object, got {value!r}")
+        if set(schema) == {"__values__"}:
+            for key, item in value.items():
+                check(item, schema["__values__"], schemas, f"{path}.{key}")
+            return
+        missing = set(schema) - set(value)
+        extra = set(value) - set(schema)
+        if missing:
+            raise Mismatch(f"{path}: missing keys {sorted(missing)}")
+        if extra:
+            raise Mismatch(f"{path}: unexpected keys {sorted(extra)}")
+        for key, sub in schema.items():
+            check(value[key], sub, schemas, f"{path}.{key}")
+        return
+    raise Mismatch(f"{path}: malformed schema entry {schema!r}")
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 1
+    with open(argv[1]) as f:
+        schemas = json.load(f)
+    schemas.pop("_comment", None)
+    with open(argv[2]) as f:
+        data = json.load(f)
+    shape = argv[3] if len(argv) == 4 else (
+        "batch" if isinstance(data.get("jobs"), list) else "report")
+    if shape not in schemas:
+        print(f"unknown shape '{shape}' (schemas: {sorted(schemas)})",
+              file=sys.stderr)
+        return 1
+    try:
+        check(data, schemas[shape], schemas, "$")
+    except Mismatch as e:
+        print(f"schema violation in {argv[2]} ({shape}): {e}",
+              file=sys.stderr)
+        return 1
+    print(f"{argv[2]}: valid {shape} (schema_version "
+          f"{data.get('schema_version')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

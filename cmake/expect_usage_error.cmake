@@ -34,4 +34,40 @@ endif()
 if(NOT err2 MATCHES "unknown option '--pt-replicas' for 'train'")
   message(FATAL_ERROR "stderr does not name the wrong-command flag: ${err2}")
 endif()
-message(STATUS "unknown flags rejected with exit 2 and usage on stderr")
+
+# Malformed values are usage errors too: every numeric option is validated
+# (historically `--seed abc` crashed with an uncaught std::invalid_argument
+# from std::stoul), an unknown --baseline must name the registry, and a bad
+# --opt key must name the optimizer's known options.  All exit 2 + usage.
+set(bad_invocations
+    "floorplan\;ota_small\;--seed\;abc"
+    "floorplan\;ota_small\;--iters\;12x"
+    "floorplan\;ota_small\;--restarts\;-3"
+    "floorplan\;ota_small\;--time-budget\;soon"
+    "floorplan\;ota_small\;--time-budget\;nan"
+    "floorplan\;ota_small\;--time-budget\;inf"
+    "floorplan\;ota_small\;--baseline\;annealing-deluxe"
+    "floorplan\;ota_small\;--opt\;bogus_key=1"
+    "floorplan\;ota_small\;--baseline\;sa\;--opt\;iterations=many"
+    "floorplan\;ota_small\;--baseline\;pt\;--opt\;replicas=1"
+    "floorplan\;ota_small\;--baseline\;sa\;--opt\;iterations=-5"
+    "floorplan\;ota_small\;--restarts\;4\;--time-budget\;0.1"
+    "floorplan\;ota_small\;--batch\;nowhere\;--svg\;x.svg"
+    "floorplan\;ota_small\;--baseline\;sa\;--pt-replicas\;4"
+    "train\;--episodes\;1e3"
+    "eval\;ota_small\;--attempts\;0")
+foreach(invocation IN LISTS bad_invocations)
+  execute_process(
+    COMMAND ${AFP_CLI} ${invocation}
+    RESULT_VARIABLE rc3
+    OUTPUT_QUIET
+    ERROR_VARIABLE err3)
+  if(NOT rc3 EQUAL 2)
+    message(FATAL_ERROR
+      "expected exit code 2 for 'afp ${invocation}', got ${rc3}: ${err3}")
+  endif()
+  if(NOT err3 MATCHES "usage: afp")
+    message(FATAL_ERROR "no usage text for 'afp ${invocation}': ${err3}")
+  endif()
+endforeach()
+message(STATUS "unknown flags and malformed values rejected with exit 2")

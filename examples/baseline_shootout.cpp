@@ -1,5 +1,6 @@
-// Metaheuristic shoot-out: runs SA / GA / PSO / RL-SA[13] / RL[13] on a
-// chosen circuit and prints the Table-I-style metric row for each.
+// Metaheuristic shoot-out: runs every registered optimizer (see
+// `afp list-baselines`) on a chosen circuit and prints the Table-I-style
+// metric row for each.
 //
 //   $ ./baseline_shootout [circuit] [seeds]
 //
@@ -31,25 +32,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::FloorplanPipeline pipe;
   std::printf("%-12s on '%s':\n%-12s %12s %14s %12s %10s\n", "method",
               circuit.c_str(), "", "runtime(s)", "dead space(%)", "HPWL(um)",
               "reward");
-  for (core::Method m : {core::Method::kSA, core::Method::kGA,
-                         core::Method::kPSO, core::Method::kRlSa,
-                         core::Method::kRlSp}) {
+  // Every registered optimizer competes — new registry entries show up here
+  // automatically.
+  for (const std::string& name : metaheur::optimizer_names()) {
+    core::PipelineConfig cfg;
+    cfg.optimizer = name;
+    core::FloorplanPipeline pipe(cfg);
     double rt = 0.0, ds = 0.0, hp = 0.0, rw = 0.0;
     for (int s = 0; s < seeds; ++s) {
       std::mt19937_64 rng(static_cast<unsigned>(s) + 1);
-      const auto res = pipe.run(nl, m, rng);
+      const auto res = pipe.run(nl, rng);
       rt += res.timings.floorplan_s;
       ds += res.eval.dead_space * 100.0;
       hp += res.eval.hpwl;
       rw += res.eval.reward;
     }
-    std::printf("%-12s %12.3f %14.2f %12.1f %10.2f\n",
-                core::to_string(m).c_str(), rt / seeds, ds / seeds, hp / seeds,
-                rw / seeds);
+    std::printf("%-12s %12.3f %14.2f %12.1f %10.2f\n", name.c_str(),
+                rt / seeds, ds / seeds, hp / seeds, rw / seeds);
   }
   return 0;
 }

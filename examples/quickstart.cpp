@@ -18,10 +18,14 @@ int main() {
   std::printf("circuit '%s': %d devices, %zu ports\n", nl.name().c_str(),
               nl.num_devices(), nl.ports().size());
 
-  // 2. Run the pipeline with a metaheuristic floorplanner.
+  // 2. Run the pipeline with a metaheuristic floorplanner.  The optimizer
+  //    is chosen by name from the registry (default "sa"); swap it — or
+  //    tune it with cfg.options — without touching any other code.
   std::mt19937_64 rng(1);
-  core::FloorplanPipeline pipeline;
-  const core::PipelineResult res = pipeline.run(nl, core::Method::kSA, rng);
+  core::PipelineConfig cfg;
+  cfg.optimizer = "sa";
+  core::FloorplanPipeline pipeline(cfg);
+  const core::PipelineResult res = pipeline.run(nl, rng);
 
   // 3. Inspect the results.
   std::printf("functional blocks: %zu\n", res.recognition.structures.size());

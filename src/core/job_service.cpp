@@ -1,0 +1,154 @@
+#include "core/job_service.hpp"
+
+#include "metaheur/parallel_search.hpp"
+#include "numeric/parallel.hpp"
+
+namespace afp::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::uint64_t JobService::job_seed(std::uint64_t base_seed,
+                                   std::size_t job_id) {
+  // Distinct mixing domain from restart_rng (0x7f4a7c15) and replica_rng so
+  // a job's internal restart/replica streams never alias its own seed.
+  return metaheur::splitmix64(metaheur::splitmix64(base_seed ^
+                                                   0x6a09e667f3bcc909ull) +
+                              static_cast<std::uint64_t>(job_id));
+}
+
+JobReport JobService::run_job(const JobSpec& spec, std::size_t id,
+                              std::uint64_t seed, const CancelToken* cancel,
+                              const ProgressFn& progress) {
+  JobReport report;
+  report.id = id;
+  report.name = spec.name.empty() ? spec.netlist.name() : spec.name;
+  report.seed = seed;
+  const auto t0 = Clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  auto notify = [&](JobStatus status) {
+    if (progress) progress({report.id, report.name, status, elapsed()});
+  };
+  report.optimizer = spec.config.optimizer;
+  report.search = spec.config.search;
+  notify(JobStatus::kRunning);
+  try {
+    // Resolve the full option map (defaults + overrides) up front so even
+    // failed jobs report the configuration they ran under.
+    report.options =
+        metaheur::make_optimizer(spec.config.optimizer, spec.config.options)
+            ->options();
+    FloorplanPipeline pipe(spec.config);
+    std::mt19937_64 rng(seed);
+    report.result = pipe.run(spec.netlist, rng, cancel);
+    report.status = JobStatus::kDone;
+  } catch (const CancelledError&) {
+    report.status = JobStatus::kCancelled;
+  } catch (const std::exception& e) {
+    report.status = JobStatus::kFailed;
+    report.error = e.what();
+  }
+  report.runtime_s = elapsed();
+  notify(report.status);
+  return report;
+}
+
+JobService::JobService(JobServiceOptions opts) : opts_(std::move(opts)) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+JobService::~JobService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+JobService::Handle JobService::submit(JobSpec spec) {
+  Handle handle;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Pending p;
+    p.spec = std::move(spec);
+    p.id = next_id_++;
+    handle.id = p.id;
+    handle.cancel = p.cancel;
+    handle.report = p.promise.get_future().share();
+    queue_.push_back(std::move(p));
+  }
+  work_cv_.notify_one();
+  return handle;
+}
+
+void JobService::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void JobService::dispatch_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty() && stop_) return;
+      // Drain everything queued so far into one pool fan-out; jobs that
+      // arrive while it runs form the next batch.  Seeds depend only on
+      // submission order, so batch grouping never changes results.
+      batch.reserve(queue_.size());
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += batch.size();
+    }
+    num::parallel_for(
+        static_cast<std::int64_t>(batch.size()), 1,
+        [&](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t b = b0; b < b1; ++b) {
+            Pending& p = batch[static_cast<std::size_t>(b)];
+            p.promise.set_value(run_job(p.spec, p.id,
+                                        job_seed(opts_.base_seed, p.id),
+                                        &p.cancel, opts_.on_progress));
+          }
+        });
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      in_flight_ -= batch.size();
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+std::vector<JobReport> JobService::run_batch(const std::vector<JobSpec>& jobs,
+                                             const JobServiceOptions& opts) {
+  std::vector<JobReport> reports(jobs.size());
+  num::parallel_for(
+      static_cast<std::int64_t>(jobs.size()), 1,
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const auto id = static_cast<std::size_t>(b);
+          reports[id] = run_job(jobs[id], id, job_seed(opts.base_seed, id),
+                                nullptr, opts.on_progress);
+        }
+      });
+  return reports;
+}
+
+}  // namespace afp::core

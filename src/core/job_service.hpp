@@ -1,0 +1,144 @@
+// Async batch front end for the floorplanning pipeline.
+//
+// A JobService accepts N (netlist, PipelineConfig) jobs, schedules them on
+// the shared numeric thread pool (one job per parallel_for chunk — a job
+// never re-enters the pool, so per-job searches stay thread-count
+// invariant), and exposes:
+//
+//   * futures        — submit() returns a Handle with a shared_future
+//                      resolving to the job's JobReport,
+//   * cancellation   — every Handle carries a CancelToken, polled before
+//                      the search and at quantum/restart boundaries (a
+//                      plain single search, once started, completes),
+//   * deadlines      — a per-job wall-clock budget via
+//                      PipelineConfig::search.budget.wall_clock_s (the
+//                      ROADMAP's budgeted mode: quanta race the clock,
+//                      deterministically per completed quantum count),
+//   * progress       — an optional callback fired from worker threads on
+//                      every job state change (must be thread-safe).
+//
+// Reproducibility: job k (in submission order) always runs under the rng
+// seed job_seed(base_seed, k) — a SplitMix64 stream independent of thread
+// count, batch grouping and submission timing — so a batch's reports are
+// bitwise identical across runs and pool sizes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afp::core {
+
+enum class JobStatus { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+const char* to_string(JobStatus s);
+
+/// One unit of batch work: a netlist plus a full pipeline configuration.
+struct JobSpec {
+  std::string name;  ///< label; defaults to the netlist name when empty
+  netlist::Netlist netlist;
+  PipelineConfig config;
+};
+
+/// Terminal record of a job.  `result` is meaningful only when status is
+/// kDone; `error` only when kFailed.
+struct JobReport {
+  std::size_t id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+  std::uint64_t seed = 0;  ///< derived per-job rng seed (reproducibility)
+  double runtime_s = 0.0;
+  std::string error;
+  /// Resolved search configuration (registry key, full option map with
+  /// defaults filled in, restarts/budget) — config provenance for the JSON
+  /// reports.
+  std::string optimizer;
+  metaheur::Options options;
+  SearchConfig search;
+  PipelineResult result;
+};
+
+/// Progress event; fired on kRunning and on every terminal state.
+struct JobProgress {
+  std::size_t id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+  double runtime_s = 0.0;
+};
+
+using ProgressFn = std::function<void(const JobProgress&)>;
+
+struct JobServiceOptions {
+  std::uint64_t base_seed = 1;
+  /// Invoked from worker threads; must be thread-safe.  May be empty.
+  ProgressFn on_progress;
+};
+
+class JobService {
+ public:
+  struct Handle {
+    std::size_t id = 0;
+    CancelToken cancel;
+    std::shared_future<JobReport> report;
+  };
+
+  explicit JobService(JobServiceOptions opts = {});
+  /// Drains the queue (blocks until every submitted job reached a terminal
+  /// state) and joins the dispatcher.
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Enqueues a job; the dispatcher fans queued jobs out on the pool.
+  Handle submit(JobSpec spec);
+
+  /// Blocks until every job submitted so far reached a terminal state.
+  void wait_all();
+
+  /// Per-job rng seed: a SplitMix64 stream over (base_seed, job id) in a
+  /// domain distinct from the restart/replica streams.
+  static std::uint64_t job_seed(std::uint64_t base_seed, std::size_t job_id);
+
+  /// Runs one job to a terminal report (no service needed).  Cancellation
+  /// is polled at quantum granularity; a cancel that lands before any
+  /// result exists yields kCancelled, later ones return the best-so-far as
+  /// kDone.  Exceptions become kFailed with the message in `error`.
+  static JobReport run_job(const JobSpec& spec, std::size_t id,
+                           std::uint64_t seed, const CancelToken* cancel,
+                           const ProgressFn& progress);
+
+  /// Convenience: run a whole batch on the pool and return the reports in
+  /// job order.  Equivalent to submitting every job to a fresh service and
+  /// collecting the futures — same seeds, same determinism contract.
+  static std::vector<JobReport> run_batch(const std::vector<JobSpec>& jobs,
+                                          const JobServiceOptions& opts = {});
+
+ private:
+  struct Pending {
+    JobSpec spec;
+    std::size_t id = 0;
+    CancelToken cancel;
+    std::promise<JobReport> promise;
+  };
+
+  void dispatch_loop();
+
+  JobServiceOptions opts_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< queue became non-empty / stopping
+  std::condition_variable idle_cv_;   ///< queue drained and nothing in flight
+  std::deque<Pending> queue_;
+  std::size_t next_id_ = 0;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace afp::core

@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include "metaheur/parallel_search.hpp"
+
 namespace afp::core {
 
 namespace {
@@ -21,6 +23,23 @@ std::string to_string(Method m) {
     case Method::kPT: return "PT";
   }
   return "?";
+}
+
+std::string optimizer_name(Method m) {
+  switch (m) {
+    case Method::kSA: return "sa";
+    case Method::kGA: return "ga";
+    case Method::kPSO: return "pso";
+    case Method::kRlSa: return "rlsa";
+    case Method::kRlSp: return "rlsp";
+    case Method::kSaBStar: return "sab";
+    case Method::kPT: return "pt";
+    case Method::kRgcnRl:
+      break;
+  }
+  throw std::invalid_argument(
+      "optimizer_name: Method::kRgcnRl has no registry optimizer; use the "
+      "ActorCritic overload");
 }
 
 FloorplanPipeline::Prepared FloorplanPipeline::prepare(
@@ -94,48 +113,102 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
   }
   // Grid-produced rectangles: alignment is exact at grid granularity.
   const double tol = prep.instance.canvas_w / cfg_.env.grid / 2.0 + 1e-9;
-  return back_half(std::move(prep), std::move(ep.rects), since(t0), tol);
+  auto res = back_half(std::move(prep), std::move(ep.rects), since(t0), tol);
+  res.optimizer = "rgcn-rl";
+  res.evaluations = cfg_.rl_attempts;
+  return res;
+}
+
+PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
+                                      std::mt19937_64& rng,
+                                      const CancelToken* cancel) const {
+  const auto opt = metaheur::make_optimizer(cfg_.optimizer, cfg_.options);
+  return run(nl, *opt, rng, cancel);
+}
+
+PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
+                                      const metaheur::Optimizer& opt,
+                                      std::mt19937_64& rng,
+                                      const CancelToken* cancel) const {
+  if (cancel && cancel->cancelled()) throw CancelledError();
+  Prepared prep = prepare(nl, rng);
+  const auto t0 = Clock::now();
+  const metaheur::SearchBudget& budget = cfg_.search.budget;
+  metaheur::BaselineResult base;
+  long quanta = 1;
+  if (budget.wall_clock_s > 0.0) {
+    // Wall-clock-budgeted mode: quanta of the configured iteration budget
+    // race the deadline.  Quantum q always draws from restart_rng(base, q),
+    // so the outcome is a pure function of (base_seed, #quanta completed) —
+    // reproducible for a fixed budget and thread-count invariant.  At least
+    // one quantum always completes.
+    const std::uint64_t base_seed =
+        cfg_.search.base_seed ? cfg_.search.base_seed : rng();
+    const auto deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(budget.wall_clock_s));
+    const metaheur::SearchBudget quantum{budget.iterations, 0.0};
+    double best_cost = 0.0;
+    long evaluations = 0;
+    quanta = 0;
+    while (true) {
+      std::mt19937_64 qrng =
+          metaheur::restart_rng(base_seed, static_cast<int>(quanta));
+      metaheur::BaselineResult r = opt.run(prep.instance, quantum, qrng);
+      evaluations += r.evaluations;
+      const double cost = metaheur::sp_cost(prep.instance, r.rects);
+      if (quanta == 0 || cost < best_cost) {
+        best_cost = cost;
+        base = std::move(r);
+      }
+      ++quanta;
+      if (Clock::now() >= deadline) break;
+      if (cancel && cancel->cancelled()) break;
+    }
+    base.evaluations = evaluations;
+  } else if (cfg_.search.restarts > 1) {
+    // Fan the whole search out on the pool; each restart gets its own
+    // SplitMix64 stream, so the result is thread-count invariant and a pure
+    // function of (base_seed, restarts).
+    metaheur::MultiStartOptions mopt;
+    mopt.restarts = cfg_.search.restarts;
+    mopt.base_seed = cfg_.search.base_seed ? cfg_.search.base_seed : rng();
+    base = metaheur::run_multistart(
+        prep.instance,
+        [&](int, std::mt19937_64& r) {
+          if (cancel && cancel->cancelled()) {
+            // Restart-granularity cancellation: restarts that begin after
+            // the cancel collapse to a minimal run (their initial
+            // candidate) so the fan-out drains quickly while every slot
+            // still holds a valid result for the deterministic selection.
+            return opt.run(prep.instance, metaheur::SearchBudget{1, 0.0}, r);
+          }
+          return opt.run(prep.instance, budget, r);
+        },
+        mopt);
+  } else {
+    base = opt.run(prep.instance, budget, rng);
+  }
+  const long evaluations = base.evaluations;
+  auto res =
+      back_half(std::move(prep), std::move(base.rects), since(t0), 1e-6);
+  res.optimizer = opt.name();
+  res.evaluations = evaluations;
+  res.quanta = quanta;
+  return res;
 }
 
 PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
                                       Method method,
                                       std::mt19937_64& rng) const {
-  Prepared prep = prepare(nl, rng);
-  const auto t0 = Clock::now();
-  const auto single = [&](std::mt19937_64& r) -> metaheur::BaselineResult {
-    switch (method) {
-      case Method::kSA: return metaheur::run_sa(prep.instance, cfg_.sa, r);
-      case Method::kGA: return metaheur::run_ga(prep.instance, cfg_.ga, r);
-      case Method::kPSO: return metaheur::run_pso(prep.instance, cfg_.pso, r);
-      case Method::kRlSa:
-        return metaheur::run_rlsa(prep.instance, cfg_.rlsa, r);
-      case Method::kRlSp:
-        return metaheur::run_rlsp(prep.instance, cfg_.rlsp, r);
-      case Method::kSaBStar:
-        return metaheur::run_sa_bstar(prep.instance, cfg_.bstar, r);
-      case Method::kPT:
-        return metaheur::run_pt(prep.instance, cfg_.search.pt, r);
-      case Method::kRgcnRl:
-        break;
-    }
-    throw std::invalid_argument(
-        "FloorplanPipeline: use the ActorCritic overload for R-GCN RL");
-  };
-  metaheur::BaselineResult base;
-  if (cfg_.search.restarts > 1) {
-    // Fan the whole search out on the pool; each restart gets its own
-    // SplitMix64 stream, so the result is thread-count invariant and a pure
-    // function of (base_seed, restarts).
-    metaheur::MultiStartOptions opt;
-    opt.restarts = cfg_.search.restarts;
-    opt.base_seed = cfg_.search.base_seed ? cfg_.search.base_seed : rng();
-    base = metaheur::run_multistart(
-        prep.instance,
-        [&](int, std::mt19937_64& r) { return single(r); }, opt);
-  } else {
-    base = single(rng);
-  }
-  return back_half(std::move(prep), std::move(base.rects), since(t0), 1e-6);
+  const std::string name = optimizer_name(method);  // throws for kRgcnRl
+  // Reuse the configured options only when they were written for this
+  // optimizer; a mismatched map (e.g. SA options driving a GA run through
+  // the shim) would otherwise throw on unknown keys.
+  metaheur::Options opts;
+  if (name == cfg_.optimizer) opts = cfg_.options;
+  const auto opt = metaheur::make_optimizer(name, opts);
+  return run(nl, *opt, rng, nullptr);
 }
 
 }  // namespace afp::core

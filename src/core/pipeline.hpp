@@ -1,21 +1,51 @@
 // End-to-end automatic layout pipeline (paper Fig. 1):
 // netlist -> structure recognition -> multi-shape configuration ->
-// floorplanning (R-GCN + RL agent, or a metaheuristic baseline) ->
+// floorplanning (R-GCN + RL agent, or any registered metaheur::Optimizer) ->
 // OARSMT global routing -> procedural layout generation -> DRC/LVS checks.
+//
+// The floorplanner is selected by *data*: PipelineConfig names a registry
+// optimizer plus a key=value option map (see metaheur/optimizer.hpp).  The
+// legacy closed `Method` enum survives only as a thin source-compat shim.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 
 #include "layoutgen/layoutgen.hpp"
-#include "metaheur/baselines.hpp"
-#include "metaheur/tempering.hpp"
+#include "metaheur/optimizer.hpp"
 #include "rl/agent.hpp"
 
 namespace afp::core {
 
+/// Deprecated closed method enum, kept as a source-compat shim over the
+/// optimizer registry; use PipelineConfig::optimizer / run(nl, rng) instead.
 enum class Method { kRgcnRl, kSA, kGA, kPSO, kRlSa, kRlSp, kSaBStar, kPT };
 
 std::string to_string(Method m);
+
+/// Registry key for a (baseline) Method; throws std::invalid_argument for
+/// Method::kRgcnRl, which has no metaheuristic counterpart.
+std::string optimizer_name(Method m);
+
+/// Cooperative cancellation flag shared between a controller and a running
+/// job.  Copies observe the same flag; cancel() is sticky.  Searches are
+/// interrupted at iteration-quantum granularity, never mid-quantum, so a
+/// cancelled run that already completed a quantum still returns its best.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Thrown when a run is cancelled before it produced any result.
+struct CancelledError : std::runtime_error {
+  CancelledError() : std::runtime_error("run cancelled") {}
+};
 
 struct StageTimings {
   double recognition_s = 0.0;
@@ -38,16 +68,25 @@ struct PipelineResult {
   layoutgen::DrcReport drc;
   layoutgen::LvsReport lvs;
   StageTimings timings;
+  /// Search provenance: registry key ("sa", "pt", ...; "rgcn-rl" for the
+  /// agent path), packed-and-scored candidates, and wall-clock quanta run
+  /// (1 unless a time budget raced several).
+  std::string optimizer;
+  long evaluations = 0;
+  long quanta = 1;
 };
 
-/// Multi-start / tempering configuration shared by every baseline method:
-/// restarts > 1 fans the chosen search out on the thread pool via
-/// metaheur::run_multistart and keeps the best result; `pt` holds the
-/// replica-exchange budgets used by Method::kPT.
+/// Multi-start / budget configuration shared by every registry optimizer.
 struct SearchConfig {
   int restarts = 1;             ///< > 1: best-of-restarts on the pool
   std::uint64_t base_seed = 0;  ///< 0: drawn from the pipeline rng
-  metaheur::PTParams pt{};
+  /// Budget overrides.  budget.iterations > 0 overrides the optimizer's
+  /// primary knob; budget.wall_clock_s > 0 switches to the wall-clock-
+  /// budgeted mode: quanta of the configured iteration budget race the
+  /// clock (seeded restart_rng(base_seed, q)), the best quantum wins, and
+  /// the result is a pure function of (base_seed, #quanta completed).
+  /// Takes precedence over `restarts`.
+  metaheur::SearchBudget budget{};
 };
 
 struct PipelineConfig {
@@ -57,13 +96,9 @@ struct PipelineConfig {
   double hpwl_ref = 0.0;  ///< 0: estimate via short SA
   /// Sampled-episode attempts when floorplanning with the RL agent.
   int rl_attempts = 4;
-  // Baseline budgets.
-  metaheur::SAParams sa{};
-  metaheur::GAParams ga{};
-  metaheur::PSOParams pso{};
-  metaheur::RLSAParams rlsa{};
-  metaheur::RLSPParams rlsp{};
-  metaheur::BStarSAParams bstar{};
+  /// Registry optimizer and its key=value options (metaheur/optimizer.hpp).
+  std::string optimizer = "sa";
+  metaheur::Options options{};
   SearchConfig search{};
 };
 
@@ -87,7 +122,25 @@ class FloorplanPipeline {
                      const rgcn::RewardModel& encoder,
                      std::mt19937_64& rng) const;
 
-  /// Full pipeline with a metaheuristic baseline.
+  /// Full pipeline with the configured registry optimizer
+  /// (cfg.optimizer/cfg.options).  Honors cfg.search: multi-start fan-out,
+  /// budget overrides and the wall-clock-budgeted quantum race.  `cancel`
+  /// (optional) is polled before the search, between wall-clock quanta and
+  /// at restart boundaries (a plain single run, once started, completes);
+  /// a cancellation that fires before any result exists throws
+  /// CancelledError.
+  PipelineResult run(const netlist::Netlist& nl, std::mt19937_64& rng,
+                     const CancelToken* cancel = nullptr) const;
+
+  /// Same, with a caller-constructed optimizer (cfg.optimizer ignored).
+  PipelineResult run(const netlist::Netlist& nl,
+                     const metaheur::Optimizer& opt, std::mt19937_64& rng,
+                     const CancelToken* cancel = nullptr) const;
+
+  /// Deprecated shim over the registry: maps the enum to its registry name
+  /// (optimizer_name) and reuses cfg.options when they were written for the
+  /// same optimizer, defaults otherwise.  Bitwise-identical to the historic
+  /// enum path; throws std::invalid_argument for Method::kRgcnRl.
   PipelineResult run(const netlist::Netlist& nl, Method method,
                      std::mt19937_64& rng) const;
 

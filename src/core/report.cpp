@@ -1,0 +1,138 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace afp::core {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // JSON has no inf/nan literals; clamp to null-safe 0 (never expected on
+  // the pipeline metrics, but a report must always parse).
+  std::string s(buf);
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+std::string options_json(const metaheur::Options& options) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : options) {
+    os << (first ? "" : ", ") << "\"" << json_escape(key) << "\": \""
+       << json_escape(value) << "\"";
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string report_json(const PipelineResult& res, const std::string& circuit,
+                        const std::string& optimizer,
+                        const metaheur::Options& options,
+                        const SearchConfig& search, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"circuit\": \"" << json_escape(circuit) << "\",\n";
+  os << "  \"optimizer\": \"" << json_escape(optimizer) << "\",\n";
+  os << "  \"options\": " << options_json(options) << ",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"search\": {\"restarts\": " << search.restarts
+     << ", \"base_seed\": " << search.base_seed
+     << ", \"iterations\": " << search.budget.iterations
+     << ", \"wall_clock_s\": " << num(search.budget.wall_clock_s) << "},\n";
+  os << "  \"evaluations\": " << res.evaluations << ",\n";
+  os << "  \"quanta\": " << res.quanta << ",\n";
+  os << "  \"cost\": " << num(metaheur::sp_cost(res.instance, res.rects))
+     << ",\n";
+  os << "  \"eval\": {\"area\": " << num(res.eval.area)
+     << ", \"dead_space\": " << num(res.eval.dead_space)
+     << ", \"hpwl\": " << num(res.eval.hpwl)
+     << ", \"reward\": " << num(res.eval.reward) << ", \"constraints_ok\": "
+     << (res.eval.constraints_ok ? "true" : "false") << "},\n";
+  os << "  \"route\": {\"wirelength\": " << num(res.route.total_wirelength)
+     << ", \"failed_nets\": " << res.route.failed_nets << "},\n";
+  os << "  \"layout\": {\"wires\": " << res.layout.wires.size()
+     << ", \"vias\": " << res.layout.vias.size() << ", \"drc_clean\": "
+     << (res.drc.clean() ? "true" : "false") << ", \"lvs_clean\": "
+     << (res.lvs.clean() ? "true" : "false") << "},\n";
+  os << "  \"timings\": {\"recognition_s\": " << num(res.timings.recognition_s)
+     << ", \"floorplan_s\": " << num(res.timings.floorplan_s)
+     << ", \"route_s\": " << num(res.timings.route_s)
+     << ", \"layout_s\": " << num(res.timings.layout_s) << "},\n";
+  os << "  \"rects\": [";
+  for (std::size_t i = 0; i < res.rects.size(); ++i) {
+    const auto& r = res.rects[i];
+    os << (i ? ", " : "") << "[" << num(r.x) << ", " << num(r.y) << ", "
+       << num(r.w) << ", " << num(r.h) << "]";
+  }
+  os << "]\n";
+  os << "}";
+  return os.str();
+}
+
+std::string batch_report_json(const std::vector<JobReport>& reports,
+                              std::uint64_t base_seed, double time_budget_s,
+                              int threads) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"batch\": {\"jobs\": " << reports.size()
+     << ", \"base_seed\": " << base_seed
+     << ", \"time_budget_s\": " << num(time_budget_s)
+     << ", \"threads\": " << threads << "},\n";
+  os << "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& job = reports[i];
+    os << "    {\"name\": \"" << json_escape(job.name) << "\", \"status\": \""
+       << to_string(job.status) << "\", \"seed\": " << job.seed
+       << ", \"runtime_s\": " << num(job.runtime_s) << ", \"error\": \""
+       << json_escape(job.error) << "\", \"report\": ";
+    if (job.status == JobStatus::kDone) {
+      // Nested single-run report; re-indentation is cosmetic only, so the
+      // inner newlines are kept as-is.
+      os << report_json(job.result, job.name, job.optimizer, job.options,
+                        job.search, job.seed);
+    } else {
+      os << "null";
+    }
+    os << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace afp::core

@@ -1,0 +1,42 @@
+// Machine-readable JSON emission for pipeline configs and run reports.
+//
+// Two top-level shapes, both schema_version 1 and validated in CI against
+// cmake/report_schema.json (see cmake/check_report_json.py):
+//
+//   * report_json       — one pipeline run: optimizer + options (config
+//                         provenance), metrics, routing/layout summaries,
+//                         stage timings and the packed rectangles,
+//   * batch_report_json — a JobService batch: batch metadata plus one entry
+//                         per job (status, seed, runtime, nested report).
+//
+// Numbers are emitted at full precision (%.17g) so reports double as
+// reproducibility artifacts; timings are included but live in their own
+// object, which determinism checks simply ignore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job_service.hpp"
+
+namespace afp::core {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// Single-run report.  `circuit` is the run's input label; `optimizer`,
+/// `options` and `search` record the full resolved search configuration
+/// (registry key, option map, restarts/base_seed/budget overrides), so the
+/// artifact alone reproduces the run given the seed.
+std::string report_json(const PipelineResult& res, const std::string& circuit,
+                        const std::string& optimizer,
+                        const metaheur::Options& options,
+                        const SearchConfig& search, std::uint64_t seed);
+
+/// Batch report: metadata + one entry per job in job order.  Jobs that did
+/// not finish (cancelled/failed) carry a null report.
+std::string batch_report_json(const std::vector<JobReport>& reports,
+                              std::uint64_t base_seed, double time_budget_s,
+                              int threads);
+
+}  // namespace afp::core

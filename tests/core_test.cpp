@@ -9,14 +9,8 @@ namespace {
 
 PipelineConfig quick_config() {
   PipelineConfig cfg;
-  cfg.sa.iterations = 300;
-  cfg.ga.population = 8;
-  cfg.ga.generations = 8;
-  cfg.pso.particles = 8;
-  cfg.pso.iterations = 8;
-  cfg.rlsa.iterations = 300;
-  cfg.rlsp.episodes = 6;
-  cfg.rlsp.steps_per_episode = 20;
+  cfg.optimizer = "sa";
+  cfg.options = {{"iterations", "300"}};
   cfg.rl_attempts = 2;
   return cfg;
 }

@@ -153,7 +153,7 @@ TEST(NewCircuits, FoldedCascodeGraphShape) {
 TEST(NewCircuits, EndToEndPipeline) {
   std::mt19937_64 rng(6);
   core::PipelineConfig cfg;
-  cfg.sa.iterations = 400;
+  cfg.options = {{"iterations", "400"}};
   core::FloorplanPipeline pipe(cfg);
   for (auto make : {netlist::make_folded_cascode, netlist::make_charge_pump,
                     netlist::make_bandgap}) {

@@ -76,7 +76,7 @@ TEST(Checkpoint, ArchitectureMismatchRejected) {
 
 TEST(Pipeline, DeterministicGivenSeed) {
   core::PipelineConfig cfg;
-  cfg.sa.iterations = 300;
+  cfg.options = {{"iterations", "300"}};
   core::FloorplanPipeline pipe(cfg);
   std::mt19937_64 r1(11), r2(11);
   const auto a = pipe.run(netlist::make_ota2(), core::Method::kSA, r1);
@@ -95,7 +95,7 @@ TEST(Pipeline, RunsFromSpiceText) {
   const auto nl = netlist::Netlist::from_spice(text);
   std::mt19937_64 rng(4);
   core::PipelineConfig cfg;
-  cfg.sa.iterations = 300;
+  cfg.options = {{"iterations", "300"}};
   core::FloorplanPipeline pipe(cfg);
   const auto res = pipe.run(nl, core::Method::kSA, rng);
   EXPECT_EQ(res.rects.size(), 3u);
@@ -105,7 +105,7 @@ TEST(Pipeline, RunsFromSpiceText) {
 TEST(Pipeline, ConstrainedRunSatisfiesConstraintsWhenComplete) {
   core::PipelineConfig cfg;
   cfg.constrained = true;
-  cfg.sa.iterations = 2500;
+  cfg.options = {{"iterations", "2500"}};
   core::FloorplanPipeline pipe(cfg);
   std::mt19937_64 rng(5);
   const auto res = pipe.run(netlist::make_ota_small(), core::Method::kSA, rng);

@@ -1,0 +1,180 @@
+// JobService tests: batch determinism across thread counts and repeats,
+// future/cancellation/progress semantics, per-job seed derivation, and the
+// wall-clock-budgeted quantum mode's replay property.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/job_service.hpp"
+#include "core/report.hpp"
+#include "metaheur/parallel_search.hpp"
+#include "netlist/library.hpp"
+#include "numeric/parallel.hpp"
+
+namespace afp::core {
+namespace {
+
+PipelineConfig quick_config(int iterations = 250) {
+  PipelineConfig cfg;
+  cfg.optimizer = "sa";
+  cfg.options = {{"iterations", std::to_string(iterations)}};
+  return cfg;
+}
+
+std::vector<JobSpec> three_jobs() {
+  std::vector<JobSpec> jobs;
+  for (const auto* name : {"ota_small", "ota1", "bias_small"}) {
+    JobSpec spec;
+    spec.name = name;
+    for (const auto& e : netlist::circuit_registry()) {
+      if (e.name == name) spec.netlist = e.make();
+    }
+    spec.config = quick_config();
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+void expect_identical(const JobReport& a, const JobReport& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.seed, b.seed) << what;
+  EXPECT_EQ(a.result.evaluations, b.result.evaluations) << what;
+  EXPECT_EQ(a.result.eval.reward, b.result.eval.reward) << what;
+  ASSERT_EQ(a.result.rects.size(), b.result.rects.size()) << what;
+  for (std::size_t i = 0; i < a.result.rects.size(); ++i) {
+    EXPECT_EQ(a.result.rects[i], b.result.rects[i]) << what << " rect " << i;
+  }
+}
+
+TEST(JobSeed, StreamsAreStableDistinctAndSeparated) {
+  EXPECT_EQ(JobService::job_seed(1, 0), JobService::job_seed(1, 0));
+  EXPECT_NE(JobService::job_seed(1, 0), JobService::job_seed(1, 1));
+  EXPECT_NE(JobService::job_seed(1, 0), JobService::job_seed(2, 0));
+  // Domain separation from the restart streams used inside a job.
+  auto restart = metaheur::restart_rng(1, 0);
+  EXPECT_NE(JobService::job_seed(1, 0), restart());
+}
+
+TEST(JobService, BatchIsThreadCountInvariantAndRepeatable) {
+  const auto jobs = three_jobs();
+  JobServiceOptions opts;
+  opts.base_seed = 77;
+  num::set_num_threads(1);
+  const auto serial = JobService::run_batch(jobs, opts);
+  num::set_num_threads(4);
+  const auto pooled = JobService::run_batch(jobs, opts);
+  const auto repeat = JobService::run_batch(jobs, opts);
+  num::set_num_threads(0);
+  ASSERT_EQ(serial.size(), 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].status, JobStatus::kDone) << serial[i].error;
+    expect_identical(serial[i], pooled[i], "1-vs-4 threads job " + serial[i].name);
+    expect_identical(pooled[i], repeat[i], "repeat job " + serial[i].name);
+  }
+}
+
+TEST(JobService, SubmitFuturesMatchRunBatch) {
+  const auto jobs = three_jobs();
+  JobServiceOptions opts;
+  opts.base_seed = 77;
+  const auto direct = JobService::run_batch(jobs, opts);
+
+  std::atomic<int> done{0};
+  JobServiceOptions sopts;
+  sopts.base_seed = 77;
+  sopts.on_progress = [&](const JobProgress& p) {
+    if (p.status == JobStatus::kDone) done.fetch_add(1);
+  };
+  JobService service(sopts);
+  std::vector<JobService::Handle> handles;
+  for (const auto& job : jobs) handles.push_back(service.submit(job));
+  service.wait_all();
+  EXPECT_EQ(done.load(), 3);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const JobReport report = handles[i].report.get();
+    EXPECT_EQ(report.id, i);
+    expect_identical(report, direct[i], "submit-vs-batch job " + report.name);
+  }
+}
+
+TEST(JobService, PreCancelledJobReportsCancelled) {
+  JobSpec spec;
+  spec.name = "cancelled";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config();
+  CancelToken cancel;
+  cancel.cancel();
+  const auto report =
+      JobService::run_job(spec, 0, JobService::job_seed(1, 0), &cancel, {});
+  EXPECT_EQ(report.status, JobStatus::kCancelled);
+  EXPECT_TRUE(report.result.rects.empty());
+}
+
+TEST(JobService, FailedJobCarriesTheError) {
+  JobSpec spec;
+  spec.name = "broken";
+  spec.netlist = netlist::make_ota_small();
+  spec.config.optimizer = "no-such-optimizer";
+  const auto report =
+      JobService::run_job(spec, 0, JobService::job_seed(1, 0), nullptr, {});
+  EXPECT_EQ(report.status, JobStatus::kFailed);
+  EXPECT_NE(report.error.find("no-such-optimizer"), std::string::npos);
+}
+
+TEST(JobService, TimeBudgetedJobIsReplayableFromQuantumCount) {
+  // The wall-clock mode's determinism contract: given the observed number
+  // of quanta Q, the result equals the best of quanta 0..Q-1 rerun offline.
+  JobSpec spec;
+  spec.name = "timed";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(120);
+  spec.config.search.base_seed = 21;
+  spec.config.search.budget.wall_clock_s = 0.2;
+  const auto report =
+      JobService::run_job(spec, 0, JobService::job_seed(5, 0), nullptr, {});
+  ASSERT_EQ(report.status, JobStatus::kDone) << report.error;
+  ASSERT_GE(report.result.quanta, 1);
+
+  auto g = graphir::build_graph(spec.netlist,
+                                structrec::recognize(spec.netlist));
+  auto inst = floorplan::make_instance(g);
+  inst.hpwl_ref = report.result.instance.hpwl_ref;
+  auto opt = metaheur::make_optimizer("sa", {{"iterations", "120"}});
+  double best = 0.0;
+  bool first = true;
+  for (long q = 0; q < report.result.quanta; ++q) {
+    auto rng = metaheur::restart_rng(21, static_cast<int>(q));
+    const auto r = opt->run(inst, {}, rng);
+    const double cost = metaheur::sp_cost(inst, r.rects);
+    if (first || cost < best) {
+      best = cost;
+      first = false;
+    }
+  }
+  EXPECT_DOUBLE_EQ(metaheur::sp_cost(report.result.instance,
+                                     report.result.rects),
+                   best);
+}
+
+TEST(ReportJson, EscapesAndShapes) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  const auto jobs = three_jobs();
+  JobServiceOptions opts;
+  opts.base_seed = 3;
+  auto reports = JobService::run_batch({jobs[0]}, opts);
+  ASSERT_EQ(reports.size(), 1u);
+  const std::string single =
+      report_json(reports[0].result, reports[0].name, reports[0].optimizer,
+                  reports[0].options, reports[0].search, reports[0].seed);
+  EXPECT_NE(single.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(single.find("\"search\": {\"restarts\": 1"), std::string::npos);
+  EXPECT_NE(single.find("\"optimizer\": \"sa\""), std::string::npos);
+  EXPECT_NE(single.find("\"rects\": ["), std::string::npos);
+  const std::string batch = batch_report_json(reports, 3, 0.0, 1);
+  EXPECT_NE(batch.find("\"batch\": {\"jobs\": 1"), std::string::npos);
+  EXPECT_NE(batch.find("\"status\": \"done\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace afp::core

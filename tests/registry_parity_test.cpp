@@ -1,0 +1,210 @@
+// Registry parity suite: every registered optimizer must (a) construct from
+// its name plus default options, (b) round-trip its option map, and (c)
+// produce bitwise-identical results to the legacy `core::Method` enum path
+// on a Table I circuit at 1 and 4 pool threads.  The registry is the only
+// supported way to add a search, so any drift between the two surfaces is a
+// regression.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "metaheur/optimizer.hpp"
+#include "netlist/library.hpp"
+#include "numeric/parallel.hpp"
+
+namespace afp {
+namespace {
+
+/// Small per-optimizer budgets so the 2x8x2 sweep stays fast.
+const std::map<std::string, metaheur::Options>& quick_options() {
+  static const std::map<std::string, metaheur::Options> opts = {
+      {"sa", {{"iterations", "200"}}},
+      {"ga", {{"population", "8"}, {"generations", "6"}}},
+      {"pso", {{"particles", "8"}, {"iterations", "8"}}},
+      {"rlsa", {{"iterations", "200"}}},
+      {"rlsp", {{"episodes", "6"}, {"steps_per_episode", "20"}}},
+      {"sab", {{"iterations", "200"}}},
+      {"pt", {{"replicas", "3"}, {"iterations", "60"}}},
+      {"pt-bstar", {{"replicas", "3"}, {"iterations", "60"}}},
+  };
+  return opts;
+}
+
+const std::map<std::string, core::Method>& enum_of() {
+  static const std::map<std::string, core::Method> m = {
+      {"sa", core::Method::kSA},         {"ga", core::Method::kGA},
+      {"pso", core::Method::kPSO},       {"rlsa", core::Method::kRlSa},
+      {"rlsp", core::Method::kRlSp},     {"sab", core::Method::kSaBStar},
+      {"pt", core::Method::kPT},
+  };
+  return m;
+}
+
+void expect_identical(const core::PipelineResult& a,
+                      const core::PipelineResult& b, const std::string& what) {
+  EXPECT_EQ(a.evaluations, b.evaluations) << what;
+  EXPECT_EQ(a.eval.reward, b.eval.reward) << what;
+  EXPECT_EQ(a.eval.hpwl, b.eval.hpwl) << what;
+  EXPECT_EQ(a.route.total_wirelength, b.route.total_wirelength) << what;
+  ASSERT_EQ(a.rects.size(), b.rects.size()) << what;
+  for (std::size_t i = 0; i < a.rects.size(); ++i) {
+    EXPECT_EQ(a.rects[i], b.rects[i]) << what << " rect " << i;
+  }
+}
+
+TEST(OptimizerRegistry, RegistersTheEightBuiltins) {
+  const std::vector<std::string> expected = {"ga", "pso",      "pt", "pt-bstar",
+                                             "rlsa", "rlsp",   "sa", "sab"};
+  EXPECT_EQ(metaheur::optimizer_names(), expected);
+  for (const auto& name : expected) {
+    EXPECT_TRUE(metaheur::OptimizerRegistry::global().contains(name));
+  }
+  EXPECT_FALSE(metaheur::OptimizerRegistry::global().contains("nope"));
+}
+
+TEST(OptimizerRegistry, EveryBuiltinConstructsAndDescribes) {
+  for (const auto& name : metaheur::optimizer_names()) {
+    auto opt = metaheur::make_optimizer(name);
+    EXPECT_EQ(opt->name(), name);
+    const std::string enc = opt->encoding();
+    EXPECT_TRUE(enc == "sequence-pair" || enc == "b*-tree") << name;
+    EXPECT_FALSE(opt->describe().empty()) << name;
+    for (const auto& spec : opt->describe()) {
+      EXPECT_FALSE(spec.key.empty()) << name;
+      EXPECT_FALSE(spec.value.empty()) << name << " " << spec.key;
+      EXPECT_FALSE(spec.help.empty()) << name << " " << spec.key;
+    }
+  }
+}
+
+TEST(OptimizerRegistry, UnknownNameAndDuplicateThrow) {
+  EXPECT_THROW(metaheur::make_optimizer("bogus"), std::invalid_argument);
+  EXPECT_THROW(metaheur::OptimizerRegistry::global().add("sa", nullptr),
+               std::invalid_argument);
+}
+
+TEST(OptimizerOptions, RoundTripAndValidation) {
+  auto opt = metaheur::make_optimizer(
+      "sa", {{"iterations", "123"}, {"t_start", "1.5"}});
+  const auto opts = opt->options();
+  EXPECT_EQ(opts.at("iterations"), "123");
+  EXPECT_EQ(opts.at("t_start"), "1.5");
+  // Reconfiguring from the round-tripped map is a no-op.
+  auto copy = metaheur::make_optimizer("sa", opts);
+  EXPECT_EQ(copy->options(), opts);
+
+  EXPECT_THROW(metaheur::make_optimizer("sa", {{"bogus_key", "1"}}),
+               std::invalid_argument);
+  EXPECT_THROW(metaheur::make_optimizer("sa", {{"iterations", "12x"}}),
+               std::invalid_argument);
+  EXPECT_THROW(metaheur::make_optimizer("pt", {{"adaptive_swap", "maybe"}}),
+               std::invalid_argument);
+  // Range and finiteness are validated at configure time, not deep in run().
+  EXPECT_THROW(metaheur::make_optimizer("pt", {{"replicas", "1"}}),
+               std::invalid_argument);
+  EXPECT_THROW(metaheur::make_optimizer("ga", {{"population", "0"}}),
+               std::invalid_argument);
+  EXPECT_THROW(metaheur::make_optimizer("sa", {{"iterations", "-5"}}),
+               std::invalid_argument);
+  EXPECT_THROW(metaheur::make_optimizer("sa", {{"t_start", "inf"}}),
+               std::invalid_argument);
+  EXPECT_THROW(metaheur::make_optimizer("sa", {{"t_end", "nan"}}),
+               std::invalid_argument);
+}
+
+TEST(OptimizerOptions, BudgetOverridesPrimaryKnob) {
+  const auto nl = netlist::make_ota_small();
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  const auto inst = floorplan::make_instance(g);
+  auto by_option = metaheur::make_optimizer("sa", {{"iterations", "77"}});
+  auto by_budget = metaheur::make_optimizer("sa");
+  std::mt19937_64 r1(5), r2(5);
+  const auto a = by_option->run(inst, {}, r1);
+  const auto b = by_budget->run(inst, {/*iterations=*/77, 0.0}, r2);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.rects, b.rects);
+}
+
+/// Registry-vs-enum parity over the pipeline on a Table I circuit (ota2),
+/// at 1 and 4 pool threads.  The seven enum methods run both surfaces;
+/// pt-bstar (registry-only) is checked against a hand-replicated legacy
+/// call into metaheur::run_pt with the B*-tree representation.
+TEST(RegistryParity, MatchesLegacyEnumPathBitwise) {
+  const auto nl = netlist::make_ota2();
+  for (const int threads : {1, 4}) {
+    num::set_num_threads(threads);
+    for (const auto& [name, method] : enum_of()) {
+      core::PipelineConfig cfg;
+      cfg.optimizer = name;
+      cfg.options = quick_options().at(name);
+      core::FloorplanPipeline pipe(cfg);
+      std::mt19937_64 r_enum(42), r_registry(42);
+      const auto via_enum = pipe.run(nl, method, r_enum);
+      const auto via_registry = pipe.run(nl, r_registry);
+      EXPECT_EQ(via_registry.optimizer, name);
+      expect_identical(via_enum, via_registry,
+                       name + " @" + std::to_string(threads) + " threads");
+    }
+  }
+  num::set_num_threads(0);
+}
+
+TEST(RegistryParity, PtBstarMatchesDirectLegacyCall) {
+  const auto nl = netlist::make_ota2();
+  for (const int threads : {1, 4}) {
+    num::set_num_threads(threads);
+    core::PipelineConfig cfg;
+    cfg.optimizer = "pt-bstar";
+    cfg.options = quick_options().at("pt-bstar");
+    core::FloorplanPipeline pipe(cfg);
+    std::mt19937_64 r_registry(42);
+    const auto via_registry = pipe.run(nl, r_registry);
+
+    // Legacy call: what pre-registry code did for PT over B*-trees.
+    std::mt19937_64 r_legacy(42);
+    const auto prep = pipe.prepare(nl, r_legacy);
+    metaheur::PTParams p;
+    p.representation = metaheur::Representation::kBStarTree;
+    p.replicas = 3;
+    p.iterations = 60;
+    const auto legacy = metaheur::run_pt(prep.instance, p, r_legacy);
+    ASSERT_EQ(via_registry.rects.size(), legacy.rects.size());
+    for (std::size_t i = 0; i < legacy.rects.size(); ++i) {
+      EXPECT_EQ(via_registry.rects[i], legacy.rects[i])
+          << "rect " << i << " @" << threads << " threads";
+    }
+    EXPECT_EQ(via_registry.evaluations, legacy.evaluations);
+  }
+  num::set_num_threads(0);
+}
+
+TEST(RegistryParity, MultiStartGoesThroughRegistryUnchanged) {
+  // restarts > 1 fans out on the pool; the registry path must match the
+  // enum path there too (same base-seed draw, same per-restart streams).
+  const auto nl = netlist::make_ota_small();
+  core::PipelineConfig cfg;
+  cfg.optimizer = "sa";
+  cfg.options = {{"iterations", "150"}};
+  cfg.search.restarts = 3;
+  cfg.search.base_seed = 9;
+  core::FloorplanPipeline pipe(cfg);
+  for (const int threads : {1, 4}) {
+    num::set_num_threads(threads);
+    std::mt19937_64 r_enum(1), r_registry(1);
+    const auto via_enum = pipe.run(nl, core::Method::kSA, r_enum);
+    const auto via_registry = pipe.run(nl, r_registry);
+    expect_identical(via_enum, via_registry,
+                     "SAx3 @" + std::to_string(threads) + " threads");
+  }
+  num::set_num_threads(0);
+}
+
+TEST(MethodShim, RgcnRlThrowsAndNamesMap) {
+  EXPECT_THROW(core::optimizer_name(core::Method::kRgcnRl),
+               std::invalid_argument);
+  EXPECT_EQ(core::optimizer_name(core::Method::kSA), "sa");
+  EXPECT_EQ(core::optimizer_name(core::Method::kSaBStar), "sab");
+  EXPECT_EQ(core::optimizer_name(core::Method::kPT), "pt");
+}
+
+}  // namespace
+}  // namespace afp

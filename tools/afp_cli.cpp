@@ -2,11 +2,14 @@
 //
 //   afp list
 //       List the built-in circuit registry.
-//   afp floorplan <circuit|netlist.sp>
-//       [--baseline sa|ga|pso|rlsa|rlsp|sab|pt|pt-bstar] [--restarts N]
-//       [--iters N] [--pt-replicas K] [--pt-swap-interval M] [--pt-adaptive]
-//       [--constrained] [--seed N] [--svg out.svg] [--report out.txt]
-//       Run the full pipeline with a metaheuristic floorplanner.
+//   afp list-baselines
+//       List the registered optimizers: name, encoding, tunable options.
+//   afp floorplan <circuit|netlist.sp> | --batch <dir|manifest>
+//       [--baseline <name>] [--opt k=v[,k=v...]] [--restarts N] [--iters N]
+//       [--time-budget S] [--constrained] [--seed N] [--svg out.svg]
+//       [--report out.txt] [--report-json out.json]
+//       Run the full pipeline with a registry optimizer — one circuit, or an
+//       async batch over a directory of .sp netlists / a manifest file.
 //   afp train [--episodes N] [--seed N] [--out prefix]
 //       Pre-train the R-GCN and HCL-train the PPO agent; writes
 //       <prefix>_policy.bin and <prefix>_encoder.bin.
@@ -16,21 +19,28 @@
 //   afp graph <circuit|netlist.sp> [--dot out.dot]
 //       Print the heterogeneous circuit graph.
 //
-// Global options: --threads N (numeric thread-pool size; wired through
-// TrainOptions::num_threads for `train`), --tier naive|scalar|avx2|auto
-// (kernel tier), --help.  See kUsage below for the full text.
+// Global options: --threads N (numeric thread-pool size), --tier
+// naive|scalar|avx2|auto (kernel tier), --help.  See kUsage below.
 //
-// A <circuit> argument is first looked up in the registry; otherwise it is
-// treated as a path to a SPICE-like netlist file.
+// Every numeric option is validated; a malformed value (like an unknown
+// flag) exits with code 2 and the usage text on stderr.
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 
+#include "core/job_service.hpp"
 #include "core/pipeline.hpp"
+#include "core/report.hpp"
 #include "core/training.hpp"
 #include "netlist/library.hpp"
 #include "nn/checkpoint.hpp"
@@ -47,10 +57,16 @@ usage: afp <command> [args] [options]
 
 commands:
   list                              List the built-in circuit registry.
-  floorplan <circuit|netlist.sp>    Run the full pipeline with a
-      [--baseline B] [--constrained] metaheuristic floorplanner.
-      [--seed N] [--svg out.svg]
+  list-baselines                    List the registered optimizers: name,
+                                    encoding and tunable options.
+  floorplan <circuit|netlist.sp>    Run the full pipeline with a registry
+      [--baseline B] [--opt k=v]    optimizer.  --batch runs an async job
+      [--batch dir|manifest]        batch instead of one circuit.
+      [--time-budget S]
+      [--constrained] [--seed N]
+      [--svg out.svg]
       [--report out.txt]
+      [--report-json out.json]
   train [--episodes N] [--seed N]   Pre-train the R-GCN and HCL-train the
       [--out prefix]                PPO agent; writes <prefix>_policy.bin
                                     and <prefix>_encoder.bin.
@@ -62,35 +78,50 @@ commands:
       [--dot out.dot]
 
 search options (floorplan):
-  --baseline B  sa | ga | pso | rlsa | rlsp | sab | pt | pt-bstar
-                (default sa; --method is an alias).  `pt` is parallel
-                tempering / replica exchange over sequence pairs,
-                `pt-bstar` the same over B*-trees, `sab` is SA over
-                B*-trees [15].
+  --baseline B  Registry optimizer name (see `afp list-baselines`):
+                sa | ga | pso | rlsa | rlsp | sab | pt | pt-bstar
+                (default sa; --method and sa-bstar stay as aliases).
+  --opt k=v     Set an optimizer option (repeatable; commas separate
+                several pairs).  `afp list-baselines` shows each
+                optimizer's keys and defaults.
   --restarts N  Best-of-N independent searches on the thread pool
                 (default 1).  Deterministic for any thread count.
-  --iters N     Per-chain move budget for SA / RL-SA / SA-B* and the
-                per-replica budget for PT.
-  --pt-replicas K       Tempering ladder size (default 3).
-  --pt-swap-interval M  Cold-chain moves between replica-exchange rounds
-                        (default 8).
-  --pt-adaptive         Adapt the swap interval to the observed exchange
-                        acceptance rate (still deterministic).
-  --report F    Write a machine-checkable run report (full-precision best
-                cost, metrics and rectangles; no timings) to file F.
+  --iters N     Override the optimizer's primary budget knob (moves,
+                generations, sweeps, episodes or per-replica moves).
+  --pt-replicas K       Alias for --opt replicas=K (pt baselines).
+  --pt-swap-interval M  Alias for --opt swap_interval=M (pt baselines).
+  --pt-adaptive         Alias for --opt adaptive_swap=true (pt baselines).
+  --time-budget S  Wall-clock budget in seconds: iteration quanta race the
+                deadline (deterministic per completed quantum count).
+                Mutually exclusive with --restarts.
+  --batch P     Batch mode: P is a directory (every *.sp file, sorted) or
+                a manifest file (one circuit/netlist path per line, #
+                comments).  Jobs run concurrently on the thread pool with
+                per-job SplitMix64 seeds derived from --seed.
+  --report F    Write a machine-checkable text run report (full-precision
+                best cost, metrics and rectangles; no timings) to file F.
+  --report-json F  Write the JSON run report (single run: one report
+                object; batch: batch metadata + per-job reports).  Schema:
+                cmake/report_schema.json.
 
 global options:
   --threads N   Size of the shared numeric thread pool (kernels, rollouts,
-                metaheuristic restarts).  Default: AFP_NUM_THREADS or the
-                hardware concurrency.  Results are identical for any N.
+                metaheuristic restarts, batch jobs).  Default:
+                AFP_NUM_THREADS or the hardware concurrency.  Results are
+                identical for any N.
   --tier T      Kernel tier: naive | scalar | avx2 | auto (default auto;
                 also settable via AFP_KERNEL_TIER).
   --help, -h    Show this message.
 
 A <circuit> argument is first looked up in the registry (see `afp list`);
 otherwise it is treated as a path to a SPICE-like netlist file.
-Unknown options are rejected with exit code 2.
+Unknown options and malformed numeric values are rejected with exit code 2.
 )";
+
+/// Usage-level error: message + usage text on stderr, exit code 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Options every command accepts.
 const std::set<std::string> kGlobalOptions = {"threads", "tier", "help", "h"};
@@ -100,18 +131,21 @@ const std::set<std::string> kGlobalOptions = {"threads", "tier", "help", "h"};
 /// also catches options that only exist on a *different* command.
 const std::map<std::string, std::set<std::string>> kCommandOptions = {
     {"list", {}},
+    {"list-baselines", {}},
     {"floorplan",
      {"method", "baseline", "constrained", "seed", "svg", "report",
-      "restarts", "iters", "pt-replicas", "pt-swap-interval", "pt-adaptive"}},
+      "report-json", "restarts", "iters", "opt", "batch", "time-budget",
+      "pt-replicas", "pt-swap-interval", "pt-adaptive"}},
     {"train", {"episodes", "seed", "out"}},
     {"eval", {"agent", "attempts", "seed", "constrained", "svg"}},
     {"graph", {"dot"}},
 };
 
 /// Minimal flag parser: positional args plus --key [value] options.
+/// Repeated options accumulate (used by --opt).
 struct Args {
   std::vector<std::string> positional;
-  std::map<std::string, std::string> options;
+  std::map<std::string, std::vector<std::string>> options;
 
   static Args parse(int argc, char** argv, int from) {
     Args a;
@@ -120,9 +154,9 @@ struct Args {
       if (tok.rfind("--", 0) == 0) {
         const std::string key = tok.substr(2);
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          a.options[key] = argv[++i];
+          a.options[key].push_back(argv[++i]);
         } else {
-          a.options[key] = "1";
+          a.options[key].push_back("1");
         }
       } else {
         a.positional.push_back(tok);
@@ -135,7 +169,7 @@ struct Args {
   /// known (globals are accepted everywhere).
   std::string first_unknown(const std::string& cmd) const {
     const auto it = kCommandOptions.find(cmd);
-    for (const auto& [key, value] : options) {
+    for (const auto& [key, values] : options) {
       if (kGlobalOptions.count(key)) continue;
       if (it != kCommandOptions.end() && it->second.count(key)) continue;
       return key;
@@ -145,10 +179,59 @@ struct Args {
 
   std::string get(const std::string& key, const std::string& dflt) const {
     const auto it = options.find(key);
-    return it == options.end() ? dflt : it->second;
+    return it == options.end() ? dflt : it->second.back();
+  }
+  std::vector<std::string> get_all(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? std::vector<std::string>{} : it->second;
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
+
+// ----------------------------------------------- validated numeric parsing
+//
+// std::stoul/stoi would throw std::invalid_argument on junk like
+// `--seed abc` and surface as a generic exit-1 error; numeric options are a
+// usage problem and must exit 2 with the usage text, like unknown flags.
+
+long long parse_int_or_die(const Args& args, const std::string& key,
+                           long long dflt, long long min_value) {
+  const std::string s = args.get(key, std::to_string(dflt));
+  long long v = 0;
+  if (!metaheur::parse_strict_int(s, &v)) {
+    throw UsageError("option '--" + key + "' expects an integer, got '" + s +
+                     "'");
+  }
+  if (v < min_value) {
+    throw UsageError("option '--" + key + "' must be >= " +
+                     std::to_string(min_value) + ", got '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64_or_die(const Args& args, const std::string& key,
+                               std::uint64_t dflt) {
+  const std::string s = args.get(key, std::to_string(dflt));
+  std::uint64_t v = 0;
+  if (!metaheur::parse_strict_uint(s, &v)) {
+    throw UsageError("option '--" + key +
+                     "' expects an unsigned integer, got '" + s + "'");
+  }
+  return v;
+}
+
+double parse_double_or_die(const Args& args, const std::string& key,
+                           double dflt) {
+  std::ostringstream d;
+  d << dflt;
+  const std::string s = args.get(key, d.str());
+  double v = 0.0;
+  if (!metaheur::parse_strict_double(s, &v)) {
+    throw UsageError("option '--" + key + "' expects a finite number, got '" +
+                     s + "'");
+  }
+  return v;
+}
 
 netlist::Netlist load_circuit(const std::string& spec) {
   for (const auto& e : netlist::circuit_registry()) {
@@ -187,6 +270,10 @@ void print_result(const core::PipelineResult& res) {
               "layout %.3fs\n",
               res.timings.recognition_s, res.timings.floorplan_s,
               res.timings.route_s, res.timings.layout_s);
+  if (res.quanta > 1) {
+    std::printf("search: %ld evaluations over %ld wall-clock quanta\n",
+                res.evaluations, res.quanta);
+  }
 }
 
 int cmd_list() {
@@ -196,6 +283,18 @@ int cmd_list() {
     const auto nl = e.make();
     std::printf("%-16s %8d %10d %10s\n", e.name.c_str(), nl.num_devices(),
                 e.expected_blocks, e.in_training_set ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_list_baselines() {
+  for (const auto& name : metaheur::optimizer_names()) {
+    auto opt = metaheur::make_optimizer(name);
+    std::printf("%-10s encoding %s\n", name.c_str(), opt->encoding());
+    for (const auto& spec : opt->describe()) {
+      std::printf("    %-18s default %-10s %s\n", spec.key.c_str(),
+                  spec.value.c_str(), spec.help.c_str());
+    }
   }
   return 0;
 }
@@ -227,76 +326,239 @@ void write_report(const std::string& path, const std::string& baseline,
   }
 }
 
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  os << content << "\n";
+  if (!os) {
+    throw std::runtime_error("failed to write '" + path + "'");
+  }
+}
+
+/// Resolves --baseline/--method (plus aliases) to a registry name.
+std::string baseline_name(const Args& args) {
+  std::string name = args.has("baseline") ? args.get("baseline", "sa")
+                                          : args.get("method", "sa");
+  if (name == "sa-bstar") name = "sab";
+  if (!metaheur::OptimizerRegistry::global().contains(name)) {
+    std::string known;
+    for (const auto& n : metaheur::optimizer_names()) {
+      known += (known.empty() ? "" : ", ") + n;
+    }
+    throw UsageError("unknown baseline '" + name + "' (registered: " + known +
+                     "); see `afp list-baselines`");
+  }
+  return name;
+}
+
+/// Collects --opt k=v[,k=v...] pairs plus the --pt-* convenience aliases
+/// into one option map.
+metaheur::Options gather_options(const Args& args, const std::string& name) {
+  metaheur::Options opts;
+  for (const auto& arg : args.get_all("opt")) {
+    std::stringstream ss(arg);
+    std::string pair;
+    while (std::getline(ss, pair, ',')) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw UsageError("option '--opt' expects k=v, got '" + pair + "'");
+      }
+      opts[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  const bool is_pt = name == "pt" || name == "pt-bstar";
+  if (!is_pt && (args.has("pt-replicas") || args.has("pt-swap-interval") ||
+                 args.has("pt-adaptive"))) {
+    throw UsageError("--pt-* options apply to the pt/pt-bstar baselines only "
+                     "(got baseline '" + name + "')");
+  }
+  if (args.has("pt-replicas")) {
+    opts["replicas"] =
+        std::to_string(parse_int_or_die(args, "pt-replicas", 3, 2));
+  }
+  if (args.has("pt-swap-interval")) {
+    opts["swap_interval"] =
+        std::to_string(parse_int_or_die(args, "pt-swap-interval", 8, 1));
+  }
+  if (args.has("pt-adaptive")) opts["adaptive_swap"] = "true";
+  return opts;
+}
+
+/// Batch inputs: every *.sp file of a directory (sorted), or the non-empty
+/// non-comment lines of a manifest file (registry names or netlist paths).
+std::vector<std::string> batch_inputs(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> inputs;
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".sp") {
+        inputs.push_back(entry.path().string());
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+  } else {
+    std::ifstream is(path);
+    if (!is) {
+      throw std::runtime_error("cannot open batch manifest '" + path + "'");
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+      const auto from = line.find_first_not_of(" \t\r");
+      if (from == std::string::npos || line[from] == '#') continue;
+      const auto to = line.find_last_not_of(" \t\r");
+      inputs.push_back(line.substr(from, to - from + 1));
+    }
+  }
+  if (inputs.empty()) {
+    throw std::runtime_error("batch '" + path +
+                             "' contains no netlists (*.sp or manifest "
+                             "lines)");
+  }
+  return inputs;
+}
+
+int cmd_floorplan_batch(const Args& args, const core::PipelineConfig& cfg,
+                        const std::string& name, std::uint64_t seed) {
+  const auto inputs = batch_inputs(args.get("batch", ""));
+  std::vector<core::JobSpec> jobs;
+  jobs.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    core::JobSpec spec;
+    spec.name = std::filesystem::path(input).stem().string();
+    spec.netlist = load_circuit(input);
+    spec.config = cfg;
+    jobs.push_back(std::move(spec));
+  }
+
+  std::printf("batch: %zu jobs | optimizer %s | %d threads | seed %llu%s\n",
+              jobs.size(), name.c_str(), num::num_threads(),
+              static_cast<unsigned long long>(seed),
+              cfg.search.budget.wall_clock_s > 0.0 ? " | time-budgeted" : "");
+  std::mutex io_mu;
+  core::JobServiceOptions sopts;
+  sopts.base_seed = seed;
+  sopts.on_progress = [&](const core::JobProgress& p) {
+    std::lock_guard<std::mutex> lock(io_mu);
+    std::printf("  [%zu] %-16s %s (%.2fs)\n", p.id, p.name.c_str(),
+                core::to_string(p.status), p.runtime_s);
+  };
+  const auto reports = core::JobService::run_batch(jobs, sopts);
+
+  std::printf("\n%-16s %-10s %12s %12s %10s %10s %8s\n", "job", "status",
+              "cost", "HPWL(um)", "reward", "runtime", "quanta");
+  bool all_done = true;
+  for (const auto& r : reports) {
+    if (r.status != core::JobStatus::kDone) {
+      all_done = false;
+      std::printf("%-16s %-10s %12s %12s %10s %9.2fs %8s  %s\n",
+                  r.name.c_str(), core::to_string(r.status), "-", "-", "-",
+                  r.runtime_s, "-", r.error.c_str());
+      continue;
+    }
+    std::printf("%-16s %-10s %12.4f %12.1f %10.2f %9.2fs %8ld\n",
+                r.name.c_str(), core::to_string(r.status),
+                metaheur::sp_cost(r.result.instance, r.result.rects),
+                r.result.eval.hpwl, r.result.eval.reward, r.runtime_s,
+                r.result.quanta);
+  }
+  if (args.has("report-json")) {
+    const std::string path = args.get("report-json", "batch.json");
+    write_file(path,
+               core::batch_report_json(reports, seed,
+                                       cfg.search.budget.wall_clock_s,
+                                       num::num_threads()));
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return all_done ? 0 : 1;
+}
+
 int cmd_floorplan(const Args& args) {
-  if (args.positional.empty()) {
+  const bool batch = args.has("batch");
+  if (args.positional.empty() && !batch) {
     std::fprintf(stderr, "usage: afp floorplan <circuit> [--baseline sa]\n");
     return 2;
   }
-  const auto nl = load_circuit(args.positional[0]);
-  // --baseline is the documented spelling; --method stays as an alias.
-  const std::string method_s =
-      args.has("baseline") ? args.get("baseline", "sa")
-                           : args.get("method", "sa");
-  struct MethodSpec {
-    core::Method method;
-    metaheur::Representation pt_rep = metaheur::Representation::kSequencePair;
-  };
-  const std::map<std::string, MethodSpec> methods = {
-      {"sa", {core::Method::kSA}},
-      {"ga", {core::Method::kGA}},
-      {"pso", {core::Method::kPSO}},
-      {"rlsa", {core::Method::kRlSa}},
-      {"rlsp", {core::Method::kRlSp}},
-      {"sab", {core::Method::kSaBStar}},
-      {"sa-bstar", {core::Method::kSaBStar}},
-      {"pt", {core::Method::kPT}},
-      {"pt-bstar",
-       {core::Method::kPT, metaheur::Representation::kBStarTree}}};
-  const auto mit = methods.find(method_s);
-  if (mit == methods.end()) {
-    std::fprintf(stderr, "unknown baseline '%s'\n", method_s.c_str());
-    return 2;
+  if (!args.positional.empty() && batch) {
+    throw UsageError("--batch replaces the positional <circuit> argument");
   }
+  if (batch && (args.has("svg") || args.has("report"))) {
+    throw UsageError(
+        "--svg/--report apply to single-circuit runs; batches emit "
+        "--report-json");
+  }
+  const std::string name = baseline_name(args);
+
   core::PipelineConfig cfg;
   cfg.constrained = args.has("constrained");
-  cfg.search.restarts = std::stoi(args.get("restarts", "1"));
-  cfg.search.pt.representation = mit->second.pt_rep;
-  if (args.has("pt-replicas")) {
-    cfg.search.pt.replicas = std::stoi(args.get("pt-replicas", "3"));
-  }
-  if (args.has("pt-swap-interval")) {
-    cfg.search.pt.swap_interval =
-        std::stoi(args.get("pt-swap-interval", "8"));
-  }
-  cfg.search.pt.adaptive_swap = args.has("pt-adaptive");
+  cfg.optimizer = name;
+  cfg.options = gather_options(args, name);
+  cfg.search.restarts =
+      static_cast<int>(parse_int_or_die(args, "restarts", 1, 1));
   if (args.has("iters")) {
-    const int iters = std::stoi(args.get("iters", "0"));
-    cfg.sa.iterations = iters;
-    cfg.rlsa.iterations = iters;
-    cfg.bstar.iterations = iters;
-    cfg.search.pt.iterations = iters;
+    cfg.search.budget.iterations =
+        static_cast<int>(parse_int_or_die(args, "iters", 0, 1));
   }
+  if (args.has("time-budget")) {
+    if (args.has("restarts")) {
+      throw UsageError(
+          "--restarts and --time-budget are mutually exclusive: the "
+          "time-budgeted mode races iteration quanta instead of a fixed "
+          "fan-out");
+    }
+    const double budget = parse_double_or_die(args, "time-budget", 0.0);
+    if (budget <= 0.0) {
+      throw UsageError("option '--time-budget' must be > 0 seconds");
+    }
+    cfg.search.budget.wall_clock_s = budget;
+  }
+  // Validate the optimizer + option map up front: a bad --opt key/value is
+  // a usage error (exit 2), not a runtime failure.
+  metaheur::Options resolved;
+  try {
+    resolved = metaheur::make_optimizer(name, cfg.options)->options();
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+
+  const std::uint64_t seed = parse_u64_or_die(args, "seed", 1);
+  if (batch) return cmd_floorplan_batch(args, cfg, name, seed);
+
+  const auto nl = load_circuit(args.positional[0]);
   core::FloorplanPipeline pipe(cfg);
-  std::mt19937_64 rng(std::stoul(args.get("seed", "1")));
-  const auto res = pipe.run(nl, mit->second.method, rng);
+  std::mt19937_64 rng(seed);
+  // Out-of-range option values (e.g. --opt replicas=1) were already
+  // rejected by the make_optimizer validation above, so any exception past
+  // this point is a genuine runtime failure (exit 1), never a usage error.
+  const auto res = pipe.run(nl, rng);
   print_result(res);
   if (args.has("svg")) {
     layoutgen::write_svg(args.get("svg", "layout.svg"), res.layout);
     std::printf("wrote %s\n", args.get("svg", "layout.svg").c_str());
   }
   if (args.has("report")) {
-    write_report(args.get("report", "report.txt"), method_s, res);
+    // The text report names the user-facing baseline spelling, which keeps
+    // historic reports (e.g. the e2e determinism goldens) byte-compatible.
+    const std::string spelled = args.has("baseline")
+                                    ? args.get("baseline", "sa")
+                                    : args.get("method", "sa");
+    write_report(args.get("report", "report.txt"), spelled, res);
     std::printf("wrote %s\n", args.get("report", "report.txt").c_str());
+  }
+  if (args.has("report-json")) {
+    const std::string path = args.get("report-json", "report.json");
+    write_file(path, core::report_json(res, args.positional[0], name,
+                                       resolved, cfg.search, seed));
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }
 
 int cmd_train(const Args& args) {
   core::TrainOptions opt = core::TrainOptions::fast(
-      static_cast<unsigned>(std::stoul(args.get("seed", "1"))));
-  opt.num_threads = std::stoi(args.get("threads", "0"));
+      static_cast<unsigned>(parse_u64_or_die(args, "seed", 1)));
+  opt.num_threads = static_cast<int>(parse_int_or_die(args, "threads", 0, 0));
   opt.hcl.circuits = {"ota_small", "bias_small", "ota1", "ota2", "bias1"};
-  opt.hcl.episodes_per_circuit = std::stoi(args.get("episodes", "64"));
+  opt.hcl.episodes_per_circuit =
+      static_cast<int>(parse_int_or_die(args, "episodes", 64, 1));
   opt.ppo.n_envs = 4;
   opt.ppo.n_steps = 32;
   opt.ppo.minibatch = 64;
@@ -323,7 +585,10 @@ int cmd_eval(const Args& args) {
     return 2;
   }
   const std::string prefix = args.get("agent", "afp_agent");
-  std::mt19937_64 rng(std::stoul(args.get("seed", "1")));
+  // Validate every numeric option before any heavy work or file I/O.
+  const std::uint64_t seed = parse_u64_or_die(args, "seed", 1);
+  const int attempts = static_cast<int>(parse_int_or_die(args, "attempts", 8, 1));
+  std::mt19937_64 rng(seed);
   rgcn::RewardModel encoder(rng);
   rl::ActorCritic policy(rl::PolicyConfig::fast(), rng);
   nn::load_module(encoder, prefix + "_encoder.bin");
@@ -332,7 +597,7 @@ int cmd_eval(const Args& args) {
   const auto nl = load_circuit(args.positional[0]);
   core::PipelineConfig cfg;
   cfg.constrained = args.has("constrained");
-  cfg.rl_attempts = std::stoi(args.get("attempts", "8"));
+  cfg.rl_attempts = attempts;
   core::FloorplanPipeline pipe(cfg);
   const auto res = pipe.run(nl, policy, encoder, rng);
   print_result(res);
@@ -407,7 +672,8 @@ int main(int argc, char** argv) {
   try {
     // Global knobs, honored by every command: pool size and kernel tier.
     if (args.has("threads")) {
-      num::set_num_threads(std::stoi(args.get("threads", "0")));
+      num::set_num_threads(
+          static_cast<int>(parse_int_or_die(args, "threads", 0, 0)));
     }
     if (args.has("tier")) {
       num::KernelTier tier;
@@ -419,10 +685,15 @@ int main(int argc, char** argv) {
       num::set_kernel_tier(tier);
     }
     if (cmd == "list") return cmd_list();
+    if (cmd == "list-baselines") return cmd_list_baselines();
     if (cmd == "floorplan") return cmd_floorplan(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "graph") return cmd_graph(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n\n", e.what());
+    std::fputs(kUsage, stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
