@@ -10,7 +10,13 @@ The schema is a self-contained mini-language (stdlib only, no jsonschema):
 * [T]                             — array whose elements all match T,
 * {...}                           — object with exactly these required keys,
 * {"__values__": T}               — map with free-form keys, values match T,
-* "<name>|null"                   — named top-level schema or JSON null.
+* "<T>|null"                      — named top-level schema or scalar type,
+                                    or JSON null (e.g. "num|null" for
+                                    metrics that degenerate to NaN/Inf).
+
+Bare nan/inf tokens (including Python-style NaN/Infinity, which json.load
+would otherwise happily accept) are rejected: a report must be consumable
+by strict JSON parsers.
 
 When the shape argument is omitted the checker picks "batch" when the top
 level has a "jobs" array, "report" otherwise.  Exits 0 on success, 1 with a
@@ -19,9 +25,16 @@ path-qualified message on the first mismatch.
 import json
 import sys
 
+SCALARS = ("int", "num", "str", "bool")
+
 
 class Mismatch(Exception):
     pass
+
+
+def reject_constant(token):
+    raise Mismatch(
+        f"non-JSON numeric token '{token}' (nan/inf must be emitted as null)")
 
 
 def check(value, schema, schemas, path):
@@ -30,7 +43,8 @@ def check(value, schema, schemas, path):
             name, _null = schema.split("|", 1)
             if value is None:
                 return
-            check(value, schemas[name], schemas, path)
+            check(value, name if name in SCALARS else schemas[name],
+                  schemas, path)
             return
         if schema == "int":
             ok = isinstance(value, int) and not isinstance(value, bool)
@@ -77,8 +91,12 @@ def main(argv):
     with open(argv[1]) as f:
         schemas = json.load(f)
     schemas.pop("_comment", None)
-    with open(argv[2]) as f:
-        data = json.load(f)
+    try:
+        with open(argv[2]) as f:
+            data = json.load(f, parse_constant=reject_constant)
+    except (json.JSONDecodeError, Mismatch) as e:
+        print(f"invalid JSON in {argv[2]}: {e}", file=sys.stderr)
+        return 1
     shape = argv[3] if len(argv) == 4 else (
         "batch" if isinstance(data.get("jobs"), list) else "report")
     if shape not in schemas:

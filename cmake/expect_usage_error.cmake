@@ -54,6 +54,14 @@ set(bad_invocations
     "floorplan\;ota_small\;--restarts\;4\;--time-budget\;0.1"
     "floorplan\;ota_small\;--batch\;nowhere\;--svg\;x.svg"
     "floorplan\;ota_small\;--baseline\;sa\;--pt-replicas\;4"
+    "floorplan\;ota_small\;--quanta\;0"
+    "floorplan\;ota_small\;--quanta\;lots"
+    "floorplan\;ota_small\;--restarts\;2\;--quanta\;4"
+    "floorplan\;ota_small\;--job-timeout\;0"
+    "floorplan\;ota_small\;--job-timeout\;never"
+    "floorplan\;ota_small\;--max-retries\;-1"
+    "floorplan\;ota_small\;--checkpoint\;cp.bin"
+    "floorplan\;ota_small\;--quanta\;2\;--resume"
     "train\;--episodes\;1e3"
     "eval\;ota_small\;--attempts\;0")
 foreach(invocation IN LISTS bad_invocations)
@@ -71,3 +79,43 @@ foreach(invocation IN LISTS bad_invocations)
   endif()
 endforeach()
 message(STATUS "unknown flags and malformed values rejected with exit 2")
+
+# ------------------------------------------------- batch partial failure ---
+# A manifest entry that cannot be loaded must be skipped (reported as a
+# failed job, kind invalid_config), not abort the batch: a mixed batch exits
+# 3 (partial failure), an all-bad batch exits 1.
+if(NOT WORK_DIR)
+  set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(WRITE ${WORK_DIR}/mixed_manifest.txt
+     "ota_small\n/nonexistent/netlist.sp\n")
+execute_process(
+  COMMAND ${AFP_CLI} floorplan --batch ${WORK_DIR}/mixed_manifest.txt
+          --iters 30 --seed 1
+  RESULT_VARIABLE rc4
+  OUTPUT_VARIABLE out4
+  ERROR_VARIABLE err4)
+if(NOT rc4 EQUAL 3)
+  message(FATAL_ERROR
+    "expected exit code 3 for a partially failed batch, got ${rc4}: ${err4}")
+endif()
+if(NOT err4 MATCHES "skipping '/nonexistent/netlist.sp'")
+  message(FATAL_ERROR "stderr does not name the skipped entry: ${err4}")
+endif()
+if(NOT out4 MATCHES "invalid_config")
+  message(FATAL_ERROR
+    "batch table does not classify the skipped job as invalid_config: ${out4}")
+endif()
+file(WRITE ${WORK_DIR}/bad_manifest.txt
+     "/nonexistent/a.sp\n/nonexistent/b.sp\n")
+execute_process(
+  COMMAND ${AFP_CLI} floorplan --batch ${WORK_DIR}/bad_manifest.txt --seed 1
+  RESULT_VARIABLE rc5
+  OUTPUT_QUIET
+  ERROR_QUIET)
+if(NOT rc5 EQUAL 1)
+  message(FATAL_ERROR
+    "expected exit code 1 for an all-failed batch, got ${rc5}")
+endif()
+message(STATUS "batch skips unloadable entries; exit 3 flags partial failure")

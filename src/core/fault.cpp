@@ -1,0 +1,220 @@
+#include "core/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "metaheur/optimizer.hpp"
+#include "metaheur/parallel_search.hpp"
+
+namespace afp::core {
+
+namespace {
+
+thread_local std::size_t t_job = FaultScope::kNoJob;
+thread_local int t_attempt = 0;
+
+bool parse_kind(const std::string& s, FaultKind* out) {
+  if (s == "throw") *out = FaultKind::kThrow;
+  else if (s == "stall") *out = FaultKind::kStall;
+  else if (s == "alloc") *out = FaultKind::kAlloc;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= s.size()) {
+    const std::size_t to = s.find(sep, from);
+    if (to == std::string::npos) {
+      out.push_back(s.substr(from));
+      break;
+    }
+    out.push_back(s.substr(from, to - from));
+    from = to + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void bad_spec(const std::string& clause, const char* why) {
+  throw std::invalid_argument("AFP_FAULT: bad clause '" + clause + "': " +
+                              why);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+FaultScope::FaultScope(std::size_t job_id, int attempt)
+    : prev_job_(t_job), prev_attempt_(t_attempt) {
+  t_job = job_id;
+  t_attempt = attempt;
+}
+
+FaultScope::~FaultScope() {
+  t_job = prev_job_;
+  t_attempt = prev_attempt_;
+}
+
+std::size_t FaultScope::job() { return t_job; }
+int FaultScope::attempt() { return t_attempt; }
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  auto cfg = std::make_shared<Config>();
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    const std::size_t at = clause.find('@');
+    if (at != std::string::npos && (eq == std::string::npos || at < eq)) {
+      // Explicit site: <kind>@<job>:<quantum>.
+      Site site{};
+      if (!parse_kind(clause.substr(0, at), &site.kind)) {
+        bad_spec(clause, "unknown kind (throw|stall|alloc)");
+      }
+      const std::string where = clause.substr(at + 1);
+      const std::size_t colon = where.find(':');
+      if (colon == std::string::npos) bad_spec(clause, "expected job:quantum");
+      std::uint64_t job = 0;
+      long long quantum = 0;
+      if (!metaheur::parse_strict_uint(where.substr(0, colon), &job) ||
+          !metaheur::parse_strict_int(where.substr(colon + 1), &quantum) ||
+          quantum < 0) {
+        bad_spec(clause, "job/quantum must be non-negative integers");
+      }
+      site.job = static_cast<std::size_t>(job);
+      site.quantum = static_cast<long>(quantum);
+      cfg->sites.push_back(site);
+      continue;
+    }
+    if (eq == std::string::npos) bad_spec(clause, "expected key=value");
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "p") {
+      if (!metaheur::parse_strict_double(value, &cfg->p) || cfg->p < 0.0 ||
+          cfg->p > 1.0) {
+        bad_spec(clause, "p must be in [0, 1]");
+      }
+    } else if (key == "seed") {
+      if (!metaheur::parse_strict_uint(value, &cfg->seed)) {
+        bad_spec(clause, "seed must be a u64");
+      }
+    } else if (key == "kinds") {
+      cfg->kinds.clear();
+      for (const std::string& k : split(value, ',')) {
+        FaultKind kind;
+        if (!parse_kind(k, &kind)) {
+          bad_spec(clause, "unknown kind (throw|stall|alloc)");
+        }
+        cfg->kinds.push_back(kind);
+      }
+      if (cfg->kinds.empty()) bad_spec(clause, "kinds must be non-empty");
+    } else if (key == "stall_ms") {
+      long long ms = 0;
+      if (!metaheur::parse_strict_int(value, &ms) || ms < 0 || ms > 60000) {
+        bad_spec(clause, "stall_ms must be in [0, 60000]");
+      }
+      cfg->stall_ms = static_cast<int>(ms);
+    } else {
+      bad_spec(clause, "unknown key (p|seed|kinds|stall_ms)");
+    }
+  }
+  if (cfg->p > 0.0 && cfg->kinds.empty()) {
+    cfg->kinds = {FaultKind::kThrow, FaultKind::kStall, FaultKind::kAlloc};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  env_checked_ = true;  // an explicit configure overrides the environment
+  config_ = cfg->active() ? std::move(cfg) : nullptr;
+}
+
+void FaultInjector::ensure_env_loaded() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (env_checked_) return;
+  }
+  const char* env = std::getenv("AFP_FAULT");
+  // configure() sets env_checked_; a malformed AFP_FAULT throws here and is
+  // classified invalid_config by the job that tripped the first load.
+  const_cast<FaultInjector*>(this)->configure(env ? env : "");
+}
+
+std::shared_ptr<const FaultInjector::Config> FaultInjector::snapshot() const {
+  ensure_env_loaded();
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+bool FaultInjector::enabled() const { return snapshot() != nullptr; }
+
+std::optional<FaultKind> FaultInjector::planned(std::size_t job, long quantum,
+                                                int attempt) const {
+  const auto cfg = snapshot();
+  if (!cfg) return std::nullopt;
+  for (const Site& s : cfg->sites) {
+    // Explicit sites fire on the first attempt only, so a retry recovers.
+    if (attempt == 0 && s.job == job && s.quantum == quantum) return s.kind;
+  }
+  if (cfg->p > 0.0) {
+    // Decision hash: seed, job, quantum and attempt each get their own mix
+    // so the stream is independent of every search RNG domain.
+    std::uint64_t h = metaheur::splitmix64(cfg->seed ^ 0xfa017755c0debull);
+    h = metaheur::splitmix64(h + static_cast<std::uint64_t>(job));
+    h = metaheur::splitmix64(h ^ (static_cast<std::uint64_t>(quantum) *
+                                  0x9e3779b97f4a7c15ull));
+    h = metaheur::splitmix64(h + static_cast<std::uint64_t>(attempt));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u < cfg->p) {
+      const std::uint64_t pick = metaheur::splitmix64(h);
+      return cfg->kinds[static_cast<std::size_t>(
+          pick % cfg->kinds.size())];
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::maybe_inject(long quantum,
+                                 const metaheur::CancelToken* stop) const {
+  const std::size_t job = FaultScope::job();
+  if (job == FaultScope::kNoJob) return;
+  const auto cfg = snapshot();
+  if (!cfg) return;
+  const auto kind = planned(job, quantum, FaultScope::attempt());
+  if (!kind) return;
+  switch (*kind) {
+    case FaultKind::kThrow:
+      throw FaultError("injected fault: job " + std::to_string(job) +
+                       " quantum " + std::to_string(quantum));
+    case FaultKind::kAlloc:
+      throw std::bad_alloc();
+    case FaultKind::kStall: {
+      // Bounded stall, sliced so cancellation and the watchdog deadline
+      // keep their latency guarantees even against a "stuck" quantum.
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto until = t0 + std::chrono::milliseconds(cfg->stall_ms);
+      while (std::chrono::steady_clock::now() < until) {
+        if (stop != nullptr) {
+          if (stop->cancelled()) throw CancelledError();
+          if (stop->expired()) throw DeadlineExceededError(quantum);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace afp::core

@@ -1,0 +1,121 @@
+// Deterministic fault injection at quantum boundaries, for hardening tests.
+//
+// The pipeline calls FaultInjector::global().maybe_inject(q, stop) right
+// before running search quantum q of the ambient job (set by JobService via
+// FaultScope).  When a fault is planned for (job, quantum, attempt) the
+// injector fires one of three kinds:
+//
+//   throw  — throws FaultError (classified optimizer_failure, retryable),
+//   alloc  — throws std::bad_alloc (classified resource_exhausted),
+//   stall  — sleeps in short slices, honoring cancellation and the watchdog
+//            deadline, so a stuck quantum exercises the deadline path
+//            without ever outliving the job's budget.
+//
+// Faults are configured from the AFP_FAULT environment variable (parsed on
+// first use) or programmatically via configure().  The spec is a ';'-joined
+// list of clauses:
+//
+//   <kind>@<job>:<quantum>   explicit site, fires on attempt 0 only so a
+//                            retried job recovers (kind: throw|stall|alloc)
+//   p=<rate>                 probabilistic mode: per-(job, quantum, attempt)
+//                            fault probability in [0, 1]
+//   seed=<u64>               probabilistic decision stream seed
+//   kinds=<k1,k2,...>        kinds the probabilistic mode draws from
+//   stall_ms=<int>           stall duration (default 25 ms)
+//
+// Every decision is a pure function of (config, job, quantum, attempt) —
+// SplitMix64-hashed, never clock- or thread-dependent — so an injected run
+// is reproducible and thread-count invariant.  Outside a job scope the
+// injector is inert, and an empty spec disables it entirely (the default:
+// zero overhead beyond one relaxed atomic load).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "metaheur/stop.hpp"
+
+namespace afp::core {
+
+/// The injected "optimizer bug": an ordinary exception the firewall must
+/// contain and classify like any other optimizer failure.
+struct FaultError : std::runtime_error {
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FaultKind { kThrow, kStall, kAlloc };
+
+const char* to_string(FaultKind k);
+
+/// RAII ambient job context (thread-local).  JobService::run_job enters a
+/// scope per attempt; nested scopes restore the outer one on exit.
+class FaultScope {
+ public:
+  FaultScope(std::size_t job_id, int attempt);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  static constexpr std::size_t kNoJob = ~std::size_t{0};
+  /// Current thread's job id (kNoJob outside any scope) and attempt.
+  static std::size_t job();
+  static int attempt();
+
+ private:
+  std::size_t prev_job_;
+  int prev_attempt_;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  /// Replaces the active spec ("" disables injection).  Throws
+  /// std::invalid_argument on a malformed spec.  Thread-safe; takes effect
+  /// for quanta that start after the call.
+  void configure(const std::string& spec);
+
+  /// True when any fault clause is active.
+  bool enabled() const;
+
+  /// The fault planned for (job, quantum, attempt), if any — a pure
+  /// function of the active config, usable by tests to predict which jobs
+  /// of a batch run clean.
+  std::optional<FaultKind> planned(std::size_t job, long quantum,
+                                   int attempt) const;
+
+  /// Fires the fault planned for the ambient FaultScope at `quantum`
+  /// (no-op when disabled or outside a job).  `stop` bounds a stall.
+  void maybe_inject(long quantum, const metaheur::CancelToken* stop) const;
+
+ private:
+  struct Site {
+    FaultKind kind;
+    std::size_t job;
+    long quantum;
+  };
+  struct Config {
+    std::vector<Site> sites;
+    double p = 0.0;
+    std::uint64_t seed = 0;
+    std::vector<FaultKind> kinds;
+    int stall_ms = 25;
+    bool active() const { return !sites.empty() || p > 0.0; }
+  };
+
+  FaultInjector() = default;
+  std::shared_ptr<const Config> snapshot() const;
+  void ensure_env_loaded() const;
+
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const Config> config_;
+  mutable bool env_checked_ = false;
+};
+
+}  // namespace afp::core

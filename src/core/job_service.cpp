@@ -1,13 +1,32 @@
 #include "core/job_service.hpp"
 
+#include <cmath>
+#include <thread>
+
+#include "core/fault.hpp"
 #include "metaheur/parallel_search.hpp"
 #include "numeric/parallel.hpp"
 
 namespace afp::core {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+/// Sleeps `seconds` in short slices, returning early (false) when the
+/// token is cancelled — backoff must not delay a cancellation.
+bool sleep_unless_cancelled(double seconds, const CancelToken* cancel) {
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < until) {
+    if (cancel && cancel->cancelled()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
 }
+
+}  // namespace
 
 const char* to_string(JobStatus s) {
   switch (s) {
@@ -16,8 +35,27 @@ const char* to_string(JobStatus s) {
     case JobStatus::kDone: return "done";
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kFailed: return "failed";
+    case JobStatus::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "?";
+}
+
+const char* to_string(JobErrorKind k) {
+  switch (k) {
+    case JobErrorKind::kNone: return "none";
+    case JobErrorKind::kInvalidConfig: return "invalid_config";
+    case JobErrorKind::kOptimizerFailure: return "optimizer_failure";
+    case JobErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case JobErrorKind::kCancelled: return "cancelled";
+    case JobErrorKind::kResourceExhausted: return "resource_exhausted";
+    case JobErrorKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+bool is_retryable(JobErrorKind k) {
+  return k == JobErrorKind::kOptimizerFailure ||
+         k == JobErrorKind::kResourceExhausted;
 }
 
 std::uint64_t JobService::job_seed(std::uint64_t base_seed,
@@ -27,6 +65,43 @@ std::uint64_t JobService::job_seed(std::uint64_t base_seed,
   return metaheur::splitmix64(metaheur::splitmix64(base_seed ^
                                                    0x6a09e667f3bcc909ull) +
                               static_cast<std::uint64_t>(job_id));
+}
+
+std::uint64_t JobService::retry_seed(std::uint64_t seed, int attempt) {
+  if (attempt <= 0) return seed;
+  // Own mixing domain, distinct from job_seed/restart_rng/replica_rng.
+  return metaheur::splitmix64(
+      metaheur::splitmix64(seed ^ 0x452821e638d01377ull) +
+      static_cast<std::uint64_t>(attempt));
+}
+
+double JobService::retry_backoff_s(std::uint64_t seed, int attempt,
+                                   const RetryPolicy& policy) {
+  if (attempt <= 0 || policy.backoff_s <= 0.0) return 0.0;
+  double base = policy.backoff_s *
+                std::ldexp(1.0, std::min(attempt - 1, 30));
+  base = std::min(base, std::max(0.0, policy.backoff_cap_s));
+  const std::uint64_t h = metaheur::splitmix64(
+      metaheur::splitmix64(seed ^ 0x9216d5d98979fb1bull) +
+      static_cast<std::uint64_t>(attempt));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return base * (0.5 + 0.5 * u);
+}
+
+JobError JobService::validate_result(const PipelineResult& result) {
+  auto bad = [](double v) { return !std::isfinite(v); };
+  bool broken = bad(result.eval.area) || bad(result.eval.dead_space) ||
+                bad(result.eval.hpwl) || bad(result.eval.reward);
+  for (const auto& r : result.rects) {
+    broken = broken || bad(r.x) || bad(r.y) || bad(r.w) || bad(r.h);
+  }
+  JobError err;
+  if (broken) {
+    err.kind = JobErrorKind::kInternal;
+    err.message = "non-finite result metrics (degenerate instance?)";
+  }
+  return err;
 }
 
 JobReport JobService::run_job(const JobSpec& spec, std::size_t id,
@@ -40,30 +115,86 @@ JobReport JobService::run_job(const JobSpec& spec, std::size_t id,
   auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
-  auto notify = [&](JobStatus status) {
-    if (progress) progress({report.id, report.name, status, elapsed()});
+  auto notify = [&](JobStatus status, int attempt) {
+    if (progress) {
+      progress({report.id, report.name, status, elapsed(), attempt});
+    }
   };
   report.optimizer = spec.config.optimizer;
   report.search = spec.config.search;
-  notify(JobStatus::kRunning);
-  try {
-    // Resolve the full option map (defaults + overrides) up front so even
-    // failed jobs report the configuration they ran under.
-    report.options =
-        metaheur::make_optimizer(spec.config.optimizer, spec.config.options)
-            ->options();
-    FloorplanPipeline pipe(spec.config);
-    std::mt19937_64 rng(seed);
-    report.result = pipe.run(spec.netlist, rng, cancel);
-    report.status = JobStatus::kDone;
-  } catch (const CancelledError&) {
-    report.status = JobStatus::kCancelled;
-  } catch (const std::exception& e) {
-    report.status = JobStatus::kFailed;
-    report.error = e.what();
+  const RetryPolicy& retry = spec.config.search.retry;
+  const int max_attempts = 1 + std::max(0, retry.max_retries);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      report.error = JobError{};
+      report.result = PipelineResult{};
+      if (!sleep_unless_cancelled(retry_backoff_s(seed, attempt, retry),
+                                  cancel)) {
+        break;  // cancelled during backoff: the previous failure stands
+      }
+    }
+    report.attempts = attempt + 1;
+    notify(JobStatus::kRunning, attempt);
+    // The watchdog rides the job's cancel token: one deadline per attempt,
+    // measured on the monotonic clock from the attempt's start.  Copies of
+    // a CancelToken share state, so the caller's cancel() still lands.
+    CancelToken token = cancel ? *cancel : CancelToken{};
+    if (spec.config.search.budget.deadline_s > 0.0) {
+      token.set_deadline_after(spec.config.search.budget.deadline_s);
+    }
+    // Ambient fault-injection context for this attempt (inert unless the
+    // injector is configured).
+    FaultScope fault_scope(id, attempt);
+    try {
+      // Resolve the full option map (defaults + overrides) up front so even
+      // failed jobs report the configuration they ran under.
+      report.options =
+          metaheur::make_optimizer(spec.config.optimizer, spec.config.options)
+              ->options();
+      FloorplanPipeline pipe(spec.config);
+      std::mt19937_64 rng(retry_seed(seed, attempt));
+      report.result = pipe.run(spec.netlist, rng, &token);
+      JobError verr = validate_result(report.result);
+      if (verr.ok()) {
+        report.status = JobStatus::kDone;
+        report.error = JobError{};
+      } else {
+        verr.job_id = id;
+        report.status = JobStatus::kFailed;
+        report.error = verr;
+      }
+    } catch (const CancelledError& e) {
+      report.status = JobStatus::kCancelled;
+      report.error = {JobErrorKind::kCancelled, e.what(), id, -1};
+    } catch (const DeadlineExceededError& e) {
+      // Hard deadline: partial results are discarded, the state is
+      // terminal and non-retryable (a retry would get the same budget).
+      report.status = JobStatus::kDeadlineExceeded;
+      report.error = {JobErrorKind::kDeadlineExceeded, e.what(), id,
+                      e.quantum};
+      report.result = PipelineResult{};
+    } catch (const OptimizerError& e) {
+      report.status = JobStatus::kFailed;
+      report.error = {JobErrorKind::kOptimizerFailure, e.what(), id,
+                      e.quantum};
+    } catch (const std::bad_alloc&) {
+      report.status = JobStatus::kFailed;
+      report.error = {JobErrorKind::kResourceExhausted,
+                      "allocation failure", id, -1};
+    } catch (const std::invalid_argument& e) {
+      report.status = JobStatus::kFailed;
+      report.error = {JobErrorKind::kInvalidConfig, e.what(), id, -1};
+    } catch (const std::exception& e) {
+      report.status = JobStatus::kFailed;
+      report.error = {JobErrorKind::kInternal, e.what(), id, -1};
+    }
+    if (report.status == JobStatus::kDone ||
+        !is_retryable(report.error.kind)) {
+      break;
+    }
   }
   report.runtime_s = elapsed();
-  notify(report.status);
+  notify(report.status, report.attempts - 1);
   return report;
 }
 

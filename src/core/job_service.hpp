@@ -35,9 +35,48 @@
 
 namespace afp::core {
 
-enum class JobStatus { kQueued, kRunning, kDone, kCancelled, kFailed };
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kDone,
+  kCancelled,
+  kFailed,
+  kDeadlineExceeded,
+};
 
 const char* to_string(JobStatus s);
+
+/// Error taxonomy: what went wrong with a job, machine-readably.  Retry
+/// policy and the daemon's admission decisions key off `kind`, never off
+/// message text.
+enum class JobErrorKind {
+  kNone,               ///< no error (status kDone)
+  kInvalidConfig,      ///< bad optimizer/options/netlist/checkpoint — not
+                       ///< retryable, the job can never succeed as specified
+  kOptimizerFailure,   ///< an exception escaped a search quantum (retryable)
+  kDeadlineExceeded,   ///< the watchdog deadline expired (not retryable:
+                       ///< a retry would get the same budget)
+  kCancelled,          ///< cancelled before any result existed
+  kResourceExhausted,  ///< allocation failure (retryable)
+  kInternal,           ///< invariant violation (e.g. non-finite cost)
+};
+
+const char* to_string(JobErrorKind k);
+
+/// True for the kinds a retry can plausibly fix (transient failures).
+bool is_retryable(JobErrorKind k);
+
+/// Structured error carried by JobReport and the JSON report schema.
+struct JobError {
+  JobErrorKind kind = JobErrorKind::kNone;
+  std::string message;
+  std::size_t job_id = 0;
+  /// Search quantum the failure is attributed to; -1 = outside any quantum
+  /// (setup, pre-search deadline, result validation).
+  long quantum = -1;
+
+  bool ok() const { return kind == JobErrorKind::kNone; }
+};
 
 /// One unit of batch work: a netlist plus a full pipeline configuration.
 struct JobSpec {
@@ -47,14 +86,15 @@ struct JobSpec {
 };
 
 /// Terminal record of a job.  `result` is meaningful only when status is
-/// kDone; `error` only when kFailed.
+/// kDone; `error.kind` is kNone exactly when the job succeeded.
 struct JobReport {
   std::size_t id = 0;
   std::string name;
   JobStatus status = JobStatus::kQueued;
   std::uint64_t seed = 0;  ///< derived per-job rng seed (reproducibility)
   double runtime_s = 0.0;
-  std::string error;
+  int attempts = 1;  ///< 1 + retries actually performed
+  JobError error;
   /// Resolved search configuration (registry key, full option map with
   /// defaults filled in, restarts/budget) — config provenance for the JSON
   /// reports.
@@ -70,6 +110,7 @@ struct JobProgress {
   std::string name;
   JobStatus status = JobStatus::kQueued;
   double runtime_s = 0.0;
+  int attempt = 0;  ///< 0-based; > 0 on retries
 };
 
 using ProgressFn = std::function<void(const JobProgress&)>;
@@ -106,13 +147,38 @@ class JobService {
   /// domain distinct from the restart/replica streams.
   static std::uint64_t job_seed(std::uint64_t base_seed, std::size_t job_id);
 
-  /// Runs one job to a terminal report (no service needed).  Cancellation
-  /// is polled at quantum granularity; a cancel that lands before any
-  /// result exists yields kCancelled, later ones return the best-so-far as
-  /// kDone.  Exceptions become kFailed with the message in `error`.
+  /// Runs one job to a terminal report (no service needed), applying the
+  /// full fault-tolerance policy:
+  ///
+  ///   * watchdog — search.budget.deadline_s arms the job's CancelToken;
+  ///     an overrun ends as kDeadlineExceeded (partial results discarded),
+  ///   * firewall — any exception ends as a terminal classified JobError,
+  ///     never escapes (so one bad job cannot poison a pool fan-out),
+  ///   * retry — retryable kinds re-run up to search.retry.max_retries
+  ///     times; attempt k > 0 uses retry_seed(seed, k) and sleeps
+  ///     retry_backoff_s(seed, k) first, both pure functions of the seed,
+  ///   * cancellation — polled inside optimizer loops (one-iteration
+  ///     latency); a cancel before any result exists yields kCancelled,
+  ///     later ones return the best-so-far as kDone.
   static JobReport run_job(const JobSpec& spec, std::size_t id,
                            std::uint64_t seed, const CancelToken* cancel,
                            const ProgressFn& progress);
+
+  /// RNG seed for retry attempt k (k = 0 returns `seed` unchanged); a
+  /// SplitMix64 stream in its own domain, so retries explore fresh search
+  /// trajectories deterministically.
+  static std::uint64_t retry_seed(std::uint64_t seed, int attempt);
+
+  /// Deterministic capped-exponential backoff before retry attempt k >= 1:
+  /// min(cap, base * 2^(k-1)) scaled by a jitter in [0.5, 1) drawn from the
+  /// job's SplitMix64 stream.  Pure function of (seed, k, policy).
+  static double retry_backoff_s(std::uint64_t seed, int attempt,
+                                const RetryPolicy& policy);
+
+  /// Validates a finished pipeline result (finite cost/metrics); a
+  /// violation is reported as a kInternal JobError instead of emitting
+  /// NaN/Inf into reports.
+  static JobError validate_result(const PipelineResult& result);
 
   /// Convenience: run a whole batch on the pool and return the reports in
   /// job order.  Equivalent to submitting every job to a fresh service and

@@ -1,6 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <cstring>
+#include <fstream>
+
+#include "core/fault.hpp"
 #include "metaheur/parallel_search.hpp"
+#include "numeric/serialize.hpp"
 
 namespace afp::core {
 
@@ -8,6 +13,118 @@ namespace {
 using Clock = std::chrono::steady_clock;
 double since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+double bits_double(std::uint64_t u) {
+  double v;
+  std::memcpy(&v, &u, sizeof v);
+  return v;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Quantum-mode search state; exactly what checkpoint-resume round-trips.
+struct QuantumState {
+  std::uint64_t base_seed = 0;
+  long quanta = 0;       ///< completed quanta
+  long evaluations = 0;  ///< total packed-and-scored candidates so far
+  bool has_best = false;
+  double best_cost = 0.0;
+  metaheur::BaselineResult best;
+};
+
+constexpr std::uint64_t kCheckpointVersion = 1;
+
+/// Guards resume against a checkpoint written by a different search: the
+/// hash covers the optimizer, its options, the instance size and the
+/// per-quantum iteration budget (everything the quantum stream depends on
+/// besides the base seed, which the checkpoint itself carries).
+std::uint64_t checkpoint_identity(const std::string& optimizer,
+                                  const metaheur::Options& options,
+                                  int num_blocks, int iterations) {
+  std::string key = optimizer;
+  for (const auto& [k, v] : options) key += ";" + k + "=" + v;
+  key += "#" + std::to_string(num_blocks) + "#" + std::to_string(iterations);
+  return fnv1a(key);
+}
+
+void write_quantum_checkpoint(const std::string& path, std::uint64_t identity,
+                              const QuantumState& st) {
+  num::WordMap words;
+  words["meta"] = {kCheckpointVersion,
+                   identity,
+                   st.base_seed,
+                   static_cast<std::uint64_t>(st.quanta),
+                   static_cast<std::uint64_t>(st.evaluations),
+                   st.has_best ? 1ull : 0ull};
+  std::vector<std::uint64_t> best;
+  best.reserve(1 + 4 * st.best.rects.size());
+  best.push_back(double_bits(st.best_cost));
+  for (const auto& r : st.best.rects) {
+    best.push_back(double_bits(r.x));
+    best.push_back(double_bits(r.y));
+    best.push_back(double_bits(r.w));
+    best.push_back(double_bits(r.h));
+  }
+  words["best"] = std::move(best);
+  num::save_words(path, words);
+}
+
+/// Returns false when no checkpoint exists (fresh run).  Throws
+/// std::invalid_argument on an identity/version mismatch (resuming the
+/// wrong search is a config error, not a reason to silently restart).
+bool load_quantum_checkpoint(const std::string& path, std::uint64_t identity,
+                             QuantumState* st) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) return false;
+  }
+  const num::WordMap words = num::load_words(path);
+  const auto meta_it = words.find("meta");
+  const auto best_it = words.find("best");
+  if (meta_it == words.end() || best_it == words.end() ||
+      meta_it->second.size() != 6 || best_it->second.empty() ||
+      (best_it->second.size() - 1) % 4 != 0) {
+    throw std::runtime_error("checkpoint: malformed quantum state in " + path);
+  }
+  const auto& meta = meta_it->second;
+  if (meta[0] != kCheckpointVersion) {
+    throw std::invalid_argument("checkpoint: unsupported version in " + path);
+  }
+  if (meta[1] != identity) {
+    throw std::invalid_argument(
+        "checkpoint: " + path +
+        " was written by a different search configuration; refusing to "
+        "resume");
+  }
+  st->base_seed = meta[2];
+  st->quanta = static_cast<long>(meta[3]);
+  st->evaluations = static_cast<long>(meta[4]);
+  st->has_best = meta[5] != 0;
+  const auto& best = best_it->second;
+  st->best_cost = bits_double(best[0]);
+  st->best.rects.clear();
+  st->best.rects.reserve((best.size() - 1) / 4);
+  for (std::size_t i = 1; i + 3 < best.size(); i += 4) {
+    st->best.rects.push_back({bits_double(best[i]), bits_double(best[i + 1]),
+                              bits_double(best[i + 2]),
+                              bits_double(best[i + 3])});
+  }
+  st->best.evaluations = st->evaluations;
+  return true;
 }
 }  // namespace
 
@@ -131,64 +248,121 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
                                       std::mt19937_64& rng,
                                       const CancelToken* cancel) const {
   if (cancel && cancel->cancelled()) throw CancelledError();
+  if (cancel && cancel->expired()) throw DeadlineExceededError(-1);
   Prepared prep = prepare(nl, rng);
   const auto t0 = Clock::now();
   const metaheur::SearchBudget& budget = cfg_.search.budget;
   metaheur::BaselineResult base;
   long quanta = 1;
-  if (budget.wall_clock_s > 0.0) {
-    // Wall-clock-budgeted mode: quanta of the configured iteration budget
-    // race the deadline.  Quantum q always draws from restart_rng(base, q),
-    // so the outcome is a pure function of (base_seed, #quanta completed) —
-    // reproducible for a fixed budget and thread-count invariant.  At least
-    // one quantum always completes.
-    const std::uint64_t base_seed =
-        cfg_.search.base_seed ? cfg_.search.base_seed : rng();
+
+  // Exception firewall around one optimizer invocation: the stop-signal
+  // exceptions and bad_alloc keep their identity (they classify as
+  // cancelled / deadline_exceeded / resource_exhausted), everything else
+  // is wrapped so the failing quantum is attributed.  The fault injector
+  // fires at the same boundary, which makes an injected fault
+  // indistinguishable from a real optimizer bug downstream.
+  auto run_guarded = [&](const metaheur::SearchBudget& b, std::mt19937_64& r,
+                         long q) -> metaheur::BaselineResult {
+    try {
+      FaultInjector::global().maybe_inject(q, cancel);
+      return opt.run(prep.instance, b, r);
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const DeadlineExceededError&) {
+      throw;
+    } catch (const std::bad_alloc&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw OptimizerError(q, std::string(opt.name()) + ": " + e.what());
+    }
+  };
+
+  const bool quantum_mode = budget.wall_clock_s > 0.0 || budget.quanta > 0;
+  if (quantum_mode) {
+    // Quantum mode: fixed-size iteration quanta race the wall clock and/or
+    // count against budget.quanta.  Quantum q always draws from
+    // restart_rng(base, q), so the outcome is a pure function of
+    // (base_seed, #quanta completed) — reproducible for a fixed budget,
+    // thread-count invariant, and resumable from a checkpoint.  At least
+    // one quantum always completes (unless resumed past the cap).
+    QuantumState st;
+    st.base_seed = cfg_.search.base_seed ? cfg_.search.base_seed : rng();
+    const std::string& ckpt = cfg_.search.checkpoint_path;
+    std::uint64_t identity = 0;
+    if (!ckpt.empty()) {
+      identity = checkpoint_identity(opt.name(), cfg_.options,
+                                     prep.instance.num_blocks(),
+                                     budget.iterations);
+      if (cfg_.search.resume) load_quantum_checkpoint(ckpt, identity, &st);
+    }
     const auto deadline =
         t0 + std::chrono::duration_cast<Clock::duration>(
                  std::chrono::duration<double>(budget.wall_clock_s));
-    const metaheur::SearchBudget quantum{budget.iterations, 0.0};
-    double best_cost = 0.0;
-    long evaluations = 0;
-    quanta = 0;
-    while (true) {
+    metaheur::SearchBudget quantum;
+    quantum.iterations = budget.iterations;
+    quantum.stop = cancel;
+    while (budget.quanta <= 0 || st.quanta < budget.quanta) {
+      if (cancel && cancel->expired()) throw DeadlineExceededError(st.quanta);
       std::mt19937_64 qrng =
-          metaheur::restart_rng(base_seed, static_cast<int>(quanta));
-      metaheur::BaselineResult r = opt.run(prep.instance, quantum, qrng);
-      evaluations += r.evaluations;
+          metaheur::restart_rng(st.base_seed, static_cast<int>(st.quanta));
+      metaheur::BaselineResult r = run_guarded(quantum, qrng, st.quanta);
+      st.evaluations += r.evaluations;
       const double cost = metaheur::sp_cost(prep.instance, r.rects);
-      if (quanta == 0 || cost < best_cost) {
-        best_cost = cost;
-        base = std::move(r);
+      if (!st.has_best || cost < st.best_cost) {
+        st.has_best = true;
+        st.best_cost = cost;
+        st.best = std::move(r);
       }
-      ++quanta;
-      if (Clock::now() >= deadline) break;
+      ++st.quanta;
+      if (!ckpt.empty()) write_quantum_checkpoint(ckpt, identity, st);
+      if (budget.wall_clock_s > 0.0 && Clock::now() >= deadline) break;
       if (cancel && cancel->cancelled()) break;
     }
-    base.evaluations = evaluations;
+    base = std::move(st.best);
+    base.evaluations = st.evaluations;
+    quanta = st.quanta;
   } else if (cfg_.search.restarts > 1) {
     // Fan the whole search out on the pool; each restart gets its own
     // SplitMix64 stream, so the result is thread-count invariant and a pure
-    // function of (base_seed, restarts).
+    // function of (base_seed, restarts).  The stop token rides inside the
+    // budget: a cancelled/expired restart truncates after its next
+    // iteration and returns its best-so-far, so the fan-out drains at
+    // iteration latency while every slot still holds a valid result for
+    // the deterministic selection.
     metaheur::MultiStartOptions mopt;
     mopt.restarts = cfg_.search.restarts;
     mopt.base_seed = cfg_.search.base_seed ? cfg_.search.base_seed : rng();
-    base = metaheur::run_multistart(
-        prep.instance,
-        [&](int, std::mt19937_64& r) {
-          if (cancel && cancel->cancelled()) {
-            // Restart-granularity cancellation: restarts that begin after
-            // the cancel collapse to a minimal run (their initial
-            // candidate) so the fan-out drains quickly while every slot
-            // still holds a valid result for the deterministic selection.
-            return opt.run(prep.instance, metaheur::SearchBudget{1, 0.0}, r);
-          }
-          return opt.run(prep.instance, budget, r);
-        },
-        mopt);
+    metaheur::SearchBudget eff = budget;
+    eff.stop = cancel;
+    // The injection point and the firewall sit around the whole fan-out:
+    // restarts run on pool threads where the ambient FaultScope is not
+    // visible, and an exception escaping any restart aborts the fan-out.
+    try {
+      FaultInjector::global().maybe_inject(0, cancel);
+      base = metaheur::run_multistart(
+          prep.instance,
+          [&](int, std::mt19937_64& r) {
+            return opt.run(prep.instance, eff, r);
+          },
+          mopt);
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const DeadlineExceededError&) {
+      throw;
+    } catch (const std::bad_alloc&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw OptimizerError(0, std::string(opt.name()) + ": " + e.what());
+    }
   } else {
-    base = opt.run(prep.instance, budget, rng);
+    metaheur::SearchBudget eff = budget;
+    eff.stop = cancel;
+    base = run_guarded(eff, rng, 0);
   }
+  // An expired watchdog is a hard failure in every mode: the truncated
+  // search result is not the deterministic function of the seed the report
+  // contract promises, so it is discarded rather than returned.
+  if (cancel && cancel->expired()) throw DeadlineExceededError(quanta - 1);
   const long evaluations = base.evaluations;
   auto res =
       back_half(std::move(prep), std::move(base.rects), since(t0), 1e-6);

@@ -29,22 +29,35 @@ std::string to_string(Method m);
 std::string optimizer_name(Method m);
 
 /// Cooperative cancellation flag shared between a controller and a running
-/// job.  Copies observe the same flag; cancel() is sticky.  Searches are
-/// interrupted at iteration-quantum granularity, never mid-quantum, so a
-/// cancelled run that already completed a quantum still returns its best.
-class CancelToken {
- public:
-  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
-  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
-
- private:
-  std::shared_ptr<std::atomic<bool>> flag_;
-};
+/// job.  Copies observe the same flag; cancel() is sticky.  The token now
+/// lives in metaheur (metaheur/stop.hpp) so optimizer inner loops can poll
+/// it directly: cancellation latency is bounded by one iteration, and an
+/// armed deadline (set_deadline_after) turns the same token into the
+/// watchdog.
+using CancelToken = metaheur::CancelToken;
 
 /// Thrown when a run is cancelled before it produced any result.
 struct CancelledError : std::runtime_error {
   CancelledError() : std::runtime_error("run cancelled") {}
+};
+
+/// Thrown when the job's watchdog deadline expires; `quantum` is the search
+/// quantum that was running (or about to run; -1 = before the search).
+/// A deadline overrun is a hard failure: partial results are discarded.
+struct DeadlineExceededError : std::runtime_error {
+  explicit DeadlineExceededError(long quantum_index)
+      : std::runtime_error("job deadline exceeded at quantum " +
+                           std::to_string(quantum_index)),
+        quantum(quantum_index) {}
+  long quantum;
+};
+
+/// Exception firewall record: any non-signalling exception escaping an
+/// optimizer invocation is wrapped so the failing quantum is attributed.
+struct OptimizerError : std::runtime_error {
+  OptimizerError(long quantum_index, const std::string& what)
+      : std::runtime_error(what), quantum(quantum_index) {}
+  long quantum;
 };
 
 struct StageTimings {
@@ -76,17 +89,39 @@ struct PipelineResult {
   long quanta = 1;
 };
 
+/// Bounded retry for retryable failures (optimizer_failure,
+/// resource_exhausted).  Backoff before retry k is capped-exponential with
+/// a jitter factor drawn from the job's SplitMix64 stream, so the schedule
+/// — like the report — is a pure function of the job seed.
+struct RetryPolicy {
+  int max_retries = 0;         ///< extra attempts after the first failure
+  double backoff_s = 0.01;     ///< base backoff before the first retry
+  double backoff_cap_s = 1.0;  ///< upper bound on any single backoff
+};
+
 /// Multi-start / budget configuration shared by every registry optimizer.
 struct SearchConfig {
   int restarts = 1;             ///< > 1: best-of-restarts on the pool
   std::uint64_t base_seed = 0;  ///< 0: drawn from the pipeline rng
   /// Budget overrides.  budget.iterations > 0 overrides the optimizer's
-  /// primary knob; budget.wall_clock_s > 0 switches to the wall-clock-
-  /// budgeted mode: quanta of the configured iteration budget race the
-  /// clock (seeded restart_rng(base_seed, q)), the best quantum wins, and
-  /// the result is a pure function of (base_seed, #quanta completed).
-  /// Takes precedence over `restarts`.
+  /// primary knob; budget.wall_clock_s > 0 or budget.quanta > 0 switches to
+  /// the quantum mode: quanta of the configured iteration budget race the
+  /// clock and/or count against the cap (seeded restart_rng(base_seed, q)),
+  /// the best quantum wins, and the result is a pure function of
+  /// (base_seed, #quanta completed).  budget.deadline_s arms the watchdog.
+  /// Quantum mode takes precedence over `restarts`.
   metaheur::SearchBudget budget{};
+  RetryPolicy retry{};
+  /// Quantum-mode checkpoint file ("" = off): per-quantum search state
+  /// (incumbent best, quantum index, evaluation count, base seed) written
+  /// atomically after every completed quantum through numeric/serialize's
+  /// exact word format.
+  std::string checkpoint_path;
+  /// Load checkpoint_path before searching and continue from the recorded
+  /// quantum; a resumed run is bitwise identical to an uninterrupted one.
+  /// A missing checkpoint file degrades to a fresh run (crash-before-
+  /// first-quantum semantics).
+  bool resume = false;
 };
 
 struct PipelineConfig {
@@ -124,11 +159,12 @@ class FloorplanPipeline {
 
   /// Full pipeline with the configured registry optimizer
   /// (cfg.optimizer/cfg.options).  Honors cfg.search: multi-start fan-out,
-  /// budget overrides and the wall-clock-budgeted quantum race.  `cancel`
-  /// (optional) is polled before the search, between wall-clock quanta and
-  /// at restart boundaries (a plain single run, once started, completes);
-  /// a cancellation that fires before any result exists throws
-  /// CancelledError.
+  /// budget overrides, the quantum race, checkpoint-resume and the
+  /// watchdog.  `cancel` (optional) is threaded into the optimizer inner
+  /// loops (latency: one iteration); a cancellation that fires before any
+  /// result exists throws CancelledError, an expired deadline throws
+  /// DeadlineExceededError, and any exception escaping an optimizer
+  /// invocation is rethrown as OptimizerError with the failing quantum.
   PipelineResult run(const netlist::Netlist& nl, std::mt19937_64& rng,
                      const CancelToken* cancel = nullptr) const;
 

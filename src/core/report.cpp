@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -8,16 +9,21 @@ namespace afp::core {
 namespace {
 
 std::string num(double v) {
+  // JSON has no inf/nan literals; a non-finite metric (degenerate
+  // instance) becomes null — never a bare `nan` token that breaks parsers,
+  // and never a silently-wrong 0.  JobService::validate_result additionally
+  // flags such results as a kInternal JobError.
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
-  // JSON has no inf/nan literals; clamp to null-safe 0 (never expected on
-  // the pipeline metrics, but a report must always parse).
-  std::string s(buf);
-  if (s.find("inf") != std::string::npos ||
-      s.find("nan") != std::string::npos) {
-    return "0";
-  }
-  return s;
+  return buf;
+}
+
+std::string job_error_json(const JobError& err) {
+  std::ostringstream os;
+  os << "{\"kind\": \"" << to_string(err.kind) << "\", \"message\": \""
+     << json_escape(err.message) << "\", \"quantum\": " << err.quantum << "}";
+  return os.str();
 }
 
 std::string options_json(const metaheur::Options& options) {
@@ -72,7 +78,10 @@ std::string report_json(const PipelineResult& res, const std::string& circuit,
   os << "  \"search\": {\"restarts\": " << search.restarts
      << ", \"base_seed\": " << search.base_seed
      << ", \"iterations\": " << search.budget.iterations
-     << ", \"wall_clock_s\": " << num(search.budget.wall_clock_s) << "},\n";
+     << ", \"wall_clock_s\": " << num(search.budget.wall_clock_s)
+     << ", \"deadline_s\": " << num(search.budget.deadline_s)
+     << ", \"quanta\": " << search.budget.quanta
+     << ", \"max_retries\": " << search.retry.max_retries << "},\n";
   os << "  \"evaluations\": " << res.evaluations << ",\n";
   os << "  \"quanta\": " << res.quanta << ",\n";
   os << "  \"cost\": " << num(metaheur::sp_cost(res.instance, res.rects))
@@ -118,8 +127,10 @@ std::string batch_report_json(const std::vector<JobReport>& reports,
     const auto& job = reports[i];
     os << "    {\"name\": \"" << json_escape(job.name) << "\", \"status\": \""
        << to_string(job.status) << "\", \"seed\": " << job.seed
-       << ", \"runtime_s\": " << num(job.runtime_s) << ", \"error\": \""
-       << json_escape(job.error) << "\", \"report\": ";
+       << ", \"runtime_s\": " << num(job.runtime_s)
+       << ", \"attempts\": " << job.attempts << ", \"error\": "
+       << (job.error.ok() ? "null" : job_error_json(job.error))
+       << ", \"report\": ";
     if (job.status == JobStatus::kDone) {
       // Nested single-run report; re-indentation is cosmetic only, so the
       // inner newlines are kept as-is.

@@ -76,7 +76,9 @@ BaselineResult run_sa(const floorplan::Instance& inst, const SAParams& p,
       std::pow(p.t_end / p.t_start, 1.0 / std::max(1, p.iterations - 1));
   double temp = p.t_start;
   std::uniform_real_distribution<double> unif(0.0, 1.0);
+  StopPoll stopped(p.stop);
   for (int it = 0; it < p.iterations; ++it, temp *= decay) {
+    if (stopped()) break;  // best-so-far; caller classifies why
     SequencePair cand = cur;
     apply_move(cand, random_move(rng), rng);
     const double cost = sp_cost(inst, pack(inst, cand, spacing));
@@ -138,7 +140,9 @@ BaselineResult run_ga(const floorplan::Instance& inst, const GAParams& p,
   };
 
   std::uniform_real_distribution<double> unif(0.0, 1.0);
+  StopPoll stopped(p.stop);
   for (int gen = 0; gen < p.generations; ++gen) {
+    if (stopped()) break;
     // Selection, crossover and mutation draw from the single RNG stream;
     // the offspring are then scored in parallel (see eval_population).
     std::vector<SequencePair> children;
@@ -258,7 +262,9 @@ BaselineResult run_pso(const floorplan::Instance& inst, const PSOParams& p,
   }
   update_bests(eval_swarm());
 
+  StopPoll stopped(p.stop);
   for (int it = 0; it < p.iterations; ++it) {
+    if (stopped()) break;
     for (int i = 0; i < p.particles; ++i) {
       auto& x = pos[static_cast<std::size_t>(i)];
       auto& v = vel[static_cast<std::size_t>(i)];
@@ -308,7 +314,9 @@ BaselineResult run_rlsa(const floorplan::Instance& inst, const RLSAParams& p,
     return pi;
   };
 
+  StopPoll stopped(p.stop);
   for (int it = 0; it < p.iterations; ++it, temp *= decay) {
+    if (stopped()) break;
     const auto pi = policy();
     double u = unif(rng), cum = 0.0;
     int m = kNumMoves - 1;
@@ -369,7 +377,9 @@ BaselineResult run_rlsp(const floorplan::Instance& inst, const RLSPParams& p,
   };
 
   double reward_baseline = 0.0;
+  StopPoll stopped(p.stop);
   for (int ep = 0; ep < p.episodes; ++ep) {
+    if (stopped()) break;
     SequencePair cur = SequencePair::random(inst.num_blocks(), rng);
     double cur_cost = sp_cost(inst, pack(inst, cur, spacing));
     ++evals;

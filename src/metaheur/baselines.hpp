@@ -10,6 +10,7 @@
 #include <string>
 
 #include "metaheur/sequence_pair.hpp"
+#include "metaheur/stop.hpp"
 
 namespace afp::metaheur {
 
@@ -27,6 +28,7 @@ struct SAParams {
   double t_start = 2.0;
   double t_end = 1e-3;
   double spacing_um = -1.0;  ///< congestion margin; < 0 = auto (one grid cell)
+  const CancelToken* stop = nullptr;  ///< polled per move; null = never
 };
 
 struct GAParams {
@@ -36,6 +38,7 @@ struct GAParams {
   double mutation_rate = 0.3;
   int tournament = 3;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
+  const CancelToken* stop = nullptr;  ///< polled per generation
 };
 
 struct PSOParams {
@@ -45,6 +48,7 @@ struct PSOParams {
   double c1 = 1.5;  ///< cognitive coefficient
   double c2 = 1.5;  ///< social coefficient
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
+  const CancelToken* stop = nullptr;  ///< polled per sweep
 };
 
 struct RLSAParams {
@@ -53,6 +57,7 @@ struct RLSAParams {
   double t_end = 1e-3;
   double learning_rate = 0.1;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
+  const CancelToken* stop = nullptr;  ///< polled per move
 };
 
 struct RLSPParams {
@@ -60,6 +65,7 @@ struct RLSPParams {
   int steps_per_episode = 60;
   double learning_rate = 0.05;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
+  const CancelToken* stop = nullptr;  ///< polled per episode
 };
 
 /// Resolves a congestion-aware spacing parameter: negative means "auto",

@@ -234,7 +234,9 @@ BaselineResult run_sa_bstar(const floorplan::Instance& inst,
   double temp = p.t_start;
   std::uniform_real_distribution<double> unif(0.0, 1.0);
   std::uniform_int_distribution<int> mv(0, kNumBStarMoves - 1);
+  StopPoll stopped(p.stop);
   for (int it = 0; it < p.iterations; ++it, temp *= decay) {
+    if (stopped()) break;
     BStarTree cand = cur;
     apply_bstar_move(cand, static_cast<BStarMove>(mv(rng)), rng);
     const double cost = sp_cost(inst, pack_bstar(inst, cand, spacing));

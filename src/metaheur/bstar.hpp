@@ -57,6 +57,7 @@ struct BStarSAParams {
   double t_start = 2.0;
   double t_end = 1e-3;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
+  const CancelToken* stop = nullptr;  ///< polled per move; null = never
 };
 BaselineResult run_sa_bstar(const floorplan::Instance& inst,
                             const BStarSAParams& p, std::mt19937_64& rng);

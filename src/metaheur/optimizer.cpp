@@ -191,6 +191,7 @@ class SaOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     SAParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
+    p.stop = budget.stop;
     return run_sa(inst, p, rng);
   }
 
@@ -215,6 +216,7 @@ class GaOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     GAParams p = p_;
     if (budget.iterations > 0) p.generations = budget.iterations;
+    p.stop = budget.stop;
     return run_ga(inst, p, rng);
   }
 
@@ -241,6 +243,7 @@ class PsoOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     PSOParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
+    p.stop = budget.stop;
     return run_pso(inst, p, rng);
   }
 
@@ -267,6 +270,7 @@ class RlsaOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     RLSAParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
+    p.stop = budget.stop;
     return run_rlsa(inst, p, rng);
   }
 
@@ -293,6 +297,7 @@ class RlspOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     RLSPParams p = p_;
     if (budget.iterations > 0) p.episodes = budget.iterations;
+    p.stop = budget.stop;
     return run_rlsp(inst, p, rng);
   }
 
@@ -317,6 +322,7 @@ class SaBstarOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     BStarSAParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
+    p.stop = budget.stop;
     return run_sa_bstar(inst, p, rng);
   }
 
@@ -349,6 +355,7 @@ class PtOptimizer : public Optimizer {
                    std::mt19937_64& rng) const override {
     PTParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
+    p.stop = budget.stop;
     return run_pt(inst, p, rng);
   }
 

@@ -26,6 +26,7 @@
 
 #include "metaheur/baselines.hpp"
 #include "metaheur/bstar.hpp"
+#include "metaheur/stop.hpp"
 #include "metaheur/tempering.hpp"
 
 namespace afp::metaheur {
@@ -46,6 +47,21 @@ using SearchResult = BaselineResult;
 struct SearchBudget {
   int iterations = 0;
   double wall_clock_s = 0.0;
+  /// Hard per-job watchdog deadline in seconds (0 = none).  Not consumed
+  /// here either: core::JobService arms the job's CancelToken with it and
+  /// core::FloorplanPipeline converts an overrun into deadline_exceeded at
+  /// quantum granularity.
+  double deadline_s = 0.0;
+  /// Quantum-mode cap: with quanta > 0 the pipeline runs exactly this many
+  /// quanta (racing the clock too when wall_clock_s > 0).  quanta > 0 with
+  /// wall_clock_s == 0 is the fully deterministic quantum mode used by
+  /// checkpoint-resume and the fault soak.
+  int quanta = 0;
+  /// Cooperative stop flag polled by the optimizer inner loops (per
+  /// iteration/generation/sweep/episode/replica-move); a stopped run breaks
+  /// early and returns its best-so-far.  Null = never stops (the legacy
+  /// paths, bitwise unchanged).
+  const CancelToken* stop = nullptr;
 };
 
 /// Strict full-string numeric parsing (errno + end-pointer checks; doubles

@@ -1,0 +1,95 @@
+// Cooperative stop signalling for searches: a shared sticky cancel flag
+// plus an optional monotonic-clock deadline, polled from optimizer inner
+// loops so cancellation/watchdog latency is bounded by one iteration, not
+// one restart.
+//
+// A CancelToken is a cheap value: copies observe the same flag.  The
+// optimizers only ever *read* it (stop_requested()) and break out of their
+// loop returning the best-so-far; classifying *why* a run stopped
+// (cancelled vs deadline_exceeded) is the caller's job (core::pipeline /
+// core::JobService), which keeps the metaheuristics layer free of error
+// policy.  All accesses are relaxed atomics — no ordering is needed for a
+// monotonic boolean plus an immutable-after-arm deadline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace afp::metaheur {
+
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  void cancel() const { state_->cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the watchdog: the token expires `seconds` from now on the
+  /// monotonic clock.  Non-positive values disarm.
+  void set_deadline_after(double seconds) const {
+    if (seconds <= 0.0) {
+      state_->deadline_ns.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+        static_cast<std::int64_t>(seconds * 1e9);
+    state_->deadline_ns.store(ns, std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return state_->deadline_ns.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True once the armed deadline has passed (false when disarmed).
+  bool expired() const {
+    const std::int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (d == 0) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+           d;
+  }
+
+  /// Cancelled OR expired — the single predicate the search loops poll.
+  bool stop_requested() const { return cancelled() || expired(); }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    /// Monotonic-clock deadline in ns since the steady epoch; 0 = disarmed.
+    std::atomic<std::int64_t> deadline_ns{0};
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Throttled polling helper for hot loops: the cancel flag is one relaxed
+/// load per call, but the deadline needs a clock read, so it is only
+/// consulted every kClockStride calls.  With a null token every call is a
+/// constant `false` — legacy callers pay nothing.
+class StopPoll {
+ public:
+  explicit StopPoll(const CancelToken* token)
+      : token_(token), timed_(token != nullptr && token->has_deadline()) {}
+
+  bool operator()() {
+    if (token_ == nullptr) return false;
+    if (token_->cancelled()) return true;
+    if (!timed_) return false;
+    // Clock reads on the first call, then every kClockStride-th.
+    if (calls_++ % kClockStride != 0) return false;
+    return token_->expired();
+  }
+
+ private:
+  static constexpr std::uint32_t kClockStride = 32;
+  const CancelToken* token_;
+  bool timed_;
+  std::uint32_t calls_ = 0;
+};
+
+}  // namespace afp::metaheur

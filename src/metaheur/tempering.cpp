@@ -151,9 +151,13 @@ BaselineResult run_pt_impl(const floorplan::Instance& inst, const PTParams& p,
   int swap_interval = p.swap_interval;
   const int max_interval = p.swap_interval * 4;
   std::vector<long> done(kz(K), 0);
+  // Moves actually performed per chain (== done[k] unless a stop token cut
+  // a round short) so reported evaluations stay exact under cancellation.
+  std::vector<long> moves(kz(K), 0);
   int round = 0;
   long window_attempts = 0, window_accepts = 0;
   while (done[0] < budget[0]) {
+    if (p.stop != nullptr && p.stop->stop_requested()) break;
     const long cold_next =
         std::min<long>(budget[0], done[0] + swap_interval);
     std::vector<long> next(kz(K));
@@ -168,7 +172,10 @@ BaselineResult run_pt_impl(const floorplan::Instance& inst, const PTParams& p,
         const std::size_t ks = static_cast<std::size_t>(k);
         auto& rng = rngs[ks];
         std::uniform_real_distribution<double> u01(0.0, 1.0);
+        StopPoll stopped(p.stop);
         for (long it = done[ks]; it < next[ks]; ++it) {
+          if (stopped()) break;
+          ++moves[ks];
           State cand = state[ks];
           Chain::mutate(cand, rng);
           const double c = sp_cost(inst, Chain::pack_state(inst, cand, spacing));
@@ -221,7 +228,10 @@ BaselineResult run_pt_impl(const floorplan::Instance& inst, const PTParams& p,
   r.method = method;
   r.rects = Chain::pack_state(inst, best_state[kz(win)], spacing);
   r.eval = floorplan::evaluate_floorplan(inst, r.rects);
-  r.evaluations = static_cast<long>(K) * (1 + p.iterations);
+  // K initial packings + one per performed move (== K * (1 + iterations)
+  // for an uninterrupted run; less when a stop token cut chains short).
+  r.evaluations = static_cast<long>(K);
+  for (int k = 0; k < K; ++k) r.evaluations += moves[kz(k)];
   r.runtime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -77,6 +77,9 @@ struct PTParams {
   bool adaptive_swap = false;
   Representation representation = Representation::kSequencePair;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell), as the baselines
+  /// Polled by every chain per move (and between exchange rounds); a
+  /// stopped ensemble returns the best state visited so far.
+  const CancelToken* stop = nullptr;
 };
 
 /// Rounds between adaptive swap-interval updates.

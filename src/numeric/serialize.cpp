@@ -1,12 +1,14 @@
 #include "numeric/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 namespace afp::num {
 
 namespace {
 constexpr char kMagic[4] = {'A', 'F', 'P', 'T'};
+constexpr char kWordMagic[4] = {'A', 'F', 'P', 'W'};
 constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
@@ -67,6 +69,58 @@ std::map<std::string, Tensor> load_tensors(const std::string& path) {
             static_cast<std::streamsize>(data.size() * sizeof(float)));
     if (!is) throw std::runtime_error("checkpoint: truncated tensor " + name);
     out.emplace(name, Tensor::from_vector(shape, std::move(data)));
+  }
+  return out;
+}
+
+void save_words(const std::string& path, const WordMap& words) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    os.write(kWordMagic, 4);
+    write_pod(os, kVersion);
+    write_pod(os, static_cast<std::uint32_t>(words.size()));
+    for (const auto& [name, w] : words) {
+      write_pod(os, static_cast<std::uint32_t>(name.size()));
+      os.write(name.data(), static_cast<std::streamsize>(name.size()));
+      write_pod(os, static_cast<std::uint64_t>(w.size()));
+      os.write(reinterpret_cast<const char*>(w.data()),
+               static_cast<std::streamsize>(w.size() * sizeof(std::uint64_t)));
+    }
+    if (!os) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+WordMap load_words(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kWordMagic, 4)) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  const auto count = read_pod<std::uint32_t>(is);
+  WordMap out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto n = read_pod<std::uint64_t>(is);
+    std::vector<std::uint64_t> w(static_cast<std::size_t>(n));
+    is.read(reinterpret_cast<char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(std::uint64_t)));
+    if (!is) throw std::runtime_error("checkpoint: truncated entry " + name);
+    out.emplace(std::move(name), std::move(w));
   }
   return out;
 }

@@ -4,10 +4,17 @@
 // u32 name length, name bytes, u32 rank, i32 dims..., float32 data.
 // Little-endian, as produced by the writing host (the project targets a
 // single host; no cross-endian support is attempted).
+//
+// A second, exact format ("AFPW") stores named u64-word vectors for state
+// that must round-trip bitwise (search checkpoints: doubles are bit_cast
+// through u64, counters stored directly).  The float32 tensor format is
+// lossy by design and unsuitable for resume-parity checkpoints.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "numeric/tensor.hpp"
 
@@ -25,5 +32,19 @@ std::map<std::string, Tensor> load_tensors(const std::string& path);
 /// `dst`; throws if a name is missing or shapes differ.
 void load_into(const std::map<std::string, Tensor>& src,
                std::map<std::string, Tensor>& dst);
+
+/// Named u64-word vectors, for bitwise-exact state.
+using WordMap = std::map<std::string, std::vector<std::uint64_t>>;
+
+/// Writes `words` to `path` atomically (temp file + rename), so a crash
+/// mid-write never leaves a truncated checkpoint behind.  Format: magic
+/// "AFPW", u32 version, u32 count, then per entry: u32 name length, name
+/// bytes, u64 word count, u64 data.  Throws std::runtime_error on I/O
+/// failure.
+void save_words(const std::string& path, const WordMap& words);
+
+/// Reads a checkpoint written by save_words.  Throws std::runtime_error on
+/// I/O or format errors.
+WordMap load_words(const std::string& path);
 
 }  // namespace afp::num

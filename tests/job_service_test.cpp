@@ -1,18 +1,34 @@
 // JobService tests: batch determinism across thread counts and repeats,
-// future/cancellation/progress semantics, per-job seed derivation, and the
-// wall-clock-budgeted quantum mode's replay property.
+// future/cancellation/progress semantics, per-job seed derivation, the
+// wall-clock-budgeted quantum mode's replay property, and the fault
+// tolerance policy (error taxonomy, watchdog deadline, retry/backoff,
+// checkpoint-resume).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
 
+#include "core/fault.hpp"
 #include "core/job_service.hpp"
 #include "core/report.hpp"
+#include "metaheur/baselines.hpp"
 #include "metaheur/parallel_search.hpp"
 #include "netlist/library.hpp"
 #include "numeric/parallel.hpp"
 
 namespace afp::core {
 namespace {
+
+/// Resets the process-global fault injector even when a test fails early.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    FaultInjector::global().configure(spec);
+  }
+  ~FaultGuard() { FaultInjector::global().configure(""); }
+};
 
 PipelineConfig quick_config(int iterations = 250) {
   PipelineConfig cfg;
@@ -68,7 +84,7 @@ TEST(JobService, BatchIsThreadCountInvariantAndRepeatable) {
   num::set_num_threads(0);
   ASSERT_EQ(serial.size(), 3u);
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].status, JobStatus::kDone) << serial[i].error;
+    EXPECT_EQ(serial[i].status, JobStatus::kDone) << serial[i].error.message;
     expect_identical(serial[i], pooled[i], "1-vs-4 threads job " + serial[i].name);
     expect_identical(pooled[i], repeat[i], "repeat job " + serial[i].name);
   }
@@ -119,7 +135,10 @@ TEST(JobService, FailedJobCarriesTheError) {
   const auto report =
       JobService::run_job(spec, 0, JobService::job_seed(1, 0), nullptr, {});
   EXPECT_EQ(report.status, JobStatus::kFailed);
-  EXPECT_NE(report.error.find("no-such-optimizer"), std::string::npos);
+  EXPECT_EQ(report.error.kind, JobErrorKind::kInvalidConfig);
+  EXPECT_NE(report.error.message.find("no-such-optimizer"),
+            std::string::npos);
+  EXPECT_EQ(report.attempts, 1);  // invalid_config is not retryable
 }
 
 TEST(JobService, TimeBudgetedJobIsReplayableFromQuantumCount) {
@@ -133,7 +152,7 @@ TEST(JobService, TimeBudgetedJobIsReplayableFromQuantumCount) {
   spec.config.search.budget.wall_clock_s = 0.2;
   const auto report =
       JobService::run_job(spec, 0, JobService::job_seed(5, 0), nullptr, {});
-  ASSERT_EQ(report.status, JobStatus::kDone) << report.error;
+  ASSERT_EQ(report.status, JobStatus::kDone) << report.error.message;
   ASSERT_GE(report.result.quanta, 1);
 
   auto g = graphir::build_graph(spec.netlist,
@@ -155,6 +174,182 @@ TEST(JobService, TimeBudgetedJobIsReplayableFromQuantumCount) {
   EXPECT_DOUBLE_EQ(metaheur::sp_cost(report.result.instance,
                                      report.result.rects),
                    best);
+}
+
+TEST(RetrySchedule, SeedsAndBackoffAreDeterministic) {
+  EXPECT_EQ(JobService::retry_seed(7, 0), 7u);  // attempt 0 = historic seed
+  EXPECT_NE(JobService::retry_seed(7, 1), 7u);
+  EXPECT_NE(JobService::retry_seed(7, 1), JobService::retry_seed(7, 2));
+  EXPECT_EQ(JobService::retry_seed(7, 3), JobService::retry_seed(7, 3));
+  RetryPolicy policy;
+  policy.backoff_s = 0.01;
+  policy.backoff_cap_s = 0.05;
+  EXPECT_EQ(JobService::retry_backoff_s(7, 0, policy), 0.0);
+  for (int k = 1; k <= 8; ++k) {
+    const double b = JobService::retry_backoff_s(7, k, policy);
+    EXPECT_EQ(b, JobService::retry_backoff_s(7, k, policy)) << k;
+    EXPECT_GT(b, 0.0) << k;
+    EXPECT_LE(b, policy.backoff_cap_s) << k;  // capped-exponential
+  }
+}
+
+TEST(Cancellation, LatencyIsBoundedByOneIteration) {
+  // A cancel that lands mid-search must be honored at the next iteration,
+  // not the next restart: a pre-cancelled token stops SA after exactly the
+  // initial evaluation despite a 4000-move budget.
+  const auto nl = netlist::make_ota_small();
+  auto g = graphir::build_graph(nl, structrec::recognize(nl));
+  const auto inst = floorplan::make_instance(g);
+  metaheur::CancelToken token;
+  token.cancel();
+  metaheur::SAParams p;
+  p.iterations = 4000;
+  p.stop = &token;
+  std::mt19937_64 rng(1);
+  const auto r = metaheur::run_sa(inst, p, rng);
+  EXPECT_EQ(r.evaluations, 1);
+}
+
+TEST(Watchdog, DeadlineOverrunIsTerminalAndDiscardsPartials) {
+  JobSpec spec;
+  spec.name = "overrun";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(50000000);  // far beyond a 50 ms deadline
+  spec.config.search.budget.deadline_s = 0.05;
+  spec.config.search.retry.max_retries = 3;  // must NOT be consumed
+  const auto report =
+      JobService::run_job(spec, 0, JobService::job_seed(1, 0), nullptr, {});
+  EXPECT_EQ(report.status, JobStatus::kDeadlineExceeded);
+  EXPECT_EQ(report.error.kind, JobErrorKind::kDeadlineExceeded);
+  EXPECT_EQ(report.attempts, 1);  // deadline_exceeded is not retryable
+  EXPECT_TRUE(report.result.rects.empty());  // partial result discarded
+}
+
+TEST(Retry, RecoversFromInjectedFaultDeterministically) {
+  FaultGuard guard("throw@0:0");  // job 0, quantum 0, first attempt only
+  JobSpec spec;
+  spec.name = "flaky";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(150);
+  spec.config.search.retry.max_retries = 2;
+  spec.config.search.retry.backoff_s = 0.0;  // keep the test fast
+  const auto seed = JobService::job_seed(1, 0);
+  const auto first = JobService::run_job(spec, 0, seed, nullptr, {});
+  EXPECT_EQ(first.status, JobStatus::kDone) << first.error.message;
+  EXPECT_EQ(first.attempts, 2);  // attempt 0 faulted, attempt 1 recovered
+  const auto again = JobService::run_job(spec, 0, seed, nullptr, {});
+  EXPECT_EQ(again.attempts, first.attempts);
+  expect_identical(first, again, "retried job repeat");
+}
+
+TEST(Retry, ExhaustedRetriesClassifyAsOptimizerFailure) {
+  FaultGuard guard("throw@0:0");
+  JobSpec spec;
+  spec.name = "faulted";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(150);  // max_retries = 0: the fault is final
+  const auto report =
+      JobService::run_job(spec, 0, JobService::job_seed(1, 0), nullptr, {});
+  EXPECT_EQ(report.status, JobStatus::kFailed);
+  EXPECT_EQ(report.error.kind, JobErrorKind::kOptimizerFailure);
+  EXPECT_EQ(report.error.quantum, 0);
+  EXPECT_NE(report.error.message.find("injected fault"), std::string::npos);
+  EXPECT_EQ(report.attempts, 1);
+}
+
+TEST(Checkpoint, ResumeIsBitwiseIdenticalAcrossThreadCounts) {
+  auto make_spec = [](int quanta, const std::string& ckpt, bool resume) {
+    JobSpec spec;
+    spec.name = "ckpt";
+    spec.netlist = netlist::make_ota_small();
+    spec.config = quick_config(80);
+    spec.config.search.base_seed = 21;
+    spec.config.search.budget.quanta = quanta;
+    spec.config.search.checkpoint_path = ckpt;
+    spec.config.search.resume = resume;
+    return spec;
+  };
+  const auto seed = JobService::job_seed(9, 0);
+  std::vector<JobReport> resumed_by_threads;
+  for (const int threads : {1, 4}) {
+    num::set_num_threads(threads);
+    const std::string path =
+        "ckpt_resume_t" + std::to_string(threads) + ".bin";
+    std::remove(path.c_str());
+    // Oracle: 6 quanta in one uninterrupted run, no checkpointing.
+    const auto full =
+        JobService::run_job(make_spec(6, "", false), 0, seed, nullptr, {});
+    ASSERT_EQ(full.status, JobStatus::kDone) << full.error.message;
+    EXPECT_EQ(full.result.quanta, 6);
+    // Interrupted run: stop after 3 quanta, leaving a checkpoint behind.
+    const auto half =
+        JobService::run_job(make_spec(3, path, false), 0, seed, nullptr, {});
+    ASSERT_EQ(half.status, JobStatus::kDone) << half.error.message;
+    // Resume to the full budget; must replay quanta 3..5 exactly.
+    const auto resumed =
+        JobService::run_job(make_spec(6, path, true), 0, seed, nullptr, {});
+    ASSERT_EQ(resumed.status, JobStatus::kDone) << resumed.error.message;
+    EXPECT_EQ(resumed.result.quanta, 6);
+    expect_identical(full, resumed,
+                     "resume vs uninterrupted, " + std::to_string(threads) +
+                         " threads");
+    resumed_by_threads.push_back(resumed);
+    std::remove(path.c_str());
+  }
+  num::set_num_threads(0);
+  expect_identical(resumed_by_threads[0], resumed_by_threads[1],
+                   "resumed run 1-vs-4 threads");
+}
+
+TEST(Checkpoint, MismatchedConfigurationRefusesToResume) {
+  const std::string path = "ckpt_mismatch.bin";
+  std::remove(path.c_str());
+  JobSpec spec;
+  spec.name = "ckpt";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(80);
+  spec.config.search.base_seed = 21;
+  spec.config.search.budget.quanta = 2;
+  spec.config.search.checkpoint_path = path;
+  const auto seed = JobService::job_seed(9, 0);
+  ASSERT_EQ(JobService::run_job(spec, 0, seed, nullptr, {}).status,
+            JobStatus::kDone);
+  // Same checkpoint, different iteration budget: the identity hash differs,
+  // so resuming must fail as invalid_config instead of mixing streams.
+  spec.config = quick_config(81);
+  spec.config.search.base_seed = 21;
+  spec.config.search.budget.quanta = 4;
+  spec.config.search.checkpoint_path = path;
+  spec.config.search.resume = true;
+  const auto report = JobService::run_job(spec, 0, seed, nullptr, {});
+  EXPECT_EQ(report.status, JobStatus::kFailed);
+  EXPECT_EQ(report.error.kind, JobErrorKind::kInvalidConfig);
+  EXPECT_NE(report.error.message.find("different search configuration"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportJson, NonFiniteMetricsBecomeNullAndInternalError) {
+  JobSpec spec;
+  spec.name = "ota_small";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(60);
+  auto report =
+      JobService::run_job(spec, 0, JobService::job_seed(1, 0), nullptr, {});
+  ASSERT_EQ(report.status, JobStatus::kDone) << report.error.message;
+  // A degenerate instance that produced non-finite metrics must be flagged
+  // by validate_result and serialized as JSON null, never a bare token.
+  report.result.eval.hpwl = std::nan("");
+  report.result.eval.area = std::numeric_limits<double>::infinity();
+  const JobError err = JobService::validate_result(report.result);
+  EXPECT_EQ(err.kind, JobErrorKind::kInternal);
+  const std::string js =
+      report_json(report.result, report.name, report.optimizer,
+                  report.options, report.search, report.seed);
+  EXPECT_NE(js.find("\"hpwl\": null"), std::string::npos);
+  EXPECT_NE(js.find("\"area\": null"), std::string::npos);
+  EXPECT_EQ(js.find("nan"), std::string::npos);
+  EXPECT_EQ(js.find("inf"), std::string::npos);
 }
 
 TEST(ReportJson, EscapesAndShapes) {

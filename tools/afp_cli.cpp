@@ -94,10 +94,28 @@ search options (floorplan):
   --time-budget S  Wall-clock budget in seconds: iteration quanta race the
                 deadline (deterministic per completed quantum count).
                 Mutually exclusive with --restarts.
+  --quanta N    Run exactly N iteration quanta (deterministic fixed-quanta
+                mode; no wall clock involved).  Mutually exclusive with
+                --restarts.
+  --job-timeout S  Hard per-job watchdog deadline in seconds.  A job that
+                overruns is terminated at the next quantum/iteration
+                boundary with status deadline_exceeded; partial results
+                are discarded.
+  --max-retries N  Retry a failed job up to N times (retryable error kinds
+                only: optimizer_failure, resource_exhausted) with capped
+                exponential backoff.  Each attempt draws a fresh
+                deterministic seed; default 0.
+  --checkpoint F  Persist per-quantum search state to file F (atomic
+                write).  Requires --quanta or --time-budget.
+  --resume      Resume from --checkpoint F when it exists; the resumed
+                run is bitwise identical to an uninterrupted one.
   --batch P     Batch mode: P is a directory (every *.sp file, sorted) or
                 a manifest file (one circuit/netlist path per line, #
                 comments).  Jobs run concurrently on the thread pool with
-                per-job SplitMix64 seeds derived from --seed.
+                per-job SplitMix64 seeds derived from --seed.  Entries
+                that fail to load are skipped (reported as failed with
+                kind invalid_config); exit code 3 flags such a partially
+                failed batch.
   --report F    Write a machine-checkable text run report (full-precision
                 best cost, metrics and rectangles; no timings) to file F.
   --report-json F  Write the JSON run report (single run: one report
@@ -135,6 +153,7 @@ const std::map<std::string, std::set<std::string>> kCommandOptions = {
     {"floorplan",
      {"method", "baseline", "constrained", "seed", "svg", "report",
       "report-json", "restarts", "iters", "opt", "batch", "time-budget",
+      "quanta", "job-timeout", "max-retries", "checkpoint", "resume",
       "pt-replicas", "pt-swap-interval", "pt-adaptive"}},
     {"train", {"episodes", "seed", "out"}},
     {"eval", {"agent", "attempts", "seed", "constrained", "svg"}},
@@ -419,41 +438,88 @@ std::vector<std::string> batch_inputs(const std::string& path) {
 int cmd_floorplan_batch(const Args& args, const core::PipelineConfig& cfg,
                         const std::string& name, std::uint64_t seed) {
   const auto inputs = batch_inputs(args.get("batch", ""));
+  // A manifest entry that fails to load (unreadable file, unparsable
+  // netlist) must not abort the batch: it is skipped here and reported as a
+  // failed job with kind invalid_config.  Runnable jobs keep their manifest
+  // position (ids, per-job seeds and checkpoint paths are derived from it),
+  // so adding or fixing a broken line never reshuffles sibling results.
   std::vector<core::JobSpec> jobs;
+  std::vector<std::size_t> job_pos;
+  std::vector<core::JobReport> reports(inputs.size());
   jobs.reserve(inputs.size());
-  for (const auto& input : inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
     core::JobSpec spec;
-    spec.name = std::filesystem::path(input).stem().string();
-    spec.netlist = load_circuit(input);
+    spec.name = std::filesystem::path(inputs[i]).stem().string();
     spec.config = cfg;
+    if (!cfg.search.checkpoint_path.empty()) {
+      spec.config.search.checkpoint_path =
+          cfg.search.checkpoint_path + ".job" + std::to_string(i);
+    }
+    try {
+      spec.netlist = load_circuit(inputs[i]);
+    } catch (const std::exception& e) {
+      core::JobReport& r = reports[i];
+      r.id = i;
+      r.name = spec.name;
+      r.optimizer = cfg.optimizer;
+      r.search = spec.config.search;
+      r.seed = core::JobService::job_seed(seed, i);
+      r.status = core::JobStatus::kFailed;
+      r.error = {core::JobErrorKind::kInvalidConfig, e.what(), i, -1};
+      std::fprintf(stderr, "batch: skipping '%s': %s\n", inputs[i].c_str(),
+                   e.what());
+      continue;
+    }
+    job_pos.push_back(i);
     jobs.push_back(std::move(spec));
   }
 
-  std::printf("batch: %zu jobs | optimizer %s | %d threads | seed %llu%s\n",
-              jobs.size(), name.c_str(), num::num_threads(),
-              static_cast<unsigned long long>(seed),
+  std::printf("batch: %zu jobs (%zu skipped) | optimizer %s | %d threads | "
+              "seed %llu%s\n",
+              inputs.size(), inputs.size() - jobs.size(), name.c_str(),
+              num::num_threads(), static_cast<unsigned long long>(seed),
               cfg.search.budget.wall_clock_s > 0.0 ? " | time-budgeted" : "");
   std::mutex io_mu;
   core::JobServiceOptions sopts;
   sopts.base_seed = seed;
   sopts.on_progress = [&](const core::JobProgress& p) {
     std::lock_guard<std::mutex> lock(io_mu);
-    std::printf("  [%zu] %-16s %s (%.2fs)\n", p.id, p.name.c_str(),
-                core::to_string(p.status), p.runtime_s);
+    std::printf("  [%zu] %-16s %s (%.2fs)%s\n", p.id, p.name.c_str(),
+                core::to_string(p.status), p.runtime_s,
+                p.attempt > 0 ? " [retry]" : "");
   };
-  const auto reports = core::JobService::run_batch(jobs, sopts);
+  if (!jobs.empty()) {
+    // Seed per-job streams from the manifest position, not the compacted
+    // vector index, so results are invariant to skipped siblings.
+    std::vector<core::JobReport> ran(jobs.size());
+    num::parallel_for(
+        static_cast<std::int64_t>(jobs.size()), 1,
+        [&](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t b = b0; b < b1; ++b) {
+            const auto j = static_cast<std::size_t>(b);
+            ran[j] = core::JobService::run_job(
+                jobs[j], job_pos[j], core::JobService::job_seed(seed,
+                                                               job_pos[j]),
+                nullptr, sopts.on_progress);
+          }
+        });
+    for (std::size_t j = 0; j < ran.size(); ++j) {
+      reports[job_pos[j]] = std::move(ran[j]);
+    }
+  }
 
   std::printf("\n%-16s %-10s %12s %12s %10s %10s %8s\n", "job", "status",
               "cost", "HPWL(um)", "reward", "runtime", "quanta");
-  bool all_done = true;
+  std::size_t done = 0;
   for (const auto& r : reports) {
     if (r.status != core::JobStatus::kDone) {
-      all_done = false;
-      std::printf("%-16s %-10s %12s %12s %10s %9.2fs %8s  %s\n",
+      std::printf("%-16s %-10s %12s %12s %10s %9.2fs %8s  [%s] %s\n",
                   r.name.c_str(), core::to_string(r.status), "-", "-", "-",
-                  r.runtime_s, "-", r.error.c_str());
+                  r.runtime_s, "-", core::to_string(r.error.kind),
+                  r.error.message.c_str());
       continue;
     }
+    ++done;
     std::printf("%-16s %-10s %12.4f %12.1f %10.2f %9.2fs %8ld\n",
                 r.name.c_str(), core::to_string(r.status),
                 metaheur::sp_cost(r.result.instance, r.result.rects),
@@ -468,7 +534,10 @@ int cmd_floorplan_batch(const Args& args, const core::PipelineConfig& cfg,
                                        num::num_threads()));
     std::printf("wrote %s\n", path.c_str());
   }
-  return all_done ? 0 : 1;
+  // 0: every job done; 1: nothing succeeded; 3: partial failure (some jobs
+  // done, some failed/skipped) — distinct from 2, which stays usage-only.
+  if (done == reports.size()) return 0;
+  return done == 0 ? 1 : 3;
 }
 
 int cmd_floorplan(const Args& args) {
@@ -510,6 +579,42 @@ int cmd_floorplan(const Args& args) {
     }
     cfg.search.budget.wall_clock_s = budget;
   }
+  if (args.has("quanta")) {
+    if (args.has("restarts")) {
+      throw UsageError(
+          "--restarts and --quanta are mutually exclusive: the fixed-quanta "
+          "mode runs sequential iteration quanta instead of a fan-out");
+    }
+    cfg.search.budget.quanta =
+        static_cast<int>(parse_int_or_die(args, "quanta", 0, 1));
+  }
+  if (args.has("job-timeout")) {
+    const double deadline = parse_double_or_die(args, "job-timeout", 0.0);
+    if (deadline <= 0.0) {
+      throw UsageError("option '--job-timeout' must be > 0 seconds");
+    }
+    cfg.search.budget.deadline_s = deadline;
+  }
+  cfg.search.retry.max_retries =
+      static_cast<int>(parse_int_or_die(args, "max-retries", 0, 0));
+  if (args.has("checkpoint")) {
+    if (cfg.search.budget.quanta <= 0 &&
+        cfg.search.budget.wall_clock_s <= 0.0) {
+      throw UsageError(
+          "--checkpoint requires a quantum-granular search "
+          "(--quanta or --time-budget)");
+    }
+    cfg.search.checkpoint_path = args.get("checkpoint", "");
+    if (cfg.search.checkpoint_path.empty()) {
+      throw UsageError("option '--checkpoint' expects a file path");
+    }
+  }
+  if (args.has("resume")) {
+    if (cfg.search.checkpoint_path.empty()) {
+      throw UsageError("--resume requires --checkpoint <file>");
+    }
+    cfg.search.resume = true;
+  }
   // Validate the optimizer + option map up front: a bad --opt key/value is
   // a usage error (exit 2), not a runtime failure.
   metaheur::Options resolved;
@@ -522,13 +627,30 @@ int cmd_floorplan(const Args& args) {
   const std::uint64_t seed = parse_u64_or_die(args, "seed", 1);
   if (batch) return cmd_floorplan_batch(args, cfg, name, seed);
 
-  const auto nl = load_circuit(args.positional[0]);
-  core::FloorplanPipeline pipe(cfg);
-  std::mt19937_64 rng(seed);
-  // Out-of-range option values (e.g. --opt replicas=1) were already
-  // rejected by the make_optimizer validation above, so any exception past
-  // this point is a genuine runtime failure (exit 1), never a usage error.
-  const auto res = pipe.run(nl, rng);
+  // Single runs go through the same fault-tolerance path as batch jobs
+  // (watchdog, exception firewall, retry/backoff).  Attempt 0 seeds
+  // mt19937_64(seed) exactly as the historic direct pipe.run() call did, so
+  // existing goldens stay bitwise identical.
+  core::JobSpec spec;
+  spec.name = args.positional[0];
+  spec.netlist = load_circuit(args.positional[0]);
+  spec.config = cfg;
+  const core::JobReport job =
+      core::JobService::run_job(spec, 0, seed, nullptr, nullptr);
+  if (job.status != core::JobStatus::kDone) {
+    // Out-of-range option values were already rejected as usage errors by
+    // the make_optimizer validation above, so any terminal failure here is
+    // a genuine runtime failure: exit 1 with the classified error.
+    std::fprintf(stderr, "error: job %s after %d attempt%s [%s] %s\n",
+                 core::to_string(job.status), job.attempts,
+                 job.attempts == 1 ? "" : "s",
+                 core::to_string(job.error.kind), job.error.message.c_str());
+    return 1;
+  }
+  if (job.attempts > 1) {
+    std::printf("search: succeeded on attempt %d\n", job.attempts);
+  }
+  const core::PipelineResult& res = job.result;
   print_result(res);
   if (args.has("svg")) {
     layoutgen::write_svg(args.get("svg", "layout.svg"), res.layout);
