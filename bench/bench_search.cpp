@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "core/job_service.hpp"
+#include "metaheur/eval_cache.hpp"
 #include "metaheur/optimizer.hpp"
 #include "metaheur/tempering.hpp"
 #include "numeric/parallel.hpp"
@@ -46,6 +47,46 @@ floorplan::Instance instance_of(const std::string& name) {
   auto nl = make_circuit(name);
   auto g = graphir::build_graph(nl, structrec::recognize(nl));
   return floorplan::make_instance(g);
+}
+
+/// Synthetic large instance for the delta-vs-full packing comparison: the
+/// Table I circuits top out around a dozen blocks, far too small to show the
+/// asymptotic win of incremental evaluation, so this builds a `blocks`-block
+/// instance directly (deterministic areas, seeded random 2-5 pin nets).
+floorplan::Instance synthetic_instance(int blocks, std::uint64_t seed) {
+  floorplan::Instance inst;
+  inst.name = "synthetic" + std::to_string(blocks);
+  std::mt19937_64 rng(seed);
+  for (int b = 0; b < blocks; ++b) {
+    floorplan::Block blk;
+    blk.name = "b" + std::to_string(b);
+    blk.area_um2 = 20.0 + 3.0 * static_cast<double>(b % 17);
+    blk.shapes = floorplan::candidate_shapes(blk.area_um2,
+                                             structrec::StructureType::kUnknown);
+    inst.blocks.push_back(std::move(blk));
+  }
+  std::uniform_int_distribution<int> pins(2, 5);
+  std::uniform_int_distribution<int> pick(0, blocks - 1);
+  for (int n = 0; n < 2 * blocks; ++n) {
+    std::vector<int> net;
+    const int k = pins(rng);
+    while (static_cast<int>(net.size()) < k) {
+      const int b = pick(rng);
+      if (std::find(net.begin(), net.end(), b) == net.end()) net.push_back(b);
+    }
+    inst.nets.push_back(std::move(net));
+  }
+  const double side = geom::canvas_side(inst.total_block_area(), 11.0);
+  inst.canvas_w = side;
+  inst.canvas_h = side;
+  double ref = 0.0;
+  for (const auto& net : inst.nets) {
+    double a = 0.0;
+    for (int b : net) a += inst.blocks[static_cast<std::size_t>(b)].area_um2;
+    ref += 2.0 * std::sqrt(a);
+  }
+  inst.hpwl_ref = std::max(1.0, ref);
+  return inst;
 }
 
 }  // namespace
@@ -178,6 +219,60 @@ int main() {
     return 1;
   }
 
+  // ---- Incremental evaluation: delta vs full packing throughput ----------
+  // One seeded SA run per encoding on a 120-block synthetic instance, timed
+  // under AFP_EVAL=full (legacy O(n^2) repack + full HPWL rescan per move)
+  // and AFP_EVAL=delta (metaheur/eval_cache).  The best floorplans must be
+  // bitwise identical — the engine is a pure speedup — and the recorded
+  // steps/s ratio is the headline number for the incremental engine.
+  const int kDeltaBlocks = 250;
+  const auto big = synthetic_instance(kDeltaBlocks, 2024);
+  const int kDeltaIters = scaled(4000);
+  const auto ambient_mode = metaheur::eval_mode();
+  auto timed_run = [&](metaheur::EvalMode mode, const char* opt_name,
+                       metaheur::BaselineResult* out) {
+    metaheur::set_eval_mode(mode);
+    const auto o = metaheur::make_optimizer(
+        opt_name, {{"iterations", std::to_string(kDeltaIters)}});
+    std::mt19937_64 rng(4242);
+    *out = o->run(big, {}, rng);
+    return static_cast<double>(out->evaluations) /
+           std::max(1e-9, out->runtime_s);
+  };
+  struct DeltaRow {
+    const char* method;
+    double full_sps = 0.0;
+    double delta_sps = 0.0;
+    double speedup = 0.0;
+    bool match = false;
+  };
+  std::vector<DeltaRow> delta_rows;
+  bool delta_match = true;
+  std::printf("\nincremental eval, %d-block synthetic, %d moves "
+              "(steps/s, AFP_EVAL=full vs delta):\n",
+              kDeltaBlocks, kDeltaIters);
+  for (const char* m : {"sa", "sab"}) {
+    DeltaRow row;
+    row.method = m;
+    metaheur::BaselineResult full, delta;
+    row.full_sps = timed_run(metaheur::EvalMode::kFull, m, &full);
+    row.delta_sps = timed_run(metaheur::EvalMode::kDelta, m, &delta);
+    row.speedup = row.delta_sps / std::max(1e-9, row.full_sps);
+    row.match = full.rects == delta.rects &&
+                full.eval.reward == delta.eval.reward;
+    delta_match &= row.match;
+    std::printf("  %-4s %10.0f -> %10.0f   %5.2fx  %s\n", m, row.full_sps,
+                row.delta_sps, row.speedup,
+                row.match ? "identical result" : "RESULT MISMATCH");
+    delta_rows.push_back(row);
+  }
+  metaheur::set_eval_mode(ambient_mode);
+  if (!delta_match) {
+    std::fprintf(stderr,
+                 "FATAL: delta evaluation changed a best floorplan\n");
+    return 1;
+  }
+
   const double sa_mean = overall["SA"].mean_cost();
   const double pt_mean = overall["PT"].mean_cost();
   std::printf("\noverall mean best cost: SA %.4f | SAx4 %.4f | PT %.4f | "
@@ -214,7 +309,18 @@ int main() {
      << ", \"batch_s\": " << batch_s << ", \"repeat_s\": " << repeat_s
      << ", \"speedup\": " << speedup
      << ", \"deterministic\": " << (deterministic ? "true" : "false")
-     << "}\n}\n";
+     << "},\n  \"delta_eval\": {\"blocks\": " << kDeltaBlocks
+     << ", \"moves\": " << kDeltaIters << ", \"methods\": [";
+  for (std::size_t i = 0; i < delta_rows.size(); ++i) {
+    const auto& r = delta_rows[i];
+    os << "{\"method\": \"" << r.method
+       << "\", \"full_steps_per_s\": " << r.full_sps
+       << ", \"delta_steps_per_s\": " << r.delta_sps
+       << ", \"speedup\": " << r.speedup
+       << ", \"identical_result\": " << (r.match ? "true" : "false") << "}"
+       << (i + 1 < delta_rows.size() ? ", " : "");
+  }
+  os << "]}\n}\n";
   std::printf("wrote BENCH_search.json\n");
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/fault.hpp"
+#include "metaheur/eval_cache.hpp"
 #include "metaheur/parallel_search.hpp"
 #include "numeric/serialize.hpp"
 
@@ -255,6 +256,13 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
   metaheur::BaselineResult base;
   long quanta = 1;
 
+  // Job-scoped transposition cache: every quantum, restart and PT replica
+  // of this job shares one memo (metaheur/eval_cache), so a state revisited
+  // by any of them skips its repack + rescore.  Memoized costs are pure
+  // functions of the key, which keeps the quantum/multistart determinism
+  // contracts intact; thread safety comes from the cache's striped locks.
+  metaheur::TranspositionCache tt;
+
   // Exception firewall around one optimizer invocation: the stop-signal
   // exceptions and bad_alloc keep their identity (they classify as
   // cancelled / deadline_exceeded / resource_exhausted), everything else
@@ -301,6 +309,7 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
     metaheur::SearchBudget quantum;
     quantum.iterations = budget.iterations;
     quantum.stop = cancel;
+    quantum.tt = &tt;
     while (budget.quanta <= 0 || st.quanta < budget.quanta) {
       if (cancel && cancel->expired()) throw DeadlineExceededError(st.quanta);
       std::mt19937_64 qrng =
@@ -334,6 +343,7 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
     mopt.base_seed = cfg_.search.base_seed ? cfg_.search.base_seed : rng();
     metaheur::SearchBudget eff = budget;
     eff.stop = cancel;
+    eff.tt = &tt;
     // The injection point and the firewall sit around the whole fan-out:
     // restarts run on pool threads where the ambient FaultScope is not
     // visible, and an exception escaping any restart aborts the fan-out.
@@ -357,6 +367,7 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
   } else {
     metaheur::SearchBudget eff = budget;
     eff.stop = cancel;
+    eff.tt = &tt;
     base = run_guarded(eff, rng, 0);
   }
   // An expired watchdog is a hard failure in every mode: the truncated

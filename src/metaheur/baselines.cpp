@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "metaheur/eval_cache.hpp"
 #include "numeric/parallel.hpp"
 
 namespace afp::metaheur {
@@ -40,7 +41,9 @@ Move random_move(std::mt19937_64& rng) {
 /// draw no randomness, so population methods generate candidates serially
 /// (one RNG stream, the same draws as a sequential run) and fan the pure
 /// evaluations out here — results are bitwise identical for any thread
-/// count.
+/// count.  Population members are unrelated states (crossover offspring,
+/// decoded swarm particles), so the incremental evaluator has nothing to
+/// diff against: GA/PSO stay on the full recompute path on purpose.
 std::vector<double> eval_population(const floorplan::Instance& inst,
                                     const std::vector<SequencePair>& pop,
                                     double spacing) {
@@ -66,8 +69,9 @@ BaselineResult run_sa(const floorplan::Instance& inst, const SAParams& p,
                       std::mt19937_64& rng) {
   const auto t0 = Clock::now();
   const double spacing = resolve_spacing(inst, p.spacing_um);
+  SpEvaluator ev(inst, spacing, p.tt);
   SequencePair cur = SequencePair::random(inst.num_blocks(), rng);
-  double cur_cost = sp_cost(inst, pack(inst, cur, spacing));
+  double cur_cost = ev.cost(cur);
   SequencePair best = cur;
   double best_cost = cur_cost;
   long evals = 1;
@@ -81,7 +85,7 @@ BaselineResult run_sa(const floorplan::Instance& inst, const SAParams& p,
     if (stopped()) break;  // best-so-far; caller classifies why
     SequencePair cand = cur;
     apply_move(cand, random_move(rng), rng);
-    const double cost = sp_cost(inst, pack(inst, cand, spacing));
+    const double cost = ev.cost(cand);
     ++evals;
     if (cost < cur_cost || unif(rng) < std::exp((cur_cost - cost) / temp)) {
       cur = std::move(cand);
@@ -290,8 +294,9 @@ BaselineResult run_rlsa(const floorplan::Instance& inst, const RLSAParams& p,
   // theta[m] += lr * improvement * (1 - pi(m)) after each proposal.
   const auto t0 = Clock::now();
   const double spacing = resolve_spacing(inst, p.spacing_um);
+  SpEvaluator ev(inst, spacing, p.tt);
   SequencePair cur = SequencePair::random(inst.num_blocks(), rng);
-  double cur_cost = sp_cost(inst, pack(inst, cur, spacing));
+  double cur_cost = ev.cost(cur);
   SequencePair best = cur;
   double best_cost = cur_cost;
   long evals = 1;
@@ -329,7 +334,7 @@ BaselineResult run_rlsa(const floorplan::Instance& inst, const RLSAParams& p,
     }
     SequencePair cand = cur;
     apply_move(cand, static_cast<Move>(m), rng);
-    const double cost = sp_cost(inst, pack(inst, cand, spacing));
+    const double cost = ev.cost(cand);
     ++evals;
     const double improvement = cur_cost - cost;
     // Policy-gradient step on the proposal's improvement signal.
@@ -358,9 +363,10 @@ BaselineResult run_rlsp(const floorplan::Instance& inst, const RLSPParams& p,
   // the heavier runtime profile [13] reports for its pure-RL variant.
   const auto t0 = Clock::now();
   const double spacing = resolve_spacing(inst, p.spacing_um);
+  SpEvaluator ev(inst, spacing, p.tt);
   std::array<double, kNumMoves> theta{};
   SequencePair best = SequencePair::random(inst.num_blocks(), rng);
-  double best_cost = sp_cost(inst, pack(inst, best, spacing));
+  double best_cost = ev.cost(best);
   long evals = 1;
   std::uniform_real_distribution<double> unif(0.0, 1.0);
 
@@ -381,7 +387,7 @@ BaselineResult run_rlsp(const floorplan::Instance& inst, const RLSPParams& p,
   for (int ep = 0; ep < p.episodes; ++ep) {
     if (stopped()) break;
     SequencePair cur = SequencePair::random(inst.num_blocks(), rng);
-    double cur_cost = sp_cost(inst, pack(inst, cur, spacing));
+    double cur_cost = ev.cost(cur);
     ++evals;
     std::vector<int> taken;
     for (int step = 0; step < p.steps_per_episode; ++step) {
@@ -397,7 +403,7 @@ BaselineResult run_rlsp(const floorplan::Instance& inst, const RLSPParams& p,
       }
       SequencePair cand = cur;
       apply_move(cand, static_cast<Move>(m), rng);
-      const double cost = sp_cost(inst, pack(inst, cand, spacing));
+      const double cost = ev.cost(cand);
       ++evals;
       if (cost <= cur_cost) {  // greedy improvement acceptance
         cur = std::move(cand);

@@ -14,6 +14,8 @@
 
 namespace afp::metaheur {
 
+class TranspositionCache;  // metaheur/eval_cache.hpp
+
 /// Result record common to all baselines.
 struct BaselineResult {
   std::string method;
@@ -29,6 +31,7 @@ struct SAParams {
   double t_end = 1e-3;
   double spacing_um = -1.0;  ///< congestion margin; < 0 = auto (one grid cell)
   const CancelToken* stop = nullptr;  ///< polled per move; null = never
+  TranspositionCache* tt = nullptr;  ///< optional shared memo (job-scoped)
 };
 
 struct GAParams {
@@ -58,6 +61,7 @@ struct RLSAParams {
   double learning_rate = 0.1;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
   const CancelToken* stop = nullptr;  ///< polled per move
+  TranspositionCache* tt = nullptr;  ///< optional shared memo (job-scoped)
 };
 
 struct RLSPParams {
@@ -66,6 +70,7 @@ struct RLSPParams {
   double learning_rate = 0.05;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
   const CancelToken* stop = nullptr;  ///< polled per episode
+  TranspositionCache* tt = nullptr;  ///< optional shared memo (job-scoped)
 };
 
 /// Resolves a congestion-aware spacing parameter: negative means "auto",

@@ -6,48 +6,9 @@
 #include <numeric>
 #include <stack>
 
+#include "metaheur/eval_cache.hpp"
+
 namespace afp::metaheur {
-
-namespace {
-
-/// Horizontal contour: max height per x interval.  Linear-scan segment
-/// list — exact and ample for tens of blocks.
-class Contour {
- public:
-  /// Max height over [x0, x1).
-  double query(double x0, double x1) const {
-    double y = 0.0;
-    for (const auto& s : segs_) {
-      if (s.x1 <= x0 || s.x0 >= x1) continue;
-      y = std::max(y, s.y);
-    }
-    return y;
-  }
-  /// Raises [x0, x1) to height y.
-  void update(double x0, double x1, double y) {
-    std::vector<Seg> next;
-    for (const auto& s : segs_) {
-      if (s.x1 <= x0 || s.x0 >= x1) {
-        next.push_back(s);
-        continue;
-      }
-      if (s.x0 < x0) next.push_back({s.x0, x0, s.y});
-      if (s.x1 > x1) next.push_back({x1, s.x1, s.y});
-    }
-    next.push_back({x0, x1, y});
-    std::sort(next.begin(), next.end(),
-              [](const Seg& a, const Seg& b) { return a.x0 < b.x0; });
-    segs_ = std::move(next);
-  }
-
- private:
-  struct Seg {
-    double x0, x1, y;
-  };
-  std::vector<Seg> segs_;
-};
-
-}  // namespace
 
 BStarTree BStarTree::random(int num_blocks, std::mt19937_64& rng) {
   BStarTree t;
@@ -153,8 +114,12 @@ void apply_bstar_move(BStarTree& tree, BStarMove move, std::mt19937_64& rng) {
   std::uniform_int_distribution<int> pick(0, n - 1);
   switch (move) {
     case BStarMove::kChangeShape: {
-      std::uniform_int_distribution<int> shape(0, floorplan::kNumShapes - 1);
-      tree.shapes[static_cast<std::size_t>(pick(rng))] = shape(rng);
+      // Exclude the current shape so the move always changes the tree.
+      const int b = pick(rng);
+      std::uniform_int_distribution<int> shape(0, floorplan::kNumShapes - 2);
+      int s = shape(rng);
+      if (s >= tree.shapes[static_cast<std::size_t>(b)]) ++s;
+      tree.shapes[static_cast<std::size_t>(b)] = s;
       return;
     }
     case BStarMove::kSwapBlocks: {
@@ -193,15 +158,18 @@ void apply_bstar_move(BStarTree& tree, BStarMove move, std::mt19937_64& rng) {
       std::uniform_int_distribution<int> lp(
           0, static_cast<int>(leaves.size()) - 1);
       const int leaf = leaves[static_cast<std::size_t>(lp(rng))];
-      // Detach.
+      // Detach, remembering the slot so reattachment cannot recreate the
+      // identical tree (detaching frees that slot, so at least one other
+      // free slot always exists for n >= 2).
       const int par = tree.parent[static_cast<std::size_t>(leaf)];
-      if (tree.left[static_cast<std::size_t>(par)] == leaf) {
+      const bool was_left = tree.left[static_cast<std::size_t>(par)] == leaf;
+      if (was_left) {
         tree.left[static_cast<std::size_t>(par)] = -1;
       } else {
         tree.right[static_cast<std::size_t>(par)] = -1;
       }
       tree.parent[static_cast<std::size_t>(leaf)] = -1;
-      // Reattach at a random free slot.
+      // Reattach at a random free slot other than the original.
       std::uniform_real_distribution<double> coin(0.0, 1.0);
       while (true) {
         const int host = pick(rng);
@@ -210,6 +178,7 @@ void apply_bstar_move(BStarTree& tree, BStarMove move, std::mt19937_64& rng) {
         const bool rfree = tree.right[static_cast<std::size_t>(host)] < 0;
         if (!lfree && !rfree) continue;
         const bool use_left = lfree && (!rfree || coin(rng) < 0.5);
+        if (host == par && use_left == was_left) continue;
         (use_left ? tree.left
                   : tree.right)[static_cast<std::size_t>(host)] = leaf;
         tree.parent[static_cast<std::size_t>(leaf)] = host;
@@ -223,8 +192,9 @@ BaselineResult run_sa_bstar(const floorplan::Instance& inst,
                             const BStarSAParams& p, std::mt19937_64& rng) {
   const auto t0 = std::chrono::steady_clock::now();
   const double spacing = resolve_spacing(inst, p.spacing_um);
+  BStarEvaluator ev(inst, spacing, p.tt);
   BStarTree cur = BStarTree::random(inst.num_blocks(), rng);
-  double cur_cost = sp_cost(inst, pack_bstar(inst, cur, spacing));
+  double cur_cost = ev.cost(cur);
   BStarTree best = cur;
   double best_cost = cur_cost;
   long evals = 1;
@@ -239,7 +209,7 @@ BaselineResult run_sa_bstar(const floorplan::Instance& inst,
     if (stopped()) break;
     BStarTree cand = cur;
     apply_bstar_move(cand, static_cast<BStarMove>(mv(rng)), rng);
-    const double cost = sp_cost(inst, pack_bstar(inst, cand, spacing));
+    const double cost = ev.cost(cand);
     ++evals;
     if (cost < cur_cost || unif(rng) < std::exp((cur_cost - cost) / temp)) {
       cur = std::move(cand);

@@ -9,6 +9,7 @@
 // overlap-free and left/bottom compacted.
 #pragma once
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -35,6 +36,61 @@ struct BStarTree {
   bool valid() const;
 };
 
+/// Horizontal contour: max height per x interval.  Linear-scan segment
+/// list — exact and ample for tens of blocks.  Copyable on purpose: the
+/// incremental evaluator (metaheur/eval_cache) snapshots the contour at
+/// checkpoints and replays only the DFS suffix a move invalidated, so the
+/// full packer and the delta packer must share one implementation to stay
+/// bitwise identical.
+class Contour {
+ public:
+  /// Max height over [x0, x1).
+  double query(double x0, double x1) const {
+    double y = 0.0;
+    for (const auto& s : segs_) {
+      if (s.x1 <= x0 || s.x0 >= x1) continue;
+      y = std::max(y, s.y);
+    }
+    return y;
+  }
+  /// Raises [x0, x1) to height y.  Edits the sorted segment list in place:
+  /// overlapped segments are trimmed to their parts outside [x0, x1) and
+  /// the new segment is spliced in at its sorted position, producing
+  /// exactly the same segment set as rebuilding and re-sorting from
+  /// scratch (segments never overlap, so x0-order is total).
+  void update(double x0, double x1, double y) {
+    auto lo = std::partition_point(
+        segs_.begin(), segs_.end(),
+        [&](const Seg& s) { return s.x1 <= x0; });
+    auto hi = std::partition_point(
+        lo, segs_.end(), [&](const Seg& s) { return s.x0 < x1; });
+    scratch_.clear();
+    if (lo != hi && lo->x0 < x0) scratch_.push_back({lo->x0, x0, lo->y});
+    scratch_.push_back({x0, x1, y});
+    if (lo != hi && (hi - 1)->x1 > x1) {
+      scratch_.push_back({x1, (hi - 1)->x1, (hi - 1)->y});
+    }
+    const auto n_old = static_cast<std::size_t>(hi - lo);
+    if (n_old >= scratch_.size()) {
+      auto out = std::copy(scratch_.begin(), scratch_.end(), lo);
+      segs_.erase(out, hi);
+    } else {
+      std::copy(scratch_.begin(), scratch_.begin() + static_cast<long>(n_old),
+                lo);
+      segs_.insert(hi, scratch_.begin() + static_cast<long>(n_old),
+                   scratch_.end());
+    }
+  }
+  void clear() { segs_.clear(); }
+
+ private:
+  struct Seg {
+    double x0, x1, y;
+  };
+  std::vector<Seg> segs_;
+  std::vector<Seg> scratch_;  ///< update() staging (at most 3 segments)
+};
+
 /// Packs the tree into rectangles using the contour algorithm.
 /// `spacing_um` pads every block on all sides (congestion margin).
 std::vector<geom::Rect> pack_bstar(const floorplan::Instance& inst,
@@ -58,6 +114,7 @@ struct BStarSAParams {
   double t_end = 1e-3;
   double spacing_um = -1.0;  ///< < 0 = auto (one grid cell)
   const CancelToken* stop = nullptr;  ///< polled per move; null = never
+  TranspositionCache* tt = nullptr;  ///< optional shared memo (job-scoped)
 };
 BaselineResult run_sa_bstar(const floorplan::Instance& inst,
                             const BStarSAParams& p, std::mt19937_64& rng);

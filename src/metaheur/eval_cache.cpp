@@ -1,0 +1,606 @@
+#include "metaheur/eval_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "metaheur/parallel_search.hpp"
+
+namespace afp::metaheur {
+
+namespace {
+
+constexpr std::size_t z(int v) { return static_cast<std::size_t>(v); }
+
+EvalMode parse_eval_mode(const char* s) {
+  const std::string v = s == nullptr ? "" : s;
+  if (v.empty() || v == "delta") return EvalMode::kDelta;
+  if (v == "full") return EvalMode::kFull;
+  if (v == "check") return EvalMode::kCheck;
+  std::fprintf(stderr, "afp: unknown AFP_EVAL=%s, using delta\n", v.c_str());
+  return EvalMode::kDelta;
+}
+
+// -1 = uninitialized; lazily reads AFP_EVAL on first use (simd_parity
+// pattern: an env probe plus a test override through the same atomic).
+std::atomic<int> g_eval_mode{-1};
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+bool same_bits(double a, double b) { return bits_of(a) == bits_of(b); }
+
+bool same_rect(const geom::Rect& a, const geom::Rect& b) {
+  return same_bits(a.x, b.x) && same_bits(a.y, b.y) && same_bits(a.w, b.w) &&
+         same_bits(a.h, b.h);
+}
+
+[[noreturn]] void parity_failure(const char* what, double full, double delta) {
+  throw std::logic_error(std::string("eval_cache parity violation (") + what +
+                         "): full=" + std::to_string(full) +
+                         " delta=" + std::to_string(delta));
+}
+
+void check_parity(const char* tag, double full_cost, double delta_cost,
+                  const std::vector<geom::Rect>& full_rects,
+                  const std::vector<geom::Rect>& delta_rects) {
+  if (!same_bits(full_cost, delta_cost)) {
+    parity_failure(tag, full_cost, delta_cost);
+  }
+  if (full_rects.size() != delta_rects.size()) {
+    throw std::logic_error(std::string("eval_cache parity violation (") + tag +
+                           "): rect count mismatch");
+  }
+  for (std::size_t b = 0; b < full_rects.size(); ++b) {
+    if (!same_rect(full_rects[b], delta_rects[b])) {
+      throw std::logic_error(std::string("eval_cache parity violation (") +
+                             tag + "): rect mismatch at block " +
+                             std::to_string(b));
+    }
+  }
+}
+
+}  // namespace
+
+EvalMode eval_mode() {
+  int m = g_eval_mode.load(std::memory_order_acquire);
+  if (m < 0) {
+    m = static_cast<int>(parse_eval_mode(std::getenv("AFP_EVAL")));
+    int expected = -1;
+    if (!g_eval_mode.compare_exchange_strong(expected, m,
+                                             std::memory_order_acq_rel)) {
+      m = expected;  // another thread initialized first; use its value
+    }
+  }
+  return static_cast<EvalMode>(m);
+}
+
+void set_eval_mode(EvalMode mode) {
+  g_eval_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+const char* to_string(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kFull:
+      return "full";
+    case EvalMode::kDelta:
+      return "delta";
+    case EvalMode::kCheck:
+      return "check";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TranspositionCache
+
+TranspositionCache::TranspositionCache(long capacity) {
+  if (capacity < 0) capacity = default_capacity();
+  per_stripe_cap_ =
+      capacity == 0
+          ? 0
+          : std::max<std::size_t>(1, static_cast<std::size_t>(capacity) /
+                                         static_cast<std::size_t>(kStripes));
+}
+
+long TranspositionCache::default_capacity() {
+  if (const char* s = std::getenv("AFP_TT_CAP")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && v >= 0) return v;
+    std::fprintf(stderr, "afp: ignoring malformed AFP_TT_CAP=%s\n", s);
+  }
+  return 1L << 18;
+}
+
+bool TranspositionCache::lookup(const Key& k, double* cost) const {
+  if (per_stripe_cap_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const Stripe& s = stripes_[k.h1 % static_cast<std::uint64_t>(kStripes)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(k.h1);
+  if (it != s.map.end() && it->second.first == k.h2) {
+    *cost = it->second.second;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TranspositionCache::insert(const Key& k, double cost) {
+  if (per_stripe_cap_ == 0) return;
+  Stripe& s = stripes_[k.h1 % static_cast<std::uint64_t>(kStripes)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(k.h1);
+  if (it != s.map.end()) {
+    it->second = {k.h2, cost};  // refresh (h1 collision overwrite is a wash)
+    return;
+  }
+  if (s.map.size() >= per_stripe_cap_) return;  // full stripe: drop, no evict
+  s.map.emplace(k.h1, std::make_pair(k.h2, cost));
+}
+
+long TranspositionCache::size() const {
+  long total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += static_cast<long>(s.map.size());
+  }
+  return total;
+}
+
+namespace {
+
+// Two independent SplitMix64 absorption chains; per-field salts separate the
+// encoding arrays so e.g. swapping s1 and s2 cannot produce the same key.
+struct DualHash {
+  std::uint64_t h1, h2;
+  explicit DualHash(std::uint64_t tag)
+      : h1(splitmix64(0x9e3779b97f4a7c15ull ^ tag)),
+        h2(splitmix64(0x94d049bb133111ebull ^ tag)) {}
+  void absorb(std::uint64_t salt, const std::vector<int>& v) {
+    h1 = splitmix64(h1 ^ salt);
+    h2 = splitmix64(h2 ^ (salt * 0xbf58476d1ce4e5b9ull));
+    for (int e : v) {
+      const auto u = static_cast<std::uint64_t>(static_cast<std::int64_t>(e));
+      h1 = splitmix64(h1 ^ u);
+      h2 = splitmix64(h2 ^ (u + 0xd6e8feb86659fd93ull));
+    }
+  }
+  void absorb_one(std::uint64_t v) {
+    h1 = splitmix64(h1 ^ v);
+    h2 = splitmix64(h2 ^ (v + 0xd6e8feb86659fd93ull));
+  }
+};
+
+}  // namespace
+
+TranspositionCache::Key TranspositionCache::hash(const SequencePair& sp) {
+  DualHash d(1);
+  d.absorb(2, sp.s1);
+  d.absorb(3, sp.s2);
+  d.absorb(4, sp.shapes);
+  return {d.h1, d.h2};
+}
+
+TranspositionCache::Key TranspositionCache::hash(const BStarTree& tree) {
+  DualHash d(5);
+  d.absorb(6, tree.left);
+  d.absorb(7, tree.right);
+  d.absorb(8, tree.shapes);
+  d.absorb_one(static_cast<std::uint64_t>(tree.root));
+  return {d.h1, d.h2};
+}
+
+// ---------------------------------------------------------------------------
+// RectScorer
+
+namespace detail {
+
+void RectScorer::bind(const floorplan::Instance& inst) {
+  inst_ = &inst;
+  total_area_ = inst.total_block_area();
+  hpwl_.reset(inst);
+}
+
+double RectScorer::cost(const std::vector<geom::Rect>& rects,
+                        const std::vector<int>& moved, bool full) {
+  // Mirrors sp_cost(evaluate_floorplan(inst, rects)) term by term.  On the
+  // satisfied branch sp_cost returns -(-r) == r bitwise (IEEE negation is a
+  // sign-bit flip); on the violated branch it re-evaluates a copied instance
+  // with constraints stripped, whose reward terms are identical to ours, and
+  // adds the soft penalty.  Using the cached total area and the incremental
+  // HPWL keeps every contributing double bit-identical to the legacy path.
+  const floorplan::RewardWeights w;
+  const geom::Rect bb = geom::bounding_box(rects);
+  const double area = bb.area();
+  // When most blocks moved, nearly every net is dirty and the per-net flag
+  // bookkeeping of update() costs more than rescanning everything; both
+  // paths run the same per-net min/max chain, so the sum is bit-identical.
+  const bool rescan_all = full || 2 * moved.size() >= rects.size();
+  const double hpwl =
+      rescan_all ? hpwl_.recompute(rects) : hpwl_.update(rects, moved);
+  const bool ok = floorplan::constraints_satisfied(*inst_, rects, 1e-6);
+  double r = w.alpha * (area / std::max(1e-12, total_area_) - 1.0) +
+             w.beta * (hpwl / inst_->hpwl_ref - 1.0);
+  if (inst_->target_aspect) {
+    const double d = *inst_->target_aspect - geom::aspect_ratio(bb);
+    r += w.gamma * d * d;
+  }
+  return ok ? r : r + 10.0;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// SpEvaluator
+
+SpEvaluator::SpEvaluator(const floorplan::Instance& inst, double spacing,
+                         TranspositionCache* tt)
+    : inst_(inst), spacing_(spacing), tt_(tt) {
+  scorer_.bind(inst);
+}
+
+double SpEvaluator::cost(const SequencePair& sp) {
+  const EvalMode mode = eval_mode();
+  if (mode == EvalMode::kFull) {
+    // Pure legacy path: no memoization, no incremental state — the honest
+    // baseline the bench compares against.
+    return sp_cost(inst_, pack(inst_, sp, spacing_));
+  }
+  if (mode == EvalMode::kDelta) {
+    if (tt_ != nullptr) {
+      const TranspositionCache::Key key = TranspositionCache::hash(sp);
+      double c = 0.0;
+      if (tt_->lookup(key, &c)) return c;
+      c = eval_delta(sp);
+      tt_->insert(key, c);
+      return c;
+    }
+    return eval_delta(sp);
+  }
+  // Check mode: run the oracle and the delta path on every evaluation.
+  const auto full_rects = pack(inst_, sp, spacing_);
+  const double full_cost = sp_cost(inst_, full_rects);
+  double tt_cost = 0.0;
+  bool tt_hit = false;
+  TranspositionCache::Key key{};
+  if (tt_ != nullptr) {
+    key = TranspositionCache::hash(sp);
+    tt_hit = tt_->lookup(key, &tt_cost);
+  }
+  const double delta_cost = eval_delta(sp);
+  check_parity("sequence-pair", full_cost, delta_cost, full_rects, rects_);
+  if (tt_hit) {
+    if (!same_bits(tt_cost, full_cost)) {
+      parity_failure("sequence-pair tt", full_cost, tt_cost);
+    }
+  } else if (tt_ != nullptr) {
+    tt_->insert(key, full_cost);
+  }
+  return full_cost;
+}
+
+double SpEvaluator::eval_delta(const SequencePair& sp) {
+  repack(sp);
+  return scorer_.cost(rects_, moved_, full_rescan_);
+}
+
+void SpEvaluator::pack_full(const SequencePair& sp) {
+  const int n = sp.size();
+  const bool first = !has_state_ || static_cast<int>(rects_.size()) != n;
+  pos1_.resize(z(n));
+  pos2_.resize(z(n));
+  npos1_.resize(z(n));
+  npos2_.resize(z(n));
+  changed_.assign(z(n), 0);
+  w_.resize(z(n));
+  h_.resize(z(n));
+  x_.assign(z(n), 0.0);
+  y_.assign(z(n), 0.0);
+  if (first) rects_.assign(z(n), {});
+  for (int i = 0; i < n; ++i) {
+    pos1_[z(sp.s1[z(i)])] = i;
+    pos2_[z(sp.s2[z(i)])] = i;
+  }
+  for (int b = 0; b < n; ++b) {
+    const auto& sh = inst_.blocks[z(b)].shapes[z(sp.shapes[z(b)])];
+    w_[z(b)] = sh.w + 2.0 * spacing_;
+    h_[z(b)] = sh.h + 2.0 * spacing_;
+  }
+  // Exact loops of pack(): x in s1 order, y in s2 order.
+  for (int i = 0; i < n; ++i) {
+    const int b = sp.s1[z(i)];
+    double xb = 0.0;
+    for (int j = 0; j < i; ++j) {
+      const int a = sp.s1[z(j)];
+      if (pos2_[z(a)] < pos2_[z(b)]) xb = std::max(xb, x_[z(a)] + w_[z(a)]);
+    }
+    x_[z(b)] = xb;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int a = sp.s2[z(i)];
+    double ya = 0.0;
+    for (int j = 0; j < i; ++j) {
+      const int b = sp.s2[z(j)];
+      if (pos1_[z(a)] < pos1_[z(b)]) ya = std::max(ya, y_[z(b)] + h_[z(b)]);
+    }
+    y_[z(a)] = ya;
+  }
+  moved_.clear();
+  for (int b = 0; b < n; ++b) {
+    const auto& sh = inst_.blocks[z(b)].shapes[z(sp.shapes[z(b)])];
+    const geom::Rect r{x_[z(b)] + spacing_, y_[z(b)] + spacing_, sh.w, sh.h};
+    if (first || !same_rect(r, rects_[z(b)])) {
+      rects_[z(b)] = r;
+      moved_.push_back(b);
+    }
+  }
+  full_rescan_ = first;  // with prior state, moved_ is a valid HPWL delta
+  cached_ = sp;
+  has_state_ = true;
+}
+
+void SpEvaluator::repack(const SequencePair& sp) {
+  const int n = sp.size();
+  if (!has_state_ || cached_.size() != n) {
+    pack_full(sp);
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    npos1_[z(sp.s1[z(i)])] = i;
+    npos2_[z(sp.s2[z(i)])] = i;
+  }
+  // Diff against the cached state to find where the packing can first
+  // diverge.  A block whose match positions moved disturbs both axes from
+  // the earlier of its old and new positions; a shape change disturbs an
+  // axis from just after the block's position (its own coordinate cannot
+  // change, only its successors').  Everything left of the first
+  // disturbance is frozen: no predecessor set or contribution there can
+  // have changed, so those coordinates are provably identical.
+  touched_.clear();
+  int startx = n;
+  int starty = n;
+  for (int b = 0; b < n; ++b) {
+    if (npos1_[z(b)] != pos1_[z(b)] || npos2_[z(b)] != pos2_[z(b)]) {
+      startx = std::min(startx, std::min(pos1_[z(b)], npos1_[z(b)]));
+      starty = std::min(starty, std::min(pos2_[z(b)], npos2_[z(b)]));
+    }
+    if (sp.shapes[z(b)] != cached_.shapes[z(b)]) {
+      const auto& sh = inst_.blocks[z(b)].shapes[z(sp.shapes[z(b)])];
+      const double nw = sh.w + 2.0 * spacing_;
+      const double nh = sh.h + 2.0 * spacing_;
+      if (!same_bits(nw, w_[z(b)])) {
+        w_[z(b)] = nw;
+        startx = std::min(startx, npos1_[z(b)] + 1);
+      }
+      if (!same_bits(nh, h_[z(b)])) {
+        h_[z(b)] = nh;
+        starty = std::min(starty, npos2_[z(b)] + 1);
+      }
+      changed_[z(b)] = 1;
+      touched_.push_back(b);
+    }
+  }
+
+  // Suffix re-relaxation, one Fenwick prefix-max tree per axis.  pack()
+  // computes x[b] = max over predecessors a (earlier in both s1 and s2) of
+  // x[a] + w[a]; walking s1 in order and inserting each block's
+  // contribution keyed by its s2 position makes that exactly a prefix-max
+  // query.  std::max over the same set of doubles is bit-exact however it
+  // is associated, so every coordinate matches a from-scratch pack bit for
+  // bit.  Positions left of the first disturbance skip the query (their
+  // coordinates are frozen) but still insert, seeding the tree for the
+  // suffix.  No diff-size fallback is needed: a restart-sized diff simply
+  // degenerates to the full O(n log n) re-relaxation.
+  if (startx < n) {
+    fenx_.assign(z(n + 1), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const int b = sp.s1[z(i)];
+      if (i >= startx) {
+        double xb = 0.0;
+        for (int k = npos2_[z(b)]; k > 0; k -= k & -k) {
+          xb = std::max(xb, fenx_[z(k)]);
+        }
+        if (!same_bits(xb, x_[z(b)])) {
+          x_[z(b)] = xb;
+          if (changed_[z(b)] == 0) {
+            changed_[z(b)] = 1;
+            touched_.push_back(b);
+          }
+        }
+      }
+      const double contrib = x_[z(b)] + w_[z(b)];
+      for (int k = npos2_[z(b)] + 1; k <= n; k += k & -k) {
+        fenx_[z(k)] = std::max(fenx_[z(k)], contrib);
+      }
+    }
+  }
+
+  // Symmetric y pass over s2: "b below a" means earlier in s2 and later in
+  // s1, so the key order is reversed (n - npos1) to turn the successor
+  // test into a prefix-max query.
+  if (starty < n) {
+    feny_.assign(z(n + 1), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const int a = sp.s2[z(i)];
+      if (i >= starty) {
+        double ya = 0.0;
+        for (int k = n - npos1_[z(a)] - 1; k > 0; k -= k & -k) {
+          ya = std::max(ya, feny_[z(k)]);
+        }
+        if (!same_bits(ya, y_[z(a)])) {
+          y_[z(a)] = ya;
+          if (changed_[z(a)] == 0) {
+            changed_[z(a)] = 1;
+            touched_.push_back(a);
+          }
+        }
+      }
+      const double contrib = y_[z(a)] + h_[z(a)];
+      for (int k = n - npos1_[z(a)]; k <= n; k += k & -k) {
+        feny_[z(k)] = std::max(feny_[z(k)], contrib);
+      }
+    }
+  }
+
+  moved_.clear();
+  for (int b : touched_) {
+    changed_[z(b)] = 0;
+    const auto& sh = inst_.blocks[z(b)].shapes[z(sp.shapes[z(b)])];
+    const geom::Rect r{x_[z(b)] + spacing_, y_[z(b)] + spacing_, sh.w, sh.h};
+    if (!same_rect(r, rects_[z(b)])) {
+      rects_[z(b)] = r;
+      moved_.push_back(b);
+    }
+  }
+  std::swap(pos1_, npos1_);
+  std::swap(pos2_, npos2_);
+  cached_ = sp;
+  full_rescan_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// BStarEvaluator
+
+BStarEvaluator::BStarEvaluator(const floorplan::Instance& inst, double spacing,
+                               TranspositionCache* tt)
+    : inst_(inst), spacing_(spacing), tt_(tt) {
+  scorer_.bind(inst);
+}
+
+double BStarEvaluator::cost(const BStarTree& tree) {
+  const EvalMode mode = eval_mode();
+  if (mode == EvalMode::kFull) {
+    return sp_cost(inst_, pack_bstar(inst_, tree, spacing_));
+  }
+  if (mode == EvalMode::kDelta) {
+    if (tt_ != nullptr) {
+      const TranspositionCache::Key key = TranspositionCache::hash(tree);
+      double c = 0.0;
+      if (tt_->lookup(key, &c)) return c;
+      c = eval_delta(tree);
+      tt_->insert(key, c);
+      return c;
+    }
+    return eval_delta(tree);
+  }
+  const auto full_rects = pack_bstar(inst_, tree, spacing_);
+  const double full_cost = sp_cost(inst_, full_rects);
+  double tt_cost = 0.0;
+  bool tt_hit = false;
+  TranspositionCache::Key key{};
+  if (tt_ != nullptr) {
+    key = TranspositionCache::hash(tree);
+    tt_hit = tt_->lookup(key, &tt_cost);
+  }
+  const double delta_cost = eval_delta(tree);
+  check_parity("b*-tree", full_cost, delta_cost, full_rects, rects_);
+  if (tt_hit) {
+    if (!same_bits(tt_cost, full_cost)) {
+      parity_failure("b*-tree tt", full_cost, tt_cost);
+    }
+  } else if (tt_ != nullptr) {
+    tt_->insert(key, full_cost);
+  }
+  return full_cost;
+}
+
+void BStarEvaluator::plan_steps(const BStarTree& tree,
+                                std::vector<Step>* steps) {
+  // The packed x of a node depends only on the tree topology and widths,
+  // never on the contour, so the whole DFS visit order with x positions can
+  // be planned in O(n) and diffed against the cached plan.  Push order
+  // (right, then left) matches pack_bstar so the preorder — and therefore
+  // every contour operation — is identical.
+  steps->clear();
+  auto& st = plan_stack_;
+  st.clear();
+  st.reserve(tree.left.size());
+  st.emplace_back(tree.root, 0.0);
+  while (!st.empty()) {
+    const auto [b, x] = st.back();
+    st.pop_back();
+    const int shape = tree.shapes[z(b)];
+    const auto& sh = inst_.blocks[z(b)].shapes[z(shape)];
+    steps->push_back({b, shape, x});
+    const int l = tree.left[z(b)];
+    const int r = tree.right[z(b)];
+    if (r >= 0) st.emplace_back(r, x);
+    if (l >= 0) st.emplace_back(l, x + (sh.w + 2.0 * spacing_));
+  }
+}
+
+double BStarEvaluator::eval_delta(const BStarTree& tree) {
+  const int n = tree.size();
+  plan_steps(tree, &scratch_steps_);
+  const bool first = !has_state_ || static_cast<int>(rects_.size()) != n;
+  if (first) rects_.assign(z(n), {});
+
+  // Longest common step prefix: contour state before step i depends only on
+  // steps < i, so snapshots at or before the first divergence stay valid.
+  int prefix = 0;
+  if (!first) {
+    const int common =
+        static_cast<int>(std::min(steps_.size(), scratch_steps_.size()));
+    while (prefix < common) {
+      const Step& a = steps_[z(prefix)];
+      const Step& b = scratch_steps_[z(prefix)];
+      if (a.node != b.node || a.shape != b.shape || !same_bits(a.x, b.x)) break;
+      ++prefix;
+    }
+  }
+  // Snapshot stride scales with n: each snapshot copies the whole contour,
+  // so a fixed stride would make the copies themselves O(n^2 / stride) per
+  // replay on large instances.  Slot j holds the contour before step
+  // j * stride; a slot stays valid while its step is within the common
+  // prefix, and replay resumes from the last valid one.
+  const int stride = std::max(kSnapshotStride, n / 8);
+  const int nslots = n / stride + 1;
+  if (static_cast<int>(snapshots_.size()) < nslots) {
+    snapshots_.resize(z(nslots));
+  }
+  nvalid_ = first ? 0 : std::min(nvalid_, prefix / stride + 1);
+  int begin = 0;
+  work_.clear();
+  if (nvalid_ > 0) {
+    work_ = snapshots_[z(nvalid_ - 1)].contour;
+    begin = snapshots_[z(nvalid_ - 1)].step;
+  }
+
+  moved_.clear();
+  for (int i = begin; i < n; ++i) {
+    if (i % stride == 0 && i / stride >= nvalid_) {
+      const int j = i / stride;
+      snapshots_[z(j)].step = i;
+      snapshots_[z(j)].contour = work_;
+      nvalid_ = j + 1;
+    }
+    const Step& s = scratch_steps_[z(i)];
+    const auto& sh = inst_.blocks[z(s.node)].shapes[z(s.shape)];
+    const double wb = sh.w + 2.0 * spacing_;
+    const double hb = sh.h + 2.0 * spacing_;
+    const double y = work_.query(s.x, s.x + wb);
+    work_.update(s.x, s.x + wb, y + hb);
+    const geom::Rect r{s.x + spacing_, y + spacing_, sh.w, sh.h};
+    if (first || !same_rect(r, rects_[z(s.node)])) {
+      rects_[z(s.node)] = r;
+      moved_.push_back(s.node);
+    }
+  }
+  steps_.swap(scratch_steps_);
+  full_rescan_ = first;
+  has_state_ = true;
+  return scorer_.cost(rects_, moved_, full_rescan_);
+}
+
+}  // namespace afp::metaheur

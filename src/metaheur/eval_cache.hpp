@@ -1,0 +1,212 @@
+// Incremental evaluation engine for the metaheuristic search loops.
+//
+// Every SA/PT/RL-SA step perturbs one or two blocks, yet the legacy path
+// re-packs the whole floorplan (sequence-pair: O(n^2) longest-path
+// relaxation; B*-tree: a full contour pass) and rescans every net's every
+// pin for HPWL.  The evaluators here keep the previous packing and update
+// only what a move invalidated:
+//
+//  * SpEvaluator diffs the new sequence pair against the cached one, finds
+//    the blocks whose match positions or shape changed, and re-relaxes the
+//    longest paths only for blocks with a changed predecessor set or a
+//    dirty predecessor value — every recomputed coordinate runs the exact
+//    inner loop of pack(), so results are bitwise identical.
+//  * BStarEvaluator compares the new tree's preorder step list against the
+//    cached one, restores the contour from a periodic snapshot at the last
+//    common step, and replays only the DFS suffix.
+//  * floorplan::HpwlCache re-scans only nets adjacent to moved blocks.
+//  * TranspositionCache memoizes encoding -> cost across restarts/replicas
+//    of one job (dual-SplitMix64 128-bit keys, striped locks).  Cached
+//    costs are pure functions of the key, so sharing the cache across pool
+//    threads cannot perturb results: 1-thread and N-thread runs stay
+//    bitwise identical.
+//
+// Mode selection follows the simd_parity harness pattern: AFP_EVAL=
+// full|delta|check (default delta).  `full` is the legacy recompute,
+// `delta` the incremental path, and `check` runs both on every evaluation
+// and throws std::logic_error on any cost or rectangle mismatch — the
+// parity oracle the property suite and the sanitizer CI leg run under.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "metaheur/bstar.hpp"
+#include "metaheur/sequence_pair.hpp"
+
+namespace afp::metaheur {
+
+enum class EvalMode : int { kFull = 0, kDelta = 1, kCheck = 2 };
+
+/// Process-wide evaluation mode; first call reads AFP_EVAL (full|delta|
+/// check, default delta; unknown values warn and fall back to delta).
+EvalMode eval_mode();
+/// Runtime override (tests); later eval_mode() calls observe it.
+void set_eval_mode(EvalMode mode);
+const char* to_string(EvalMode mode);
+
+/// Memoizes encoding -> cost across the restarts and replicas of one job.
+/// Keys are two independent SplitMix64 hashes of the encoding arrays (an
+/// effective 128-bit key, collision odds negligible at cache scale); the
+/// table is striped over mutexes so parallel-tempering replicas on the
+/// pool share it without serializing.  Bounded: inserts into a full stripe
+/// are dropped, so memory is capped and no eviction policy can introduce
+/// cross-run variance.  Hit or miss never changes a result — the cached
+/// value is exactly what a recompute would produce — which is what makes a
+/// shared cache safe under the bitwise thread-invariance contract.
+class TranspositionCache {
+ public:
+  struct Key {
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+  };
+
+  /// capacity <= 0 uses default_capacity().
+  explicit TranspositionCache(long capacity = -1);
+
+  /// AFP_TT_CAP environment override; default 1 << 18 entries, 0 disables
+  /// (every lookup misses, every insert drops).
+  static long default_capacity();
+
+  bool lookup(const Key& k, double* cost) const;
+  void insert(const Key& k, double cost);
+
+  long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long misses() const { return misses_.load(std::memory_order_relaxed); }
+  long size() const;
+
+  static Key hash(const SequencePair& sp);
+  static Key hash(const BStarTree& tree);
+
+ private:
+  static constexpr int kStripes = 64;
+  struct Stripe {
+    mutable std::mutex mu;
+    /// h1 -> (h2, cost); an h1 collision with a different h2 is a miss.
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, double>> map;
+  };
+  Stripe stripes_[kStripes];
+  std::size_t per_stripe_cap_ = 0;
+  mutable std::atomic<long> hits_{0};
+  mutable std::atomic<long> misses_{0};
+};
+
+namespace detail {
+
+/// Shared rect -> cost scoring with the per-net HPWL cache.  Mirrors the
+/// arithmetic of sp_cost(evaluate_floorplan(...)) term by term so the
+/// result is bitwise identical without re-deriving a relaxed instance on
+/// every constraint violation.
+class RectScorer {
+ public:
+  void bind(const floorplan::Instance& inst);
+  /// `moved` lists blocks whose rect changed since the last call; pass
+  /// full = true (first evaluation / fallback repack) to rescan all nets.
+  double cost(const std::vector<geom::Rect>& rects,
+              const std::vector<int>& moved, bool full);
+
+ private:
+  const floorplan::Instance* inst_ = nullptr;
+  double total_area_ = 0.0;
+  floorplan::HpwlCache hpwl_;
+};
+
+}  // namespace detail
+
+/// Incremental cost evaluator over sequence pairs.  One evaluator serves
+/// one (instance, spacing) pair and one search chain: it carries the
+/// previous packing as state.  Feeding it arbitrary states stays correct —
+/// the diff is computed against whatever was evaluated last — it is only
+/// fastest when successive states differ by a move or two.
+class SpEvaluator {
+ public:
+  SpEvaluator(const floorplan::Instance& inst, double spacing,
+              TranspositionCache* tt = nullptr);
+
+  /// Cost of `sp`, bitwise equal to sp_cost(inst, pack(inst, sp, spacing))
+  /// in every mode.  In check mode both paths run and must agree exactly.
+  double cost(const SequencePair& sp);
+
+ private:
+  double eval_delta(const SequencePair& sp);
+  void pack_full(const SequencePair& sp);
+  /// Delta repack; falls back to pack_full when the diff is too large.
+  void repack(const SequencePair& sp);
+
+  const floorplan::Instance& inst_;
+  double spacing_;
+  TranspositionCache* tt_;
+  detail::RectScorer scorer_;
+
+  bool has_state_ = false;
+  bool full_rescan_ = false;  ///< this eval rebuilt everything
+  SequencePair cached_;
+  std::vector<int> pos1_, pos2_;
+  std::vector<double> w_, h_, x_, y_;
+  std::vector<geom::Rect> rects_;
+  std::vector<int> moved_;  ///< blocks whose rect changed in the last eval
+  // Scratch (kept across evals to avoid reallocation).
+  std::vector<int> npos1_, npos2_;
+  std::vector<char> changed_;
+  std::vector<int> touched_;
+  /// Fenwick (binary indexed) trees holding running prefix maxima of block
+  /// contributions (coord + extent), one per axis.  They turn each pass of
+  /// the suffix re-relaxation into O(n log n): a block's packed coordinate
+  /// is exactly the max contribution over its already-inserted
+  /// predecessors, and max over the same set of doubles is bit-exact
+  /// regardless of association order.
+  std::vector<double> fenx_, feny_;
+};
+
+/// Incremental cost evaluator over B*-trees: caches the preorder step list
+/// (node, shape, x) plus periodic contour snapshots, and replays only the
+/// DFS suffix after the first step a move changed.
+class BStarEvaluator {
+ public:
+  BStarEvaluator(const floorplan::Instance& inst, double spacing,
+                 TranspositionCache* tt = nullptr);
+
+  /// Bitwise equal to sp_cost(inst, pack_bstar(inst, tree, spacing)).
+  double cost(const BStarTree& tree);
+
+ private:
+  struct Step {
+    int node = -1;
+    int shape = -1;
+    double x = 0.0;
+  };
+  struct Snapshot {
+    int step = 0;  ///< contour state BEFORE replaying this step index
+    Contour contour;
+  };
+  static constexpr int kSnapshotStride = 8;
+
+  double eval_delta(const BStarTree& tree);
+  /// Preorder step list with x positions (no contour work), O(n).
+  void plan_steps(const BStarTree& tree, std::vector<Step>* steps);
+
+  const floorplan::Instance& inst_;
+  double spacing_;
+  TranspositionCache* tt_;
+  detail::RectScorer scorer_;
+
+  bool has_state_ = false;
+  bool full_rescan_ = false;
+  std::vector<Step> steps_;
+  /// Fixed snapshot slots (slot j holds the contour before step
+  /// j * stride); the first nvalid_ slots are consistent with steps_.
+  /// Slots are assigned in place so their segment buffers keep capacity —
+  /// steady-state replays allocate nothing.
+  std::vector<Snapshot> snapshots_;
+  int nvalid_ = 0;
+  Contour work_;  ///< replay contour, kept for its buffer capacity
+  std::vector<geom::Rect> rects_;
+  std::vector<int> moved_;
+  std::vector<Step> scratch_steps_;
+  std::vector<std::pair<int, double>> plan_stack_;
+};
+
+}  // namespace afp::metaheur

@@ -192,6 +192,7 @@ class SaOptimizer : public Optimizer {
     SAParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
     p.stop = budget.stop;
+    p.tt = budget.tt;
     return run_sa(inst, p, rng);
   }
 
@@ -271,6 +272,7 @@ class RlsaOptimizer : public Optimizer {
     RLSAParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
     p.stop = budget.stop;
+    p.tt = budget.tt;
     return run_rlsa(inst, p, rng);
   }
 
@@ -298,6 +300,7 @@ class RlspOptimizer : public Optimizer {
     RLSPParams p = p_;
     if (budget.iterations > 0) p.episodes = budget.iterations;
     p.stop = budget.stop;
+    p.tt = budget.tt;
     return run_rlsp(inst, p, rng);
   }
 
@@ -323,6 +326,7 @@ class SaBstarOptimizer : public Optimizer {
     BStarSAParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
     p.stop = budget.stop;
+    p.tt = budget.tt;
     return run_sa_bstar(inst, p, rng);
   }
 
@@ -356,6 +360,7 @@ class PtOptimizer : public Optimizer {
     PTParams p = p_;
     if (budget.iterations > 0) p.iterations = budget.iterations;
     p.stop = budget.stop;
+    p.tt = budget.tt;
     return run_pt(inst, p, rng);
   }
 

@@ -62,6 +62,10 @@ struct SearchBudget {
   /// early and returns its best-so-far.  Null = never stops (the legacy
   /// paths, bitwise unchanged).
   const CancelToken* stop = nullptr;
+  /// Optional job-scoped transposition cache (metaheur/eval_cache) threaded
+  /// through to the single-chain optimizers so restarts, quanta and PT
+  /// replicas of one job share memoized costs.  Null = no memoization.
+  TranspositionCache* tt = nullptr;
 };
 
 /// Strict full-string numeric parsing (errno + end-pointer checks; doubles

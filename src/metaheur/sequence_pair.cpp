@@ -106,8 +106,13 @@ void apply_move(SequencePair& sp, Move move, std::mt19937_64& rng) {
       break;
     }
     case Move::kChangeShape: {
-      std::uniform_int_distribution<int> shape(0, floorplan::kNumShapes - 1);
-      sp.shapes[static_cast<std::size_t>(i)] = shape(rng);
+      // Draw from the other shapes only; re-rolling the current shape would
+      // make the move a no-op (and waste an SA evaluation) 1/kNumShapes of
+      // the time.
+      std::uniform_int_distribution<int> shape(0, floorplan::kNumShapes - 2);
+      int s = shape(rng);
+      if (s >= sp.shapes[static_cast<std::size_t>(i)]) ++s;
+      sp.shapes[static_cast<std::size_t>(i)] = s;
       break;
     }
   }

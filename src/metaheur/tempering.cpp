@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "metaheur/bstar.hpp"
+#include "metaheur/eval_cache.hpp"
 #include "numeric/parallel.hpp"
 
 namespace afp::metaheur {
@@ -16,6 +17,7 @@ namespace {
 /// encodings.  Each call draws only from the replica's own stream.
 struct SpChain {
   using State = SequencePair;
+  using Evaluator = SpEvaluator;
   static State random(const floorplan::Instance& inst, std::mt19937_64& rng) {
     return SequencePair::random(inst.num_blocks(), rng);
   }
@@ -31,6 +33,7 @@ struct SpChain {
 
 struct BStarChain {
   using State = BStarTree;
+  using Evaluator = BStarEvaluator;
   static State random(const floorplan::Instance& inst, std::mt19937_64& rng) {
     return BStarTree::random(inst.num_blocks(), rng);
   }
@@ -77,6 +80,14 @@ BaselineResult run_pt_impl(const floorplan::Instance& inst, const PTParams& p,
   rngs.reserve(kz(K));
   for (int k = 0; k < K; ++k) rngs.push_back(replica_rng(base_seed, k));
 
+  // Per-replica incremental evaluators (each chain's packing state lives
+  // with its chain across rounds; replica exchanges just hand it a bigger
+  // diff).  The transposition cache — if any — is shared: its values are
+  // pure functions of the key, so concurrent replicas stay deterministic.
+  std::vector<typename Chain::Evaluator> evals_by_replica;
+  evals_by_replica.reserve(kz(K));
+  for (int k = 0; k < K; ++k) evals_by_replica.emplace_back(inst, spacing, p.tt);
+
   // Initial states + costs, one replica per chunk (chains never re-enter
   // the pool: nested parallel_for inside pack/sp_cost runs serially there).
   std::vector<State> state(kz(K));
@@ -86,7 +97,7 @@ BaselineResult run_pt_impl(const floorplan::Instance& inst, const PTParams& p,
       auto& s = state[static_cast<std::size_t>(k)];
       s = Chain::random(inst, rngs[static_cast<std::size_t>(k)]);
       cost[static_cast<std::size_t>(k)] =
-          sp_cost(inst, Chain::pack_state(inst, s, spacing));
+          evals_by_replica[static_cast<std::size_t>(k)].cost(s);
     }
   });
   std::vector<State> best_state = state;
@@ -178,7 +189,7 @@ BaselineResult run_pt_impl(const floorplan::Instance& inst, const PTParams& p,
           ++moves[ks];
           State cand = state[ks];
           Chain::mutate(cand, rng);
-          const double c = sp_cost(inst, Chain::pack_state(inst, cand, spacing));
+          const double c = evals_by_replica[ks].cost(cand);
           const double t = temp_at(static_cast<int>(k), it);
           if (c < cost[ks] || u01(rng) < std::exp((cost[ks] - c) / t)) {
             state[ks] = std::move(cand);

@@ -80,6 +80,10 @@ struct PTParams {
   /// Polled by every chain per move (and between exchange rounds); a
   /// stopped ensemble returns the best state visited so far.
   const CancelToken* stop = nullptr;
+  /// Optional job-scoped transposition cache shared by all replicas (and, in
+  /// a multi-start, by all restarts).  Memoized costs are pure functions of
+  /// the key, so sharing preserves the bitwise thread-invariance contract.
+  TranspositionCache* tt = nullptr;
 };
 
 /// Rounds between adaptive swap-interval updates.

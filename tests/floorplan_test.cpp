@@ -115,6 +115,26 @@ TEST(ConstraintsSatisfied, VerticalSymPair) {
   EXPECT_FALSE(constraints_satisfied(inst, {{0, 0, 8, 8}, {8, 2, 8, 8}}));
 }
 
+TEST(ConstraintsSatisfied, LoneSymPairRequiresCongruentDims) {
+  // Regression: with a single sym pair the mirror axis is derived from that
+  // very pair's midpoint, so the midpoint check was vacuously true and a
+  // pair of different-sized blocks "satisfied" its symmetry.  Mirrored
+  // twins must be congruent.
+  Instance inst = tiny_instance();
+  inst.constraints.sym_pairs.push_back({0, 1, true});
+  // Same row, mismatched footprints: 8x8 vs 4x16 — reflection cannot map
+  // one onto the other no matter where the axis sits.
+  EXPECT_FALSE(constraints_satisfied(inst, {{0, 0, 8, 8}, {12, 0, 4, 16}}));
+  EXPECT_FALSE(constraints_satisfied(inst, {{0, 0, 8, 8}, {12, 0, 8, 10}}));
+  // Congruent and mirrored about the midpoint: satisfied.
+  EXPECT_TRUE(constraints_satisfied(inst, {{0, 0, 8, 8}, {12, 0, 8, 8}}));
+  // Horizontal pairs get the same treatment.
+  Instance hinst = tiny_instance();
+  hinst.constraints.sym_pairs.push_back({0, 1, false});
+  EXPECT_FALSE(constraints_satisfied(hinst, {{0, 0, 8, 8}, {0, 12, 16, 4}}));
+  EXPECT_TRUE(constraints_satisfied(hinst, {{0, 0, 8, 8}, {0, 12, 8, 8}}));
+}
+
 TEST(ConstraintsSatisfied, SelfSymPinsAxisForPairs) {
   Instance inst = tiny_instance();
   inst.blocks.push_back(inst.blocks[0]);
