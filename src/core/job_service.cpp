@@ -20,7 +20,7 @@ bool sleep_unless_cancelled(double seconds, const CancelToken* cancel) {
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(seconds));
   while (Clock::now() < until) {
-    if (cancel && cancel->cancelled()) return false;
+    if (cancel && cancel->stop_requested()) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return true;
@@ -135,10 +135,13 @@ JobReport JobService::run_job(const JobSpec& spec, std::size_t id,
     }
     report.attempts = attempt + 1;
     notify(JobStatus::kRunning, attempt);
-    // The watchdog rides the job's cancel token: one deadline per attempt,
-    // measured on the monotonic clock from the attempt's start.  Copies of
-    // a CancelToken share state, so the caller's cancel() still lands.
-    CancelToken token = cancel ? *cancel : CancelToken{};
+    // The watchdog rides a *child* of the job's cancel token: one deadline
+    // per attempt, measured on the monotonic clock from the attempt's
+    // start, armed on private state so it never clobbers a deadline the
+    // caller armed on the shared token (a daemon client attaching a
+    // timeout to a running job).  The caller's cancel()/deadline still
+    // land — children observe the whole ancestor chain.
+    CancelToken token = cancel ? cancel->child() : CancelToken{};
     if (spec.config.search.budget.deadline_s > 0.0) {
       token.set_deadline_after(spec.config.search.budget.deadline_s);
     }
@@ -218,6 +221,7 @@ JobService::Handle JobService::submit(JobSpec spec) {
     Pending p;
     p.spec = std::move(spec);
     p.id = next_id_++;
+    if (opts_.cancel) p.cancel = opts_.cancel->child();
     handle.id = p.id;
     handle.cancel = p.cancel;
     handle.report = p.promise.get_future().share();
@@ -254,9 +258,10 @@ void JobService::dispatch_loop() {
         [&](std::int64_t b0, std::int64_t b1) {
           for (std::int64_t b = b0; b < b1; ++b) {
             Pending& p = batch[static_cast<std::size_t>(b)];
-            p.promise.set_value(run_job(p.spec, p.id,
-                                        job_seed(opts_.base_seed, p.id),
-                                        &p.cancel, opts_.on_progress));
+            const std::uint64_t seed =
+                p.spec.seed ? p.spec.seed : job_seed(opts_.base_seed, p.id);
+            p.promise.set_value(
+                run_job(p.spec, p.id, seed, &p.cancel, opts_.on_progress));
           }
         });
     {
@@ -270,13 +275,24 @@ void JobService::dispatch_loop() {
 std::vector<JobReport> JobService::run_batch(const std::vector<JobSpec>& jobs,
                                              const JobServiceOptions& opts) {
   std::vector<JobReport> reports(jobs.size());
+  // Every batch entry gets a real CancelToken (a child of opts.cancel when
+  // one is set): the watchdog deadline, batch-wide cancellation and
+  // mid-run deadline arming all work exactly as they do on the dispatcher
+  // path, instead of being silently dropped by a null token.
+  std::vector<CancelToken> tokens;
+  tokens.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    tokens.push_back(opts.cancel ? opts.cancel->child() : CancelToken{});
+  }
   num::parallel_for(
       static_cast<std::int64_t>(jobs.size()), 1,
       [&](std::int64_t b0, std::int64_t b1) {
         for (std::int64_t b = b0; b < b1; ++b) {
           const auto id = static_cast<std::size_t>(b);
-          reports[id] = run_job(jobs[id], id, job_seed(opts.base_seed, id),
-                                nullptr, opts.on_progress);
+          const std::uint64_t seed =
+              jobs[id].seed ? jobs[id].seed : job_seed(opts.base_seed, id);
+          reports[id] = run_job(jobs[id], id, seed, &tokens[id],
+                                opts.on_progress);
         }
       });
   return reports;

@@ -83,6 +83,10 @@ struct JobSpec {
   std::string name;  ///< label; defaults to the netlist name when empty
   netlist::Netlist netlist;
   PipelineConfig config;
+  /// Explicit per-job rng seed; 0 = derive job_seed(base_seed, id).  The
+  /// daemon uses this so a served job is bitwise identical to the same
+  /// `afp_cli floorplan --seed N` run.
+  std::uint64_t seed = 0;
 };
 
 /// Terminal record of a job.  `result` is meaningful only when status is
@@ -119,6 +123,10 @@ struct JobServiceOptions {
   std::uint64_t base_seed = 1;
   /// Invoked from worker threads; must be thread-safe.  May be empty.
   ProgressFn on_progress;
+  /// Optional service/batch-wide stop signal: every job's token is created
+  /// as a child of this one, so cancel() (or an armed deadline) on it stops
+  /// all jobs at iteration latency — the daemon's drain path.  Null = none.
+  const CancelToken* cancel = nullptr;
 };
 
 class JobService {

@@ -19,7 +19,7 @@ std::string num(double v) {
   return buf;
 }
 
-std::string job_error_json(const JobError& err) {
+std::string error_json(const JobError& err) {
   std::ostringstream os;
   os << "{\"kind\": \"" << to_string(err.kind) << "\", \"message\": \""
      << json_escape(err.message) << "\", \"quantum\": " << err.quantum << "}";
@@ -112,6 +112,25 @@ std::string report_json(const PipelineResult& res, const std::string& circuit,
   return os.str();
 }
 
+std::string job_report_json(const JobReport& job) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << json_escape(job.name) << "\", \"status\": \""
+     << to_string(job.status) << "\", \"seed\": " << job.seed
+     << ", \"runtime_s\": " << num(job.runtime_s)
+     << ", \"attempts\": " << job.attempts << ", \"error\": "
+     << (job.error.ok() ? "null" : error_json(job.error)) << ", \"report\": ";
+  if (job.status == JobStatus::kDone) {
+    // Nested single-run report; re-indentation is cosmetic only, so the
+    // inner newlines are kept as-is.
+    os << report_json(job.result, job.name, job.optimizer, job.options,
+                      job.search, job.seed);
+  } else {
+    os << "null";
+  }
+  os << "}";
+  return os.str();
+}
+
 std::string batch_report_json(const std::vector<JobReport>& reports,
                               std::uint64_t base_seed, double time_budget_s,
                               int threads) {
@@ -124,22 +143,8 @@ std::string batch_report_json(const std::vector<JobReport>& reports,
      << ", \"threads\": " << threads << "},\n";
   os << "  \"jobs\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
-    const auto& job = reports[i];
-    os << "    {\"name\": \"" << json_escape(job.name) << "\", \"status\": \""
-       << to_string(job.status) << "\", \"seed\": " << job.seed
-       << ", \"runtime_s\": " << num(job.runtime_s)
-       << ", \"attempts\": " << job.attempts << ", \"error\": "
-       << (job.error.ok() ? "null" : job_error_json(job.error))
-       << ", \"report\": ";
-    if (job.status == JobStatus::kDone) {
-      // Nested single-run report; re-indentation is cosmetic only, so the
-      // inner newlines are kept as-is.
-      os << report_json(job.result, job.name, job.optimizer, job.options,
-                        job.search, job.seed);
-    } else {
-      os << "null";
-    }
-    os << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
+    os << "    " << job_report_json(reports[i])
+       << (i + 1 < reports.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}";

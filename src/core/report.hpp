@@ -33,8 +33,16 @@ std::string report_json(const PipelineResult& res, const std::string& circuit,
                         const metaheur::Options& options,
                         const SearchConfig& search, std::uint64_t seed);
 
-/// Batch report: metadata + one entry per job in job order.  Jobs that did
-/// not finish (cancelled/failed) carry a null report.
+/// One job as a JSON object — the per-entry shape of batch_report_json and
+/// the body of the daemon's `result` frames (shared emitter, so a served
+/// job's bytes match the equivalent batch entry exactly).  `report` is
+/// always the *last* member: a consumer that wants the nested single-run
+/// report verbatim can slice from its key to the closing brace without
+/// re-serializing (the daemon protocol documents this).  Jobs that did not
+/// finish carry a null report.
+std::string job_report_json(const JobReport& job);
+
+/// Batch report: metadata + one entry per job in job order.
 std::string batch_report_json(const std::vector<JobReport>& reports,
                               std::uint64_t base_seed, double time_budget_s,
                               int threads);

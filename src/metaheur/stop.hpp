@@ -10,6 +10,12 @@
 // core::JobService), which keeps the metaheuristics layer free of error
 // policy.  All accesses are relaxed atomics — no ordering is needed for a
 // monotonic boolean plus an immutable-after-arm deadline.
+//
+// child() derives a token that *observes* this one (cancel and deadline
+// propagate parent -> child) but arms its own deadline privately.  The
+// watchdog uses it so a per-attempt deadline never clobbers a deadline the
+// caller armed on the shared state — e.g. a daemon client attaching a
+// timeout to a job whose retry loop is also arming per-attempt deadlines.
 #pragma once
 
 #include <atomic>
@@ -23,13 +29,27 @@ class CancelToken {
  public:
   CancelToken() : state_(std::make_shared<State>()) {}
 
+  /// A fresh token linked to this one: cancel()/deadlines set on *this* (or
+  /// any ancestor) are observed by the child, while set_deadline_after on
+  /// the child stays private to it.  Chains may nest (batch token -> job
+  /// token -> attempt token); reads walk the whole chain.
+  CancelToken child() const {
+    CancelToken c;
+    c.state_->parent = state_;
+    return c;
+  }
+
   void cancel() const { state_->cancelled.store(true, std::memory_order_relaxed); }
   bool cancelled() const {
-    return state_->cancelled.load(std::memory_order_relaxed);
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
   }
 
   /// Arms the watchdog: the token expires `seconds` from now on the
-  /// monotonic clock.  Non-positive values disarm.
+  /// monotonic clock.  Non-positive values disarm (this token only — an
+  /// ancestor's armed deadline still applies).
   void set_deadline_after(double seconds) const {
     if (seconds <= 0.0) {
       state_->deadline_ns.store(0, std::memory_order_relaxed);
@@ -43,16 +63,24 @@ class CancelToken {
   }
 
   bool has_deadline() const {
-    return state_->deadline_ns.load(std::memory_order_relaxed) != 0;
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->deadline_ns.load(std::memory_order_relaxed) != 0) return true;
+    }
+    return false;
   }
 
-  /// True once the armed deadline has passed (false when disarmed).
+  /// True once any armed deadline in the chain has passed (false when all
+  /// are disarmed — no clock read in that case).
   bool expired() const {
-    const std::int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
-    if (d == 0) return false;
+    std::int64_t soonest = 0;
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      const std::int64_t d = s->deadline_ns.load(std::memory_order_relaxed);
+      if (d != 0 && (soonest == 0 || d < soonest)) soonest = d;
+    }
+    if (soonest == 0) return false;
     const auto now = std::chrono::steady_clock::now().time_since_epoch();
     return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
-           d;
+           soonest;
   }
 
   /// Cancelled OR expired — the single predicate the search loops poll.
@@ -63,24 +91,31 @@ class CancelToken {
     std::atomic<bool> cancelled{false};
     /// Monotonic-clock deadline in ns since the steady epoch; 0 = disarmed.
     std::atomic<std::int64_t> deadline_ns{0};
+    /// Observed ancestor; immutable after child() construction.
+    std::shared_ptr<const State> parent;
   };
   std::shared_ptr<State> state_;
 };
 
-/// Throttled polling helper for hot loops: the cancel flag is one relaxed
-/// load per call, but the deadline needs a clock read, so it is only
-/// consulted every kClockStride calls.  With a null token every call is a
-/// constant `false` — legacy callers pay nothing.
+/// Throttled polling helper for hot loops: the cancel flag is one chain walk
+/// of relaxed loads per call, but the deadline needs a clock read, so it is
+/// only consulted every kClockStride calls.  With a null token every call is
+/// a constant `false` — legacy callers pay nothing.
+///
+/// The deadline is re-consulted on every stride tick instead of being cached
+/// at construction: a deadline armed *after* the poller was built (a daemon
+/// client attaching a timeout to an already-running job) must still fire
+/// within one stride.  expired() itself short-circuits without a clock read
+/// while no deadline is armed, so un-timed runs only pay the extra relaxed
+/// loads once per stride.
 class StopPoll {
  public:
-  explicit StopPoll(const CancelToken* token)
-      : token_(token), timed_(token != nullptr && token->has_deadline()) {}
+  explicit StopPoll(const CancelToken* token) : token_(token) {}
 
   bool operator()() {
     if (token_ == nullptr) return false;
     if (token_->cancelled()) return true;
-    if (!timed_) return false;
-    // Clock reads on the first call, then every kClockStride-th.
+    // Deadline check on the first call, then every kClockStride-th.
     if (calls_++ % kClockStride != 0) return false;
     return token_->expired();
   }
@@ -88,7 +123,6 @@ class StopPoll {
  private:
   static constexpr std::uint32_t kClockStride = 32;
   const CancelToken* token_;
-  bool timed_;
   std::uint32_t calls_ = 0;
 };
 

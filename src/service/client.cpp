@@ -1,0 +1,231 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace afp::service {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    sys_fail("connect " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    sys_fail("connect " + host + ":" + std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      progress_(std::move(other.progress_)),
+      results_(std::move(other.results_)) {
+  other.fd_ = -1;
+}
+
+void Client::send_raw(const std::string& bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) sys_fail("send");
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_frame(const std::string& payload) {
+  send_raw(encode_frame(payload));
+}
+
+void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+std::string Client::read_frame() {
+  std::string payload;
+  while (!reader_.next(&payload)) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error(reader_.idle()
+                                   ? "connection closed by server"
+                                   : "connection closed mid-frame");
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+  return payload;
+}
+
+void Client::stash(const JsonValue& v, const std::string& payload) {
+  const std::string& type = v.at("type").as_string();
+  if (type == "progress") {
+    Progress p;
+    p.job = v.at("job").as_uint("job");
+    p.status = v.at("status").as_string();
+    p.runtime_s = v.at("runtime_s").is_null() ? 0.0
+                                              : v.at("runtime_s").as_number();
+    p.attempt = static_cast<int>(v.at("attempt").as_int("attempt"));
+    progress_.push_back(std::move(p));
+    return;
+  }
+  if (type == "result") {
+    Result r;
+    r.job = v.at("job").as_uint("job");
+    r.name = v.at("name").as_string();
+    r.status = v.at("status").as_string();
+    r.seed = v.at("seed").as_uint("seed");
+    r.attempts = static_cast<int>(v.at("attempts").as_int("attempts"));
+    if (const JsonValue* err = v.find("error"); err && err->is_object()) {
+      r.error_kind = err->at("kind").as_string();
+      r.error_message = err->at("message").as_string();
+    }
+    r.report_raw = result_report_slice(payload);
+    results_[r.job] = std::move(r);
+    return;
+  }
+  throw std::runtime_error("unexpected frame of type \"" + type + "\"");
+}
+
+JsonValue Client::read_reply() {
+  for (;;) {
+    const std::string payload = read_frame();
+    const JsonValue v = json_parse(payload);
+    const std::string& type = v.at("type").as_string();
+    if (type == "progress" || type == "result") {
+      stash(v, payload);
+      continue;
+    }
+    if (type == "error") {
+      const JsonValue& msg = v.at("message");
+      throw ServerError(v.at("kind").as_string(), msg.as_string());
+    }
+    return v;
+  }
+}
+
+Client::Accepted Client::submit(const std::string& circuit,
+                                std::uint64_t seed, int priority,
+                                const std::string& config_json) {
+  std::ostringstream os;
+  os << "{\"type\": \"submit\", \"circuit\": \"" << core::json_escape(circuit)
+     << "\", \"seed\": " << seed << ", \"priority\": " << priority;
+  if (!config_json.empty()) os << ", \"config\": " << config_json;
+  os << "}";
+  send_frame(os.str());
+  const JsonValue v = read_reply();
+  if (v.at("type").as_string() != "accepted") {
+    throw std::runtime_error("expected an accepted reply");
+  }
+  return Accepted{v.at("job").as_uint("job"), v.at("queued").as_bool()};
+}
+
+Client::Accepted Client::submit_spice(const std::string& spice,
+                                      const std::string& name,
+                                      std::uint64_t seed, int priority,
+                                      const std::string& config_json) {
+  std::ostringstream os;
+  os << "{\"type\": \"submit\", \"spice\": \"" << core::json_escape(spice)
+     << "\", \"name\": \"" << core::json_escape(name)
+     << "\", \"seed\": " << seed << ", \"priority\": " << priority;
+  if (!config_json.empty()) os << ", \"config\": " << config_json;
+  os << "}";
+  send_frame(os.str());
+  const JsonValue v = read_reply();
+  if (v.at("type").as_string() != "accepted") {
+    throw std::runtime_error("expected an accepted reply");
+  }
+  return Accepted{v.at("job").as_uint("job"), v.at("queued").as_bool()};
+}
+
+void Client::cancel(std::uint64_t job) {
+  send_frame("{\"type\": \"cancel\", \"job\": " + std::to_string(job) + "}");
+  (void)read_reply();  // ok
+}
+
+void Client::set_deadline(std::uint64_t job, double seconds) {
+  std::ostringstream os;
+  os << "{\"type\": \"deadline\", \"job\": " << job
+     << ", \"seconds\": " << seconds << "}";
+  send_frame(os.str());
+  (void)read_reply();  // ok
+}
+
+bool Client::ping() {
+  send_frame("{\"type\": \"ping\"}");
+  const JsonValue v = read_reply();
+  if (v.at("type").as_string() != "pong") {
+    throw std::runtime_error("expected a pong reply");
+  }
+  return v.at("draining").as_bool();
+}
+
+Client::Result Client::await_result(std::uint64_t job) {
+  for (;;) {
+    auto it = results_.find(job);
+    if (it != results_.end()) {
+      Result r = std::move(it->second);
+      results_.erase(it);
+      return r;
+    }
+    const std::string payload = read_frame();
+    const JsonValue v = json_parse(payload);
+    const std::string& type = v.at("type").as_string();
+    if (type == "error") {
+      throw ServerError(v.at("kind").as_string(),
+                        v.at("message").as_string());
+    }
+    stash(v, payload);
+  }
+}
+
+}  // namespace afp::service

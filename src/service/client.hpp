@@ -1,0 +1,105 @@
+// Blocking afpd client: connect, submit, stream progress, await results.
+//
+// One Client is one session (one socket) and is NOT thread-safe — afpd
+// serves many concurrent clients, so load generators simply run one Client
+// per thread.  Replies to requests arrive in request order on the session,
+// but `progress` and `result` frames for other jobs may interleave; the
+// client demultiplexes by stashing async events until asked for them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace afp::service {
+
+/// A structured `error` response (or a protocol-level failure mapped onto
+/// one).  `kind` is the JobErrorKind spelling from the wire.
+struct ServerError : std::runtime_error {
+  ServerError(std::string k, const std::string& message)
+      : std::runtime_error(k + ": " + message), kind(std::move(k)) {}
+  std::string kind;
+};
+
+class Client {
+ public:
+  struct Accepted {
+    std::uint64_t job = 0;
+    bool queued = false;
+  };
+  struct Progress {
+    std::uint64_t job = 0;
+    std::string status;
+    double runtime_s = 0.0;
+    int attempt = 0;
+  };
+  struct Result {
+    std::uint64_t job = 0;
+    std::string name;
+    std::string status;      ///< "done", "cancelled", "deadline_exceeded"...
+    std::uint64_t seed = 0;
+    int attempts = 1;
+    std::string error_kind;  ///< "" when the job succeeded
+    std::string error_message;
+    /// The nested single-run report, sliced VERBATIM from the frame (no
+    /// re-serialization): byte-identical to `afp_cli --report-json` for the
+    /// same circuit/config/seed.  "null" for unfinished jobs.
+    std::string report_raw;
+  };
+
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Builds and sends a submit request; waits for the accepted/error reply.
+  /// `config_json` is the raw "config" object ("" = server defaults).
+  /// Throws ServerError on a structured rejection.
+  Accepted submit(const std::string& circuit, std::uint64_t seed,
+                  int priority = 0, const std::string& config_json = "");
+  /// Same, with an inline SPICE deck instead of a registry circuit name.
+  Accepted submit_spice(const std::string& spice, const std::string& name,
+                        std::uint64_t seed, int priority = 0,
+                        const std::string& config_json = "");
+  void cancel(std::uint64_t job);
+  void set_deadline(std::uint64_t job, double seconds);
+  /// Liveness probe; returns the server's draining flag.
+  bool ping();
+  /// Blocks until the job's terminal `result` frame (or throws ServerError /
+  /// runtime_error when the connection dies first).
+  Result await_result(std::uint64_t job);
+
+  /// Progress events observed so far (drained as a side effect of every
+  /// other call); cleared by the caller via progress().clear() if desired.
+  std::vector<Progress>& progress() { return progress_; }
+
+  // Low-level access, used by the protocol-robustness tests.
+  void send_frame(const std::string& payload);
+  /// Sends bytes with no framing — for malformed-input injection.
+  void send_raw(const std::string& bytes);
+  /// Reads one frame payload; throws std::runtime_error on EOF/error.
+  std::string read_frame();
+  /// Half-closes the write side (server sees EOF, responses still readable).
+  void shutdown_write();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  /// Reads frames, stashing async events, until a request reply arrives.
+  JsonValue read_reply();
+  void stash(const JsonValue& v, const std::string& payload);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::vector<Progress> progress_;
+  std::map<std::uint64_t, Result> results_;
+};
+
+}  // namespace afp::service

@@ -1,0 +1,578 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "metaheur/optimizer.hpp"
+#include "netlist/library.hpp"
+
+namespace afp::service {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), admission_(cfg_.admission) {}
+
+Server::~Server() {
+  if (service_) drain();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+}
+
+void Server::logf(const char* fmt, ...) {
+  if (!cfg_.log) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "afpd: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+
+void Server::start() {
+  if (::pipe(wake_pipe_) != 0) sys_fail("pipe");
+  if (!cfg_.unix_path.empty()) {
+    if (cfg_.unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("socket path too long: " + cfg_.unix_path);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) sys_fail("socket");
+    ::unlink(cfg_.unix_path.c_str());  // stale socket from a previous run
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      sys_fail("bind " + cfg_.unix_path);
+    }
+  } else if (cfg_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) sys_fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      sys_fail("bind 127.0.0.1:" + std::to_string(cfg_.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+  } else {
+    throw std::runtime_error("server needs a unix socket path or a TCP port");
+  }
+  if (::listen(listen_fd_, 64) != 0) sys_fail("listen");
+
+  core::JobServiceOptions sopts;
+  sopts.base_seed = cfg_.base_seed;
+  sopts.cancel = &drain_token_;
+  sopts.on_progress = [this](const core::JobProgress& p) { on_progress(p); };
+  service_ = std::make_unique<core::JobService>(std::move(sopts));
+  completer_ = std::thread([this] { completer_loop(); });
+  logf("listening on %s",
+       cfg_.unix_path.empty()
+           ? ("127.0.0.1:" + std::to_string(bound_port_)).c_str()
+           : cfg_.unix_path.c_str());
+}
+
+void Server::request_drain() {
+  // Async-signal-safe: one byte down the self-pipe; everything else happens
+  // on the accept thread.
+  const char b = 'd';
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::serve() {
+  accept_loop();
+  drain();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // drain requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Reap sessions whose readers already finished — keeps the thread and
+    // fd footprint bounded over a long daemon lifetime.
+    std::vector<std::shared_ptr<Session>> reaped;
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reaped.swap(dead_sessions_);
+      id = next_session_++;
+    }
+    for (auto& d : reaped) {
+      if (d->reader.joinable()) d->reader.join();
+    }
+    if (!admission_.open_session(id)) {
+      const std::string frame = encode_frame(error_json(
+          core::JobErrorKind::kResourceExhausted,
+          draining_.load() ? "draining: the server is shutting down"
+                           : "session limit reached"));
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    auto s = std::make_shared<Session>();
+    s->id = id;
+    s->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_[id] = s;
+    }
+    logf("session %llu: connected", static_cast<unsigned long long>(id));
+    s->reader = std::thread([this, s] { reader_loop(s); });
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Session>& s) {
+  FrameReader reader;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(s->fd, buf, sizeof buf, 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool framing_lost = false;
+    try {
+      reader.feed(buf, static_cast<std::size_t>(n));
+      std::string payload;
+      while (reader.next(&payload)) handle_request(s, payload);
+    } catch (const ProtocolError& e) {
+      // A bad length prefix: every later byte boundary is garbage, so the
+      // session ends — but with a structured parting error, not a hang.
+      write_frame(s, error_json(e.kind, e.what()));
+      framing_lost = true;
+    }
+    if (framing_lost) break;
+  }
+  if (!reader.idle()) {
+    logf("session %llu: disconnected mid-frame",
+         static_cast<unsigned long long>(s->id));
+  }
+  session_closed(s);
+}
+
+void Server::session_closed(const std::shared_ptr<Session>& s) {
+  // Cancel what the departed client still owned: running jobs stop at
+  // iteration latency (their results are discarded on write), jobs that
+  // never launched are finished as cancelled so their admission slots free
+  // up immediately.
+  std::vector<std::pair<std::uint64_t, JobRecord>> unrun;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Move sessions_ -> dead_sessions_ atomically: under mu_, every live
+    // session is in exactly one of the two, so the joiners (accept-loop
+    // reaper, drain) cannot miss one mid-teardown.  Joining a reader that is
+    // still finishing this function merely blocks until it returns.
+    sessions_.erase(s->id);
+    dead_sessions_.push_back(s);
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.session != s->id) {
+        ++it;
+      } else if (it->second.running) {
+        it->second.handle.cancel.cancel();
+        ++it;
+      } else {
+        unrun.emplace_back(it->first, std::move(it->second));
+        it = jobs_.erase(it);
+      }
+    }
+  }
+  for (auto& [job, rec] : unrun) {
+    finish_unrun(job, std::move(rec), "session closed", nullptr);
+  }
+  admission_.close_session(s->id);
+  {
+    // Closing under write_mu (with `closed` set first) means a concurrent
+    // write_frame either skips or finishes on the live fd — never a
+    // send() on a recycled descriptor.
+    std::lock_guard<std::mutex> lock(s->write_mu);
+    s->closed.store(true);
+    ::close(s->fd);
+    s->fd = -1;
+  }
+  jobs_cv_.notify_all();
+  logf("session %llu: closed", static_cast<unsigned long long>(s->id));
+}
+
+void Server::write_frame(const std::shared_ptr<Session>& s,
+                         const std::string& payload) {
+  if (!s) return;
+  std::string frame;
+  try {
+    frame = encode_frame(payload);
+  } catch (const std::exception&) {
+    return;  // response larger than the cap — drop rather than corrupt
+  }
+  std::lock_guard<std::mutex> lock(s->write_mu);
+  if (s->closed.load() || s->fd < 0) return;
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::send(s->fd, p, left, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // EPIPE & friends: the client is gone; the reader will notice too.
+      s->closed.store(true);
+      return;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void Server::handle_request(const std::shared_ptr<Session>& s,
+                            const std::string& payload) {
+  Request req;
+  try {
+    req = parse_request(payload);
+  } catch (const ProtocolError& e) {
+    write_frame(s, error_json(e.kind, e.what()));
+    return;
+  } catch (const JsonError& e) {
+    write_frame(s, error_json(core::JobErrorKind::kInvalidConfig, e.what()));
+    return;
+  } catch (const std::exception& e) {
+    write_frame(s, error_json(core::JobErrorKind::kInternal, e.what()));
+    return;
+  }
+  switch (req.kind) {
+    case Request::Kind::kPing:
+      write_frame(s, pong_json(draining_.load()));
+      return;
+    case Request::Kind::kSubmit:
+      handle_submit(s, std::move(req.submit));
+      return;
+    case Request::Kind::kCancel: {
+      bool found = false;
+      bool was_running = false;
+      JobRecord removed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(req.job);
+        if (it != jobs_.end() && it->second.session == s->id) {
+          found = true;
+          if (it->second.running) {
+            it->second.handle.cancel.cancel();
+            was_running = true;
+          } else {
+            removed = std::move(it->second);
+            jobs_.erase(it);
+          }
+        }
+      }
+      if (!found) {
+        write_frame(s, error_json(core::JobErrorKind::kInvalidConfig,
+                                  "unknown job", req.job));
+        return;
+      }
+      if (!was_running) {
+        finish_unrun(req.job, std::move(removed), "cancelled before launch",
+                     s);
+      }
+      write_frame(s, ok_json(req.job));
+      return;
+    }
+    case Request::Kind::kDeadline: {
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(req.job);
+        if (it != jobs_.end() && it->second.session == s->id) {
+          found = true;
+          if (it->second.running) {
+            // Mid-run watchdog arming — the StopPoll re-consultation path:
+            // the running optimizer's poller picks this up within one
+            // clock stride.
+            it->second.handle.cancel.set_deadline_after(req.seconds);
+          } else {
+            it->second.pending_deadline_s = req.seconds;
+          }
+        }
+      }
+      if (!found) {
+        write_frame(s, error_json(core::JobErrorKind::kInvalidConfig,
+                                  "unknown job", req.job));
+        return;
+      }
+      write_frame(s, ok_json(req.job));
+      return;
+    }
+  }
+}
+
+void Server::handle_submit(const std::shared_ptr<Session>& s,
+                           SubmitRequest req) {
+  core::JobSpec spec;
+  spec.name = req.name;
+  spec.config = std::move(req.config);
+  spec.seed = req.seed;
+  // Validate optimizer + options and load the netlist before admission, so
+  // a job that can never run is rejected without holding a slot.
+  try {
+    metaheur::make_optimizer(spec.config.optimizer, spec.config.options);
+  } catch (const std::exception& e) {
+    write_frame(s, error_json(core::JobErrorKind::kInvalidConfig, e.what()));
+    return;
+  }
+  try {
+    if (!req.circuit.empty()) {
+      bool found = false;
+      for (const auto& e : netlist::circuit_registry()) {
+        if (e.name == req.circuit) {
+          spec.netlist = e.make();
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::runtime_error("'" + req.circuit +
+                                 "' is not a registry circuit");
+      }
+    } else {
+      spec.netlist = netlist::Netlist::from_spice(req.spice);
+    }
+  } catch (const std::exception& e) {
+    write_frame(s, error_json(core::JobErrorKind::kInvalidConfig, e.what()));
+    return;
+  }
+
+  std::uint64_t job = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job = next_job_++;
+  }
+  std::string reason;
+  const auto verdict = admission_.admit(s->id, job, req.priority, &reason);
+  if (verdict == AdmissionQueue::Verdict::kRejected) {
+    write_frame(s,
+                error_json(core::JobErrorKind::kResourceExhausted, reason));
+    return;
+  }
+  const bool queued = verdict == AdmissionQueue::Verdict::kParked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JobRecord rec;
+    rec.job = job;
+    rec.session = s->id;
+    rec.spec = std::move(spec);
+    if (!queued) launch_locked(rec);
+    jobs_[job] = std::move(rec);
+  }
+  logf("session %llu: job %llu %s", static_cast<unsigned long long>(s->id),
+       static_cast<unsigned long long>(job), queued ? "parked" : "running");
+  write_frame(s, accepted_json(job, queued));
+}
+
+void Server::launch_locked(JobRecord& rec) {
+  rec.handle = service_->submit(rec.spec);
+  svc_to_job_[rec.handle.id] = rec.job;
+  rec.running = true;
+  if (rec.cancel_requested) rec.handle.cancel.cancel();
+  if (rec.pending_deadline_s > 0.0) {
+    rec.handle.cancel.set_deadline_after(rec.pending_deadline_s);
+  }
+}
+
+void Server::launch_all(const std::vector<std::uint64_t>& jobs) {
+  for (const std::uint64_t job : jobs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(job);
+    // The record can be gone when its session died between the admission
+    // pop and here; the slot was re-released by that path.
+    if (it != jobs_.end() && !it->second.running) launch_locked(it->second);
+  }
+}
+
+void Server::finish_unrun(std::uint64_t job, JobRecord rec,
+                          const std::string& message,
+                          const std::shared_ptr<Session>& sess) {
+  core::JobReport rep;
+  rep.id = job;
+  rep.name = rec.spec.name;
+  rep.seed = rec.spec.seed;
+  rep.status = core::JobStatus::kCancelled;
+  rep.error = {core::JobErrorKind::kCancelled, message, job, -1};
+  rep.optimizer = rec.spec.config.optimizer;
+  rep.search = rec.spec.config.search;
+  // Write before releasing the admission slot / notifying: the callers
+  // already removed the job from jobs_, and drain closes sockets once
+  // jobs_ is empty — the terminal frame must not race that shutdown.
+  if (sess) write_frame(sess, result_json(job, rep));
+  const auto launched = admission_.release(job);
+  jobs_cv_.notify_all();
+  launch_all(launched);
+}
+
+void Server::on_progress(const core::JobProgress& p) {
+  std::uint64_t job = 0;
+  std::shared_ptr<Session> sess;
+  bool terminal = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = svc_to_job_.find(p.id);
+    if (it == svc_to_job_.end()) return;
+    job = it->second;
+    auto jt = jobs_.find(job);
+    if (jt != jobs_.end()) {
+      auto st = sessions_.find(jt->second.session);
+      if (st != sessions_.end()) sess = st->second;
+    }
+    terminal = p.status != core::JobStatus::kRunning &&
+               p.status != core::JobStatus::kQueued;
+    if (terminal) done_svc_.push_back(p.id);
+  }
+  if (terminal) done_cv_.notify_one();
+  // Streamed per session; write_frame serializes on the session's write
+  // mutex, so progress frames never interleave with results.
+  if (sess) write_frame(sess, progress_json(job, p));
+}
+
+void Server::completer_loop() {
+  for (;;) {
+    std::uint64_t svc = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock,
+                    [this] { return completer_stop_ || !done_svc_.empty(); });
+      if (done_svc_.empty() && completer_stop_) return;
+      svc = done_svc_.front();
+      done_svc_.pop_front();
+    }
+    std::uint64_t job = 0;
+    core::JobService::Handle handle;
+    std::shared_ptr<Session> sess;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = svc_to_job_.find(svc);
+      if (it != svc_to_job_.end()) {
+        job = it->second;
+        auto jt = jobs_.find(job);
+        if (jt != jobs_.end()) {
+          handle = jt->second.handle;
+          auto st = sessions_.find(jt->second.session);
+          if (st != sessions_.end()) sess = st->second;
+          found = true;
+        }
+      }
+    }
+    if (!found) continue;
+    // The terminal progress event fires just before run_job returns, so
+    // this get() resolves promptly; it must NOT hold mu_ (the worker's
+    // progress callbacks need it to make progress).
+    const core::JobReport report = handle.report.get();
+    // The result frame goes out BEFORE the job leaves jobs_: drain waits on
+    // jobs_ becoming empty and then closes the session sockets, so writing
+    // after the erase would race the shutdown and could lose the report.
+    write_frame(sess, result_json(job, report));
+    const auto launched = admission_.release(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      svc_to_job_.erase(svc);
+      jobs_.erase(job);
+    }
+    jobs_cv_.notify_all();
+    launch_all(launched);
+    logf("job %llu: %s", static_cast<unsigned long long>(job),
+         core::to_string(report.status));
+  }
+}
+
+void Server::drain() {
+  if (!service_) return;
+  draining_.store(true);
+  admission_.begin_drain();
+  logf("draining: %zu jobs outstanding", admission_.outstanding());
+  // Phase 1: let in-flight and parked jobs finish on their own.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    jobs_cv_.wait_for(
+        lock, std::chrono::duration<double>(std::max(0.0, cfg_.drain_grace_s)),
+        [this] { return jobs_.empty(); });
+  }
+  // Phase 2: cancel stragglers through the service-wide token (every job
+  // token is its child) and wait for the terminal reports to flush.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!jobs_.empty()) {
+      drain_token_.cancel();
+      logf("drain grace expired: cancelling %zu jobs", jobs_.size());
+      jobs_cv_.wait_for(lock, std::chrono::seconds(60),
+                        [this] { return jobs_.empty(); });
+    }
+  }
+  // Phase 3: close the sessions (results are already flushed) and join
+  // their readers, then stop the completer and the service.
+  std::vector<std::shared_ptr<Session>> open;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, s] : sessions_) open.push_back(s);
+  }
+  // A session snapshotted above may close itself concurrently (reader hits
+  // EOF, session_closed closes the fd and recycles it to -1).  Taking
+  // write_mu and re-checking `closed` keeps the shutdown on the live
+  // descriptor — never on a closed or reused fd number.
+  for (auto& s : open) {
+    std::lock_guard<std::mutex> lock(s->write_mu);
+    if (!s->closed.load() && s->fd >= 0) ::shutdown(s->fd, SHUT_RDWR);
+  }
+  for (auto& s : open) {
+    if (s->reader.joinable()) s->reader.join();
+  }
+  std::vector<std::shared_ptr<Session>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead.swap(dead_sessions_);
+    completer_stop_ = true;
+  }
+  for (auto& s : dead) {
+    if (s->reader.joinable()) s->reader.join();
+  }
+  done_cv_.notify_all();
+  if (completer_.joinable()) completer_.join();
+  service_.reset();  // joins the dispatcher after the queue drains
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+  logf("drained");
+}
+
+}  // namespace afp::service

@@ -1,0 +1,154 @@
+// afpd server: a Unix-socket / loopback-TCP listener speaking the
+// length-prefixed JSON protocol (service/protocol.hpp), one session per
+// client on top of the shared core::JobService.
+//
+// Thread model:
+//
+//   * serve()           — the accept loop (caller's thread); poll()s the
+//                         listen socket and a self-pipe so request_drain()
+//                         (async-signal-safe) can interrupt it,
+//   * one reader thread per session — recv -> FrameReader -> requests;
+//                         replies and async events are written under the
+//                         session's write mutex, so frames never interleave,
+//   * JobService workers — run the jobs; the progress callback routes
+//                         events to the owning session,
+//   * one completer thread — collects terminal jobs, writes the `result`
+//                         frame, releases the admission slot and launches
+//                         parked jobs.  Single-threaded on purpose: result
+//                         delivery and admission hand-off stay ordered.
+//
+// Job lifecycle: submit -> admission verdict (run / parked / rejected) ->
+// JobService::submit (immediately or when a slot frees) -> progress frames
+// -> terminal `result` frame.  Cancels map onto the job's CancelToken;
+// client `deadline` requests arm the token mid-run (the watchdog path).
+//
+// Drain (SIGTERM or request_drain()): stop accepting sessions, reject new
+// submits ("draining"), let in-flight and parked jobs finish for
+// drain_grace_s, then cancel whatever is left via the service-wide token;
+// every accepted job still gets its terminal `result` frame before the
+// sockets close.
+//
+// Determinism: a job submitted with an explicit seed is executed by the
+// same JobService::run_job path as `afp_cli floorplan --seed N` and its
+// nested report is emitted by the same core/report code — byte-identical
+// output, which afp_loadgen and the smoke tests verify.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job_service.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+
+namespace afp::service {
+
+struct ServerConfig {
+  /// Unix-domain socket path (primary listener; "" disables).
+  std::string unix_path;
+  /// Loopback TCP port (used when unix_path is empty; 0 picks a free port).
+  int tcp_port = -1;
+  AdmissionConfig admission{};
+  std::uint64_t base_seed = 1;    ///< derives seeds for seed-less submits
+  double drain_grace_s = 5.0;     ///< drain: finish window before cancelling
+  bool log = false;               ///< one stderr line per lifecycle event
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens (clients may connect as soon as this returns) and
+  /// starts the worker threads.  Throws std::runtime_error on bind failure.
+  void start();
+
+  /// Accept loop; returns after a requested drain has fully completed
+  /// (all jobs terminal, results flushed, sessions closed).
+  void serve();
+
+  /// Async-signal-safe: one write() to a self-pipe.  The accept loop picks
+  /// it up and runs the drain.  Safe to call more than once.
+  void request_drain();
+
+  bool draining() const { return draining_.load(); }
+  /// Bound TCP port (after start(); 0 for a unix-socket server).
+  int port() const { return bound_port_; }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::thread reader;
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+  };
+
+  struct JobRecord {
+    std::uint64_t job = 0;
+    std::uint64_t session = 0;
+    bool running = false;           ///< false: parked, spec not yet submitted
+    bool cancel_requested = false;  ///< parked-phase cancel
+    double pending_deadline_s = 0;  ///< parked-phase deadline request
+    core::JobSpec spec;
+    core::JobService::Handle handle;  ///< valid when running
+  };
+
+  void accept_loop();
+  void drain();
+  void reader_loop(const std::shared_ptr<Session>& s);
+  void session_closed(const std::shared_ptr<Session>& s);
+  void handle_request(const std::shared_ptr<Session>& s,
+                      const std::string& payload);
+  void handle_submit(const std::shared_ptr<Session>& s, SubmitRequest req);
+  /// Submits a record's spec to the JobService; mu_ must be held.
+  void launch_locked(JobRecord& rec);
+  /// Launches every job admission just released (ids from release()).
+  void launch_all(const std::vector<std::uint64_t>& jobs);
+  /// Terminal path for a job that never ran (parked cancel, dead session).
+  void finish_unrun(std::uint64_t job, JobRecord rec,
+                    const std::string& message,
+                    const std::shared_ptr<Session>& sess);
+  void completer_loop();
+  void on_progress(const core::JobProgress& p);
+  void write_frame(const std::shared_ptr<Session>& s,
+                   const std::string& payload);
+  void logf(const char* fmt, ...);
+
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  metaheur::CancelToken drain_token_;
+  AdmissionQueue admission_;
+  std::unique_ptr<core::JobService> service_;
+
+  std::mutex mu_;
+  std::condition_variable jobs_cv_;  ///< jobs_ shrank (drain waits on empty)
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<std::shared_ptr<Session>> dead_sessions_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::map<std::uint64_t, std::uint64_t> svc_to_job_;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_job_ = 1;
+
+  std::deque<std::uint64_t> done_svc_;  ///< terminal service ids, FIFO
+  std::condition_variable done_cv_;
+  bool completer_stop_ = false;
+  std::thread completer_;
+
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace afp::service

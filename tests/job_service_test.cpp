@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <thread>
 
 #include "core/fault.hpp"
 #include "core/job_service.hpp"
@@ -208,6 +210,135 @@ TEST(Cancellation, LatencyIsBoundedByOneIteration) {
   std::mt19937_64 rng(1);
   const auto r = metaheur::run_sa(inst, p, rng);
   EXPECT_EQ(r.evaluations, 1);
+}
+
+TEST(StopPoll, DeadlineArmedAfterConstructionFiresWithinOneStride) {
+  // Regression: StopPoll used to cache token->has_deadline() at
+  // construction, so a deadline armed after an optimizer's poller was
+  // built — a daemon client attaching a timeout to an already-running
+  // job — was never checked and the loop ran to its full budget.
+  metaheur::CancelToken token;
+  metaheur::StopPoll poll(&token);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(poll()) << "un-armed token must never stop the loop";
+  }
+  token.set_deadline_after(1e-9);  // effectively already expired
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  bool stopped = false;
+  // One full clock stride (32) plus one call must be enough to observe it.
+  for (int i = 0; i < 33 && !stopped; ++i) stopped = poll();
+  EXPECT_TRUE(stopped)
+      << "a deadline armed mid-run was not honored within one stride";
+}
+
+TEST(StopPoll, ChildTokenObservesParentStopsButArmsPrivately) {
+  metaheur::CancelToken parent;
+  metaheur::CancelToken job = parent.child();
+  metaheur::CancelToken attempt = job.child();
+  EXPECT_FALSE(attempt.stop_requested());
+  // A private deadline on the attempt token must not leak to the parent.
+  attempt.set_deadline_after(1e-9);
+  EXPECT_TRUE(attempt.has_deadline());
+  EXPECT_FALSE(parent.has_deadline());
+  EXPECT_FALSE(job.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(attempt.expired());
+  EXPECT_FALSE(parent.expired());
+  // Cancel and deadlines propagate down the whole chain.
+  parent.set_deadline_after(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(job.expired());
+  parent.cancel();
+  EXPECT_TRUE(job.cancelled());
+  EXPECT_TRUE(attempt.cancelled());
+  EXPECT_FALSE(metaheur::CancelToken{}.cancelled());
+}
+
+TEST(Watchdog, DeadlineArmedOnRunningJobTerminatesIt) {
+  // The daemon path: a client attaches a timeout to a job that is already
+  // running.  The handle token is armed mid-run; the optimizer's StopPoll
+  // (built before the deadline existed) must still observe it, and the job
+  // must end as deadline_exceeded rather than running out its budget.
+  JobSpec spec;
+  spec.name = "late-deadline";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(50000000);  // minutes of budget if unstopped
+  std::atomic<bool> running{false};
+  JobServiceOptions opts;
+  opts.on_progress = [&](const JobProgress& p) {
+    if (p.status == JobStatus::kRunning) running.store(true);
+  };
+  JobService service(opts);
+  auto handle = service.submit(spec);
+  // Arm only once the job reported kRunning and had time to enter the
+  // optimizer inner loop, so the StopPoll instance predates the deadline.
+  while (!running.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  handle.cancel.set_deadline_after(1e-6);
+  const JobReport report = handle.report.get();
+  EXPECT_EQ(report.status, JobStatus::kDeadlineExceeded)
+      << "mid-run deadline was ignored: " << report.error.message;
+  EXPECT_EQ(report.error.kind, JobErrorKind::kDeadlineExceeded);
+}
+
+TEST(RunBatch, WatchdogFiresForBatchEntries) {
+  // Regression: run_batch used to pass a null CancelToken to run_job, so
+  // batch entries ran without any stop signalling surface.  A batch of
+  // jobs whose config arms the watchdog must time out like single jobs do.
+  std::vector<JobSpec> jobs(2);
+  for (auto& spec : jobs) {
+    spec.name = "batch-overrun";
+    spec.netlist = netlist::make_ota_small();
+    spec.config = quick_config(50000000);
+    spec.config.search.budget.deadline_s = 0.05;
+  }
+  const auto reports = JobService::run_batch(jobs, {});
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded) << r.error.message;
+    EXPECT_TRUE(r.result.rects.empty());
+  }
+}
+
+TEST(RunBatch, BatchWideCancelStopsEveryEntry) {
+  // Each batch entry now holds a real token child of opts.cancel, so one
+  // cancel() stops the whole batch; before the fix there was no
+  // cancellation path into run_batch at all.
+  std::vector<JobSpec> jobs(3);
+  for (auto& spec : jobs) {
+    spec.name = "batch-cancelled";
+    spec.netlist = netlist::make_ota_small();
+    spec.config = quick_config(50000000);
+  }
+  CancelToken cancel;
+  cancel.cancel();
+  JobServiceOptions opts;
+  opts.cancel = &cancel;
+  const auto reports = JobService::run_batch(jobs, opts);
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.status, JobStatus::kCancelled);
+    EXPECT_TRUE(r.result.rects.empty());
+  }
+}
+
+TEST(JobSpecSeed, ExplicitSeedOverridesDerivation) {
+  // The daemon threads the client's seed through JobSpec::seed so a served
+  // job is bitwise identical to `afp_cli floorplan --seed N`.
+  JobSpec spec;
+  spec.name = "seeded";
+  spec.netlist = netlist::make_ota_small();
+  spec.config = quick_config(120);
+  const auto direct = JobService::run_job(spec, 0, 1234, nullptr, {});
+  spec.seed = 1234;
+  const auto batch = JobService::run_batch({spec}, {});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].seed, 1234u);
+  expect_identical(direct, batch[0], "explicit-seed batch vs direct run");
+  JobService service{JobServiceOptions{}};
+  const auto submitted = service.submit(spec).report.get();
+  EXPECT_EQ(submitted.seed, 1234u);
+  expect_identical(direct, submitted, "explicit-seed submit vs direct run");
 }
 
 TEST(Watchdog, DeadlineOverrunIsTerminalAndDiscardsPartials) {

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -763,9 +764,25 @@ int cmd_graph(const Args& args) {
   return 0;
 }
 
+/// Exit path for every command: flush stdout and turn a write failure
+/// (EPIPE from `afp ... | head -1`, a full disk, ...) into a clean nonzero
+/// exit with a stderr note instead of a SIGPIPE kill or silent truncation.
+int finish(int rc) {
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "error: writing to stdout failed: %s\n",
+                 std::strerror(errno));
+    return rc == 0 ? 1 : rc;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A closed downstream pipe must surface as an EPIPE write error (caught
+  // in finish()), not kill the process with SIGPIPE — report files named by
+  // --report/--report-json are still written either way.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) {
     std::fputs(kUsage, stderr);
     return 2;
@@ -806,12 +823,12 @@ int main(int argc, char** argv) {
       }
       num::set_kernel_tier(tier);
     }
-    if (cmd == "list") return cmd_list();
-    if (cmd == "list-baselines") return cmd_list_baselines();
-    if (cmd == "floorplan") return cmd_floorplan(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "graph") return cmd_graph(args);
+    if (cmd == "list") return finish(cmd_list());
+    if (cmd == "list-baselines") return finish(cmd_list_baselines());
+    if (cmd == "floorplan") return finish(cmd_floorplan(args));
+    if (cmd == "train") return finish(cmd_train(args));
+    if (cmd == "eval") return finish(cmd_eval(args));
+    if (cmd == "graph") return finish(cmd_graph(args));
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n\n", e.what());
     std::fputs(kUsage, stderr);
