@@ -67,6 +67,16 @@ std::uint64_t JobService::job_seed(std::uint64_t base_seed,
                               static_cast<std::uint64_t>(job_id));
 }
 
+std::uint64_t JobService::spec_identity(const JobSpec& spec) {
+  // The block count of the eventual floorplan instance equals the number of
+  // recognized structures, which we cannot know without running the front
+  // end; the device count is the stable, cheap proxy that still pins the
+  // instance.
+  return checkpoint_identity(spec.config.optimizer, spec.config.options,
+                             spec.netlist.num_devices(),
+                             spec.config.search.budget.iterations);
+}
+
 std::uint64_t JobService::retry_seed(std::uint64_t seed, int attempt) {
   if (attempt <= 0) return seed;
   // Own mixing domain, distinct from job_seed/restart_rng/replica_rng.

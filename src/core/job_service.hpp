@@ -155,6 +155,12 @@ class JobService {
   /// domain distinct from the restart/replica streams.
   static std::uint64_t job_seed(std::uint64_t base_seed, std::size_t job_id);
 
+  /// Identity hash of a spec's search configuration (the PR 6 checkpoint
+  /// identity over optimizer/options/instance size/iteration budget).  The
+  /// afpd crash-recovery journal records it per accepted job so an orphan
+  /// report names exactly which configured run was lost.
+  static std::uint64_t spec_identity(const JobSpec& spec);
+
   /// Runs one job to a terminal report (no service needed), applying the
   /// full fault-tolerance policy:
   ///

@@ -49,19 +49,6 @@ struct QuantumState {
 
 constexpr std::uint64_t kCheckpointVersion = 1;
 
-/// Guards resume against a checkpoint written by a different search: the
-/// hash covers the optimizer, its options, the instance size and the
-/// per-quantum iteration budget (everything the quantum stream depends on
-/// besides the base seed, which the checkpoint itself carries).
-std::uint64_t checkpoint_identity(const std::string& optimizer,
-                                  const metaheur::Options& options,
-                                  int num_blocks, int iterations) {
-  std::string key = optimizer;
-  for (const auto& [k, v] : options) key += ";" + k + "=" + v;
-  key += "#" + std::to_string(num_blocks) + "#" + std::to_string(iterations);
-  return fnv1a(key);
-}
-
 void write_quantum_checkpoint(const std::string& path, std::uint64_t identity,
                               const QuantumState& st) {
   num::WordMap words;
@@ -128,6 +115,15 @@ bool load_quantum_checkpoint(const std::string& path, std::uint64_t identity,
   return true;
 }
 }  // namespace
+
+std::uint64_t checkpoint_identity(const std::string& optimizer,
+                                  const metaheur::Options& options,
+                                  int num_blocks, int iterations) {
+  std::string key = optimizer;
+  for (const auto& [k, v] : options) key += ";" + k + "=" + v;
+  key += "#" + std::to_string(num_blocks) + "#" + std::to_string(iterations);
+  return fnv1a(key);
+}
 
 std::string to_string(Method m) {
   switch (m) {

@@ -124,6 +124,15 @@ struct SearchConfig {
   bool resume = false;
 };
 
+/// Identity hash of a search configuration: the optimizer, its options,
+/// the instance size and the per-quantum iteration budget — everything the
+/// quantum stream depends on besides the base seed.  Guards checkpoint
+/// resume against mismatched searches and names orphaned jobs in the afpd
+/// crash-recovery journal.
+std::uint64_t checkpoint_identity(const std::string& optimizer,
+                                  const metaheur::Options& options,
+                                  int num_blocks, int iterations);
+
 struct PipelineConfig {
   bool constrained = false;  ///< apply default positional constraints
   env::EnvConfig env{};

@@ -128,4 +128,42 @@ std::size_t AdmissionQueue::outstanding() const {
   return owner_.size();
 }
 
+bool AdmissionQueue::record_strike(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return false;
+  ++strikes_total_;
+  ++it->second.strikes;
+  if (cfg_.strike_limit > 0 && it->second.strikes >= cfg_.strike_limit) {
+    ++ejections_total_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t AdmissionQueue::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::size_t AdmissionQueue::num_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t AdmissionQueue::num_parked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_.size();
+}
+
+std::uint64_t AdmissionQueue::total_strikes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strikes_total_;
+}
+
+std::uint64_t AdmissionQueue::total_strike_ejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ejections_total_;
+}
+
 }  // namespace afp::service

@@ -20,7 +20,11 @@
 //   * parked jobs launch by (priority desc, arrival seq asc) — strict and
 //     deterministic, no aging,
 //   * begin_drain(): every later admit is rejected (kResourceExhausted,
-//     "draining"); already-parked jobs still launch and finish.
+//     "draining"); already-parked jobs still launch and finish,
+//   * malformed-request strikes: record_strike(session) counts protocol
+//     violations per session; hitting cfg.strike_limit says "eject" — the
+//     server closes the session, so a client flooding garbage burns its own
+//     session slot instead of the daemon's parser time.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +40,11 @@ struct AdmissionConfig {
   int max_inflight = 2;   ///< jobs running at once (AFPD_MAX_INFLIGHT)
   int per_session = 8;    ///< outstanding jobs per session (AFPD_SESSION_QUOTA)
   int max_parked = 256;   ///< total parked jobs across sessions
+  /// Malformed requests a session survives before it is ejected
+  /// (AFPD_STRIKE_LIMIT); 0 disables the limit.  Framing-level damage
+  /// (bad length prefix) still closes the session immediately — strikes
+  /// only meter violations the parser can recover from.
+  int strike_limit = 16;
 };
 
 class AdmissionQueue {
@@ -69,6 +78,18 @@ class AdmissionQueue {
   /// Outstanding (parked + running) jobs, across all sessions.
   std::size_t outstanding() const;
 
+  /// Counts one malformed request against the session; true = the session
+  /// hit the strike limit and must be ejected.  Unknown sessions (already
+  /// closed) never eject.
+  bool record_strike(std::uint64_t session);
+
+  // Instantaneous gauges / monotonic totals for the `stats` request.
+  std::size_t num_sessions() const;
+  std::size_t num_inflight() const;
+  std::size_t num_parked() const;
+  std::uint64_t total_strikes() const;
+  std::uint64_t total_strike_ejections() const;
+
  private:
   struct Parked {
     std::uint64_t job;
@@ -78,6 +99,7 @@ class AdmissionQueue {
   };
   struct SessionState {
     int outstanding = 0;
+    int strikes = 0;
   };
 
   AdmissionConfig cfg_;
@@ -88,6 +110,8 @@ class AdmissionQueue {
   std::map<std::uint64_t, std::uint64_t> owner_;
   std::size_t inflight_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t strikes_total_ = 0;
+  std::uint64_t ejections_total_ = 0;
   bool draining_ = false;
 };
 

@@ -108,6 +108,13 @@ std::string Client::read_frame() {
 
 void Client::stash(const JsonValue& v, const std::string& payload) {
   const std::string& type = v.at("type").as_string();
+  if (type == "keepalive") {
+    // Auto-ack so a client blocked in await_result never reads as
+    // half-open to the server; no reply frame comes back for the ack.
+    send_frame("{\"type\": \"keepalive_ack\", \"seq\": " +
+               std::to_string(v.at("seq").as_uint("seq")) + "}");
+    return;
+  }
   if (type == "progress") {
     Progress p;
     p.job = v.at("job").as_uint("job");
@@ -115,6 +122,9 @@ void Client::stash(const JsonValue& v, const std::string& payload) {
     p.runtime_s = v.at("runtime_s").is_null() ? 0.0
                                               : v.at("runtime_s").as_number();
     p.attempt = static_cast<int>(v.at("attempt").as_int("attempt"));
+    if (const JsonValue* d = v.find("dropped_progress")) {
+      p.dropped = d->as_uint("dropped_progress");
+    }
     progress_.push_back(std::move(p));
     return;
   }
@@ -141,7 +151,7 @@ JsonValue Client::read_reply() {
     const std::string payload = read_frame();
     const JsonValue v = json_parse(payload);
     const std::string& type = v.at("type").as_string();
-    if (type == "progress" || type == "result") {
+    if (type == "progress" || type == "result" || type == "keepalive") {
       stash(v, payload);
       continue;
     }
@@ -207,6 +217,24 @@ bool Client::ping() {
     throw std::runtime_error("expected a pong reply");
   }
   return v.at("draining").as_bool();
+}
+
+JsonValue Client::stats() {
+  send_frame("{\"type\": \"stats\"}");
+  JsonValue v = read_reply();
+  if (v.at("type").as_string() != "stats") {
+    throw std::runtime_error("expected a stats reply");
+  }
+  return v;
+}
+
+JsonValue Client::orphans() {
+  send_frame("{\"type\": \"orphans\"}");
+  JsonValue v = read_reply();
+  if (v.at("type").as_string() != "orphans") {
+    throw std::runtime_error("expected an orphans reply");
+  }
+  return v;
 }
 
 Client::Result Client::await_result(std::uint64_t job) {

@@ -37,6 +37,9 @@ class Client {
     std::string status;
     double runtime_s = 0.0;
     int attempt = 0;
+    /// Progress frames the server dropped for this session under
+    /// backpressure since the previous delivered one (0 = none).
+    std::uint64_t dropped = 0;
   };
   struct Result {
     std::uint64_t job = 0;
@@ -73,6 +76,11 @@ class Client {
   void set_deadline(std::uint64_t job, double seconds);
   /// Liveness probe; returns the server's draining flag.
   bool ping();
+  /// Server resilience counters (the `stats` request), as parsed JSON.
+  JsonValue stats();
+  /// Jobs a crashed predecessor accepted but lost (the `orphans` request):
+  /// {"type": "orphans", "count": N, "jobs": [{..., "error": {...}}]}.
+  JsonValue orphans();
   /// Blocks until the job's terminal `result` frame (or throws ServerError /
   /// runtime_error when the connection dies first).
   Result await_result(std::uint64_t job);
@@ -94,6 +102,8 @@ class Client {
   explicit Client(int fd) : fd_(fd) {}
   /// Reads frames, stashing async events, until a request reply arrives.
   JsonValue read_reply();
+  /// Stashes an async frame (progress/result); answers server keepalive
+  /// probes in place, so any blocking read keeps the session alive.
   void stash(const JsonValue& v, const std::string& payload);
 
   int fd_ = -1;

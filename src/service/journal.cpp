@@ -1,0 +1,109 @@
+#include "service/journal.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "numeric/serialize.hpp"
+
+namespace afp::service {
+
+namespace {
+
+/// One entry as u64 words: [job, seed, identity, name_len, name bytes
+/// packed little-endian 8 per word].  The name length is in bytes; the
+/// final word is zero-padded.
+std::vector<std::uint64_t> pack_entry(const JournalEntry& e) {
+  std::vector<std::uint64_t> words = {e.job, e.seed, e.identity,
+                                      static_cast<std::uint64_t>(e.name.size())};
+  for (std::size_t i = 0; i < e.name.size(); i += 8) {
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < 8 && i + b < e.name.size(); ++b) {
+      w |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(e.name[i + b]))
+           << (8 * b);
+    }
+    words.push_back(w);
+  }
+  return words;
+}
+
+JournalEntry unpack_entry(const std::string& key,
+                          const std::vector<std::uint64_t>& words) {
+  if (words.size() < 4) {
+    throw std::runtime_error("journal: truncated entry " + key);
+  }
+  JournalEntry e;
+  e.job = words[0];
+  e.seed = words[1];
+  e.identity = words[2];
+  const std::size_t len = static_cast<std::size_t>(words[3]);
+  if (words.size() != 4 + (len + 7) / 8 || len > (1u << 20)) {
+    throw std::runtime_error("journal: malformed entry " + key);
+  }
+  e.name.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    e.name.push_back(static_cast<char>(
+        (words[4 + i / 8] >> (8 * (i % 8))) & 0xFF));
+  }
+  return e;
+}
+
+}  // namespace
+
+void journal_write(const std::string& path,
+                   const std::map<std::uint64_t, JournalEntry>& entries) {
+  num::WordMap words;
+  for (const auto& [job, e] : entries) {
+    words["j" + std::to_string(job)] = pack_entry(e);
+  }
+  // An empty journal still writes a marker entry so load can tell "clean
+  // empty journal" from "never created" without stat-ing around races.
+  words["journal_meta"] = {1ull};
+  num::save_words(path, words);
+}
+
+std::map<std::uint64_t, JournalEntry> journal_load(const std::string& path) {
+  std::map<std::uint64_t, JournalEntry> out;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) return out;
+  }
+  const num::WordMap words = num::load_words(path);
+  for (const auto& [key, value] : words) {
+    if (key == "journal_meta") continue;
+    JournalEntry e = unpack_entry(key, value);
+    out[e.job] = std::move(e);
+  }
+  return out;
+}
+
+std::vector<JournalEntry> Journal::take_orphans() {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JournalEntry> orphans;
+  for (auto& [job, e] : journal_load(path_)) orphans.push_back(std::move(e));
+  live_.clear();
+  journal_write(path_, live_);
+  return orphans;
+}
+
+void Journal::record(const JournalEntry& e) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[e.job] = e;
+  journal_write(path_, live_);
+}
+
+void Journal::remove(std::uint64_t job) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.erase(job) == 0) return;
+  journal_write(path_, live_);
+}
+
+std::size_t Journal::live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+}  // namespace afp::service

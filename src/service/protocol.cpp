@@ -211,6 +211,25 @@ Request parse_request(const std::string& payload) {
     req.kind = Request::Kind::kPing;
     return req;
   }
+  if (type == "stats") {
+    check_members(v, "stats", {"type"});
+    Request req;
+    req.kind = Request::Kind::kStats;
+    return req;
+  }
+  if (type == "orphans") {
+    check_members(v, "orphans", {"type"});
+    Request req;
+    req.kind = Request::Kind::kOrphans;
+    return req;
+  }
+  if (type == "keepalive_ack") {
+    check_members(v, "keepalive_ack", {"type", "seq"});
+    Request req;
+    req.kind = Request::Kind::kKeepaliveAck;
+    req.seq = v.at("seq").as_uint("seq");
+    return req;
+  }
   bad("unknown request type \"" + type + "\"");
 }
 
@@ -236,11 +255,57 @@ std::string pong_json(bool draining) {
   return os.str();
 }
 
-std::string progress_json(std::uint64_t job, const core::JobProgress& p) {
+std::string progress_json(std::uint64_t job, const core::JobProgress& p,
+                          std::uint64_t dropped) {
   std::ostringstream os;
   os << "{\"type\": \"progress\", \"job\": " << job << ", \"status\": \""
      << core::to_string(p.status) << "\", \"runtime_s\": " << num(p.runtime_s)
-     << ", \"attempt\": " << p.attempt << "}";
+     << ", \"attempt\": " << p.attempt;
+  if (dropped > 0) os << ", \"dropped_progress\": " << dropped;
+  os << "}";
+  return os.str();
+}
+
+std::string keepalive_json(std::uint64_t seq) {
+  std::ostringstream os;
+  os << "{\"type\": \"keepalive\", \"seq\": " << seq << "}";
+  return os.str();
+}
+
+std::string stats_json(const ServerStats& s) {
+  std::ostringstream os;
+  os << "{\"type\": \"stats\", \"sessions\": " << s.sessions
+     << ", \"inflight\": " << s.inflight << ", \"parked\": " << s.parked
+     << ", \"queued_frames\": " << s.queued_frames
+     << ", \"queued_bytes\": " << s.queued_bytes
+     << ", \"dropped_progress\": " << s.dropped_progress
+     << ", \"write_timeouts\": " << s.write_timeouts
+     << ", \"idle_timeouts\": " << s.idle_timeouts
+     << ", \"keepalives_sent\": " << s.keepalives_sent
+     << ", \"strikes\": " << s.strikes
+     << ", \"strike_ejections\": " << s.strike_ejections
+     << ", \"journal_live\": " << s.journal_live
+     << ", \"journal_orphans\": " << s.journal_orphans
+     << ", \"draining\": " << (s.draining ? "true" : "false") << "}";
+  return os.str();
+}
+
+std::string orphans_json(const std::vector<JournalEntry>& orphans) {
+  std::ostringstream os;
+  os << "{\"type\": \"orphans\", \"count\": " << orphans.size()
+     << ", \"jobs\": [";
+  bool first = true;
+  for (const JournalEntry& e : orphans) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"job\": " << e.job << ", \"name\": \""
+       << core::json_escape(e.name) << "\", \"seed\": " << e.seed
+       << ", \"identity\": " << e.identity << ", \"error\": {\"kind\": \""
+       << core::to_string(core::JobErrorKind::kInternal)
+       << "\", \"message\": \"job lost in a daemon crash before completion; "
+          "resubmit with this seed to reproduce\"}}";
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -28,6 +28,12 @@
 //       arm (or re-arm) a watchdog deadline on an already-submitted job —
 //       S seconds from *now*; the job stops within one poll stride.
 //   {"type": "ping"}                 liveness / drain probe
+//   {"type": "stats"}                resilience/queue counters snapshot
+//   {"type": "orphans"}              jobs a crashed predecessor lost
+//                                    (crash-recovery journal replay)
+//   {"type": "keepalive_ack", "seq": N}
+//       reply to a server keepalive probe; counts as session activity but
+//       produces no response frame of its own.
 //
 // Responses (server -> client):
 //
@@ -35,7 +41,15 @@
 //   {"type": "ok", "job": N}                           cancel/deadline ack
 //   {"type": "pong", "draining": <bool>}               ping reply
 //   {"type": "progress", "job": N, "status": <s>, "runtime_s": R,
-//    "attempt": A}                                     streamed per job
+//    "attempt": A[, "dropped_progress": D]}            streamed per job;
+//       D > 0 reports progress frames dropped for this session under
+//       write-queue backpressure since the last delivered progress frame
+//       (result/error frames are never dropped).
+//   {"type": "keepalive", "seq": N}  server-initiated liveness probe; a
+//       client must answer (keepalive_ack or any other request) before the
+//       idle timeout or the session is reaped as half-open.
+//   {"type": "stats", ...}           see stats_json below / README
+//   {"type": "orphans", "count": N, "jobs": [...]}     journal replay
 //   {"type": "error", "kind": <JobErrorKind>, "message": <m>, "job": N|null}
 //   {"type": "result", "job": N, <core::job_report_json body>}
 //       terminal report; the nested "report" member is emitted by the same
@@ -48,7 +62,10 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "core/job_service.hpp"
+#include "service/journal.hpp"
 #include "service/json.hpp"
 
 namespace afp::service {
@@ -105,11 +122,20 @@ struct SubmitRequest {
 };
 
 struct Request {
-  enum class Kind { kSubmit, kCancel, kDeadline, kPing };
+  enum class Kind {
+    kSubmit,
+    kCancel,
+    kDeadline,
+    kPing,
+    kStats,
+    kOrphans,
+    kKeepaliveAck,
+  };
   Kind kind = Kind::kPing;
   SubmitRequest submit;      ///< kSubmit only
   std::uint64_t job = 0;     ///< kCancel / kDeadline
   double seconds = 0.0;      ///< kDeadline
+  std::uint64_t seq = 0;     ///< kKeepaliveAck
 };
 
 /// Parses and validates one request payload.  Strict: every member is
@@ -120,10 +146,38 @@ Request parse_request(const std::string& payload);
 
 // ------------------------------------------------------------ responses ---
 
+/// Resilience counters served by the `stats` request (stats_json).  All
+/// totals are monotonic since daemon start; gauges are instantaneous.
+struct ServerStats {
+  std::uint64_t sessions = 0;          ///< gauge: live sessions
+  std::uint64_t inflight = 0;          ///< gauge: admitted jobs running
+  std::uint64_t parked = 0;            ///< gauge: jobs waiting for a slot
+  std::uint64_t queued_frames = 0;     ///< gauge: frames pending in out-queues
+  std::uint64_t queued_bytes = 0;      ///< gauge: bytes pending in out-queues
+  std::uint64_t dropped_progress = 0;  ///< total progress frames dropped
+  std::uint64_t write_timeouts = 0;    ///< total stalled-writer disconnects
+  std::uint64_t idle_timeouts = 0;     ///< total idle/half-open reaps
+  std::uint64_t keepalives_sent = 0;   ///< total keepalive probes sent
+  std::uint64_t strikes = 0;           ///< total malformed-request strikes
+  std::uint64_t strike_ejections = 0;  ///< total sessions ejected on strikes
+  std::uint64_t journal_live = 0;      ///< gauge: journaled unfinished jobs
+  std::uint64_t journal_orphans = 0;   ///< jobs a crashed predecessor lost
+  bool draining = false;
+};
+
 std::string accepted_json(std::uint64_t job, bool queued);
 std::string ok_json(std::uint64_t job);
 std::string pong_json(bool draining);
-std::string progress_json(std::uint64_t job, const core::JobProgress& p);
+/// `dropped` > 0 appends a "dropped_progress" member: progress frames this
+/// session lost to backpressure since the last delivered one.  Zero keeps
+/// the byte layout of every previously-emitted progress frame unchanged.
+std::string progress_json(std::uint64_t job, const core::JobProgress& p,
+                          std::uint64_t dropped = 0);
+std::string keepalive_json(std::uint64_t seq);
+std::string stats_json(const ServerStats& s);
+/// Journal replay: every job a crashed predecessor accepted but never
+/// finished, each as a structured `internal` error object.
+std::string orphans_json(const std::vector<JournalEntry>& orphans);
 std::string error_json(core::JobErrorKind kind, const std::string& message,
                        std::optional<std::uint64_t> job = std::nullopt);
 /// Terminal report frame; splices core::job_report_json so the nested

@@ -7,11 +7,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "metaheur/optimizer.hpp"
 #include "netlist/library.hpp"
@@ -24,16 +26,39 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Blocking full write — the fix for the truncated-rejection bug: a partial
+/// send() on a frame leaves the peer mid-frame forever.
+bool send_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0 && errno == EINTR) continue;
+    if (k <= 0) return false;
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
 }  // namespace
 
 Server::Server(ServerConfig cfg)
-    : cfg_(std::move(cfg)), admission_(cfg_.admission) {}
+    : cfg_(std::move(cfg)),
+      admission_(cfg_.admission),
+      journal_(cfg_.journal_path) {}
 
 Server::~Server() {
   if (service_) drain();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (pump_pipe_[0] >= 0) ::close(pump_pipe_[0]);
+  if (pump_pipe_[1] >= 0) ::close(pump_pipe_[1]);
   if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
 }
 
@@ -49,6 +74,7 @@ void Server::logf(const char* fmt, ...) {
 
 void Server::start() {
   if (::pipe(wake_pipe_) != 0) sys_fail("pipe");
+  if (::pipe(pump_pipe_) != 0) sys_fail("pipe");
   if (!cfg_.unix_path.empty()) {
     if (cfg_.unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
       throw std::runtime_error("socket path too long: " + cfg_.unix_path);
@@ -86,12 +112,24 @@ void Server::start() {
   }
   if (::listen(listen_fd_, 64) != 0) sys_fail("listen");
 
+  // Replay whatever a crashed predecessor left in the journal before any
+  // client can connect: orphans_ is immutable once serving starts.
+  orphans_ = journal_.take_orphans();
+  for (const JournalEntry& e : orphans_) {
+    logf("journal: job %llu (%s, seed %llu, identity %016llx) orphaned by a "
+         "previous run",
+         static_cast<unsigned long long>(e.job), e.name.c_str(),
+         static_cast<unsigned long long>(e.seed),
+         static_cast<unsigned long long>(e.identity));
+  }
+
   core::JobServiceOptions sopts;
   sopts.base_seed = cfg_.base_seed;
   sopts.cancel = &drain_token_;
   sopts.on_progress = [this](const core::JobProgress& p) { on_progress(p); };
   service_ = std::make_unique<core::JobService>(std::move(sopts));
   completer_ = std::thread([this] { completer_loop(); });
+  pump_ = std::thread([this] { pump_loop(); });
   logf("listening on %s",
        cfg_.unix_path.empty()
            ? ("127.0.0.1:" + std::to_string(bound_port_)).c_str()
@@ -141,19 +179,21 @@ void Server::accept_loop() {
           core::JobErrorKind::kResourceExhausted,
           draining_.load() ? "draining: the server is shutting down"
                            : "session limit reached"));
-      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      (void)send_all(fd, frame.data(), frame.size());
       ::close(fd);
       continue;
     }
     auto s = std::make_shared<Session>();
     s->id = id;
     s->fd = fd;
+    s->last_recv_ms.store(now_ms());
     {
       std::lock_guard<std::mutex> lock(mu_);
       sessions_[id] = s;
     }
     logf("session %llu: connected", static_cast<unsigned long long>(id));
     s->reader = std::thread([this, s] { reader_loop(s); });
+    pump_wake();  // the pump must start this session's liveness timers
   }
 }
 
@@ -167,18 +207,27 @@ void Server::reader_loop(const std::shared_ptr<Session>& s) {
       if (errno == EINTR) continue;
       break;
     }
-    bool framing_lost = false;
+    // Any inbound byte is proof of life: reset the idle clock and re-arm
+    // the (single) keepalive probe.
+    s->last_recv_ms.store(now_ms());
+    s->keepalive_pending.store(false);
+    bool stop = false;
     try {
       reader.feed(buf, static_cast<std::size_t>(n));
       std::string payload;
-      while (reader.next(&payload)) handle_request(s, payload);
+      while (reader.next(&payload)) {
+        if (!handle_request(s, payload)) {  // strike limit: eject
+          stop = true;
+          break;
+        }
+      }
     } catch (const ProtocolError& e) {
       // A bad length prefix: every later byte boundary is garbage, so the
       // session ends — but with a structured parting error, not a hang.
       write_frame(s, error_json(e.kind, e.what()));
-      framing_lost = true;
+      stop = true;
     }
-    if (framing_lost) break;
+    if (stop) break;
   }
   if (!reader.idle()) {
     logf("session %llu: disconnected mid-frame",
@@ -222,12 +271,60 @@ void Server::session_closed(const std::shared_ptr<Session>& s) {
     // write_frame either skips or finishes on the live fd — never a
     // send() on a recycled descriptor.
     std::lock_guard<std::mutex> lock(s->write_mu);
+    // Best-effort bounded parting flush: the reader may have just queued a
+    // final error frame (framing loss, strike ejection) that the client is
+    // owed before EOF.  Bounded so a dead peer cannot wedge teardown.
+    const auto until = Clock::now() + std::chrono::milliseconds(100);
+    while (!writer_paused_.load() && !s->outq.empty() && !s->closed.load() &&
+           s->fd >= 0 && Clock::now() < until) {
+      flush_locked(*s);
+      if (s->outq.empty() || s->closed.load()) break;
+      pollfd pfd{s->fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 10);
+    }
     s->closed.store(true);
     ::close(s->fd);
     s->fd = -1;
   }
   jobs_cv_.notify_all();
   logf("session %llu: closed", static_cast<unsigned long long>(s->id));
+}
+
+bool Server::queue_full_locked(const Session& s) const {
+  return s.outq.size() >= cfg_.queue_frames ||
+         s.outq_bytes >= cfg_.queue_bytes;
+}
+
+void Server::enqueue_locked(Session& s, std::string frame) {
+  if (s.outq.empty()) s.stall_since = Clock::now();
+  s.outq_bytes += frame.size();
+  s.outq.push_back(std::move(frame));
+}
+
+void Server::flush_locked(Session& s) {
+  if (s.closed.load() || s.fd < 0) return;
+  while (!s.outq.empty()) {
+    const std::string& f = s.outq.front();
+    // MSG_DONTWAIT per call: the fd stays blocking for the reader thread,
+    // only the writer refuses to sleep on a full socket buffer.
+    const ssize_t n = ::send(s.fd, f.data() + s.outq_head,
+                             f.size() - s.outq_head,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n <= 0) {
+      // EPIPE & friends: the client is gone; the reader will notice too.
+      s.closed.store(true);
+      return;
+    }
+    s.outq_head += static_cast<std::size_t>(n);
+    s.stall_since = Clock::now();  // forward progress re-arms the deadline
+    if (s.outq_head == f.size()) {
+      s.outq_bytes -= f.size();
+      s.outq_head = 0;
+      s.outq.pop_front();
+    }
+  }
 }
 
 void Server::write_frame(const std::shared_ptr<Session>& s,
@@ -239,45 +336,241 @@ void Server::write_frame(const std::shared_ptr<Session>& s,
   } catch (const std::exception&) {
     return;  // response larger than the cap — drop rather than corrupt
   }
-  std::lock_guard<std::mutex> lock(s->write_mu);
-  if (s->closed.load() || s->fd < 0) return;
-  const char* p = frame.data();
-  std::size_t left = frame.size();
-  while (left > 0) {
-    const ssize_t n = ::send(s->fd, p, left, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      // EPIPE & friends: the client is gone; the reader will notice too.
-      s->closed.store(true);
+  bool residual = false;
+  {
+    std::lock_guard<std::mutex> lock(s->write_mu);
+    if (s->closed.load() || s->fd < 0) return;
+    // Non-droppable frames queue past the bound: the client is owed every
+    // result/error, and the write deadline bounds how long an unread queue
+    // can grow.
+    enqueue_locked(*s, std::move(frame));
+    if (!writer_paused_.load()) flush_locked(*s);
+    residual = !s->outq.empty() && !s->closed.load();
+  }
+  if (residual) pump_wake();
+}
+
+void Server::write_progress(const std::shared_ptr<Session>& s,
+                            std::uint64_t job, const core::JobProgress& p) {
+  if (!s) return;
+  bool residual = false;
+  {
+    std::lock_guard<std::mutex> lock(s->write_mu);
+    if (s->closed.load() || s->fd < 0) return;
+    if (queue_full_locked(*s)) {
+      // Backpressure: progress is advisory, so it degrades first — count
+      // the drop and move on.  The count reaches the client on the next
+      // progress frame that fits, and the stats totals keep the sum.
+      ++s->dropped_progress;
+      dropped_progress_total_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    p += n;
-    left -= static_cast<std::size_t>(n);
+    const std::string payload = progress_json(job, p, s->dropped_progress);
+    s->dropped_progress = 0;
+    enqueue_locked(*s, encode_frame(payload));
+    if (!writer_paused_.load()) flush_locked(*s);
+    residual = !s->outq.empty() && !s->closed.load();
+  }
+  if (residual) pump_wake();
+}
+
+void Server::pump_wake() {
+  const char b = 'w';
+  if (pump_pipe_[1] >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(pump_pipe_[1], &b, 1);
   }
 }
 
-void Server::handle_request(const std::shared_ptr<Session>& s,
+void Server::set_writer_paused(bool paused) {
+  writer_paused_.store(paused);
+  if (!paused) pump_wake();  // flush everything that piled up
+}
+
+void Server::pump_loop() {
+  for (;;) {
+    if (pump_stop_.load()) return;
+    std::vector<std::shared_ptr<Session>> live;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      live.reserve(sessions_.size());
+      for (auto& [id, s] : sessions_) live.push_back(s);
+    }
+    const bool paused = writer_paused_.load();
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Session>> polled;
+    fds.push_back({pump_pipe_[0], POLLIN, 0});
+    polled.push_back(nullptr);
+    // Seconds until the nearest timer (write deadline, keepalive probe,
+    // idle reap) across all sessions; infinity = block on the wake pipe.
+    double next_s = std::numeric_limits<double>::infinity();
+    const auto now = Clock::now();
+    const std::int64_t tick_ms = now_ms();
+    for (auto& s : live) {
+      std::lock_guard<std::mutex> lock(s->write_mu);
+      if (s->closed.load() || s->fd < 0) continue;
+      if (!s->outq.empty()) {
+        if (cfg_.write_deadline_s > 0.0) {
+          const double stalled =
+              std::chrono::duration<double>(now - s->stall_since).count();
+          if (stalled >= cfg_.write_deadline_s) {
+            // The client stopped reading: disconnect it.  The reader sees
+            // EOF and session_closed cancels the session's jobs through
+            // their CancelTokens.
+            write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+            logf("session %llu: write stalled %.1fs (deadline %.1fs), "
+                 "disconnecting",
+                 static_cast<unsigned long long>(s->id), stalled,
+                 cfg_.write_deadline_s);
+            ::shutdown(s->fd, SHUT_RDWR);
+            continue;
+          }
+          next_s = std::min(next_s, cfg_.write_deadline_s - stalled);
+        }
+        if (!paused) {
+          fds.push_back({s->fd, POLLOUT, 0});
+          polled.push_back(s);
+        }
+      }
+      if (cfg_.idle_timeout_s > 0.0) {
+        const double idle =
+            static_cast<double>(tick_ms - s->last_recv_ms.load()) / 1000.0;
+        const double half = cfg_.idle_timeout_s * 0.5;
+        if (!s->keepalive_pending.load()) {
+          const double probe_in = half - idle;
+          if (probe_in <= 0.0) {
+            s->keepalive_pending.store(true);
+            s->keepalive_sent_ms.store(tick_ms);
+            keepalives_sent_.fetch_add(1, std::memory_order_relaxed);
+            enqueue_locked(*s,
+                           encode_frame(keepalive_json(++s->keepalive_seq)));
+            if (!paused) flush_locked(*s);
+            next_s = std::min(next_s, half);
+          } else {
+            next_s = std::min(next_s, probe_in);
+          }
+        } else {
+          // Reap only after the probe itself has gone unanswered for half
+          // the window: if this thread was starved past the whole timeout
+          // before it could probe, the client still gets its answer
+          // window instead of being reaped on the first late tick.
+          const double waited =
+              static_cast<double>(tick_ms - s->keepalive_sent_ms.load()) /
+              1000.0;
+          const double reap_in =
+              std::max(cfg_.idle_timeout_s - idle, half - waited);
+          if (reap_in <= 0.0) {
+            idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+            logf("session %llu: idle %.1fs (timeout %.1fs), disconnecting",
+                 static_cast<unsigned long long>(s->id), idle,
+                 cfg_.idle_timeout_s);
+            enqueue_locked(
+                *s, encode_frame(error_json(
+                        core::JobErrorKind::kResourceExhausted,
+                        "idle timeout: no request or keepalive_ack within " +
+                            std::to_string(cfg_.idle_timeout_s) + "s")));
+            flush_locked(*s);
+            ::shutdown(s->fd, SHUT_RDWR);
+            continue;
+          }
+          next_s = std::min(next_s, reap_in);
+        }
+      }
+    }
+    int timeout_ms = -1;
+    if (next_s < std::numeric_limits<double>::infinity()) {
+      timeout_ms = static_cast<int>(
+          std::min(60000.0, std::max(1.0, next_s * 1000.0 + 1.0)));
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                          timeout_ms);
+    if (pump_stop_.load()) return;
+    if (rc < 0) continue;  // EINTR
+    if (fds[0].revents != 0) {
+      char buf[256];
+      (void)::read(pump_pipe_[0], buf, sizeof buf);
+    }
+    if (writer_paused_.load()) continue;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      // POLLNVAL/POLLERR/POLLHUP included: flush_locked re-checks `closed`
+      // and the fd under write_mu, so a session that died (or whose fd
+      // number was recycled) between snapshot and here is a no-op.
+      std::lock_guard<std::mutex> lock(polled[i]->write_mu);
+      flush_locked(*polled[i]);
+    }
+  }
+}
+
+ServerStats Server::stats_snapshot() {
+  ServerStats st;
+  st.sessions = admission_.num_sessions();
+  st.inflight = admission_.num_inflight();
+  st.parked = admission_.num_parked();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, s] : sessions_) {
+      std::lock_guard<std::mutex> wl(s->write_mu);
+      st.queued_frames += s->outq.size();
+      st.queued_bytes += s->outq_bytes;
+    }
+  }
+  st.dropped_progress = dropped_progress_total_.load();
+  st.write_timeouts = write_timeouts_.load();
+  st.idle_timeouts = idle_timeouts_.load();
+  st.keepalives_sent = keepalives_sent_.load();
+  st.strikes = admission_.total_strikes();
+  st.strike_ejections = admission_.total_strike_ejections();
+  st.journal_live = journal_.live();
+  st.journal_orphans = orphans_.size();
+  st.draining = draining_.load();
+  return st;
+}
+
+bool Server::handle_request(const std::shared_ptr<Session>& s,
                             const std::string& payload) {
+  // Malformed requests are recoverable (frame boundaries survive), so the
+  // session gets a structured error back — but each one is a strike, and a
+  // session that keeps sending garbage is ejected: a malformed flood burns
+  // its own session slot, not the daemon's parser time.
+  auto strike = [&]() -> bool {
+    if (!admission_.record_strike(s->id)) return true;
+    logf("session %llu: strike limit reached, ejecting",
+         static_cast<unsigned long long>(s->id));
+    write_frame(s, error_json(core::JobErrorKind::kResourceExhausted,
+                              "strike limit reached: too many malformed "
+                              "requests; closing session"));
+    return false;
+  };
   Request req;
   try {
     req = parse_request(payload);
   } catch (const ProtocolError& e) {
     write_frame(s, error_json(e.kind, e.what()));
-    return;
+    return strike();
   } catch (const JsonError& e) {
     write_frame(s, error_json(core::JobErrorKind::kInvalidConfig, e.what()));
-    return;
+    return strike();
   } catch (const std::exception& e) {
     write_frame(s, error_json(core::JobErrorKind::kInternal, e.what()));
-    return;
+    return true;
   }
   switch (req.kind) {
     case Request::Kind::kPing:
       write_frame(s, pong_json(draining_.load()));
-      return;
+      return true;
+    case Request::Kind::kStats:
+      write_frame(s, stats_json(stats_snapshot()));
+      return true;
+    case Request::Kind::kOrphans:
+      write_frame(s, orphans_json(orphans_));
+      return true;
+    case Request::Kind::kKeepaliveAck:
+      // The ack itself already reset the idle clock in the reader; no
+      // response — reply streams stay clean for the demuxing client.
+      return true;
     case Request::Kind::kSubmit:
       handle_submit(s, std::move(req.submit));
-      return;
+      return true;
     case Request::Kind::kCancel: {
       bool found = false;
       bool was_running = false;
@@ -299,14 +592,14 @@ void Server::handle_request(const std::shared_ptr<Session>& s,
       if (!found) {
         write_frame(s, error_json(core::JobErrorKind::kInvalidConfig,
                                   "unknown job", req.job));
-        return;
+        return true;
       }
       if (!was_running) {
         finish_unrun(req.job, std::move(removed), "cancelled before launch",
                      s);
       }
       write_frame(s, ok_json(req.job));
-      return;
+      return true;
     }
     case Request::Kind::kDeadline: {
       bool found = false;
@@ -328,12 +621,13 @@ void Server::handle_request(const std::shared_ptr<Session>& s,
       if (!found) {
         write_frame(s, error_json(core::JobErrorKind::kInvalidConfig,
                                   "unknown job", req.job));
-        return;
+        return true;
       }
       write_frame(s, ok_json(req.job));
-      return;
+      return true;
     }
   }
+  return true;
 }
 
 void Server::handle_submit(const std::shared_ptr<Session>& s,
@@ -385,6 +679,13 @@ void Server::handle_submit(const std::shared_ptr<Session>& s,
     return;
   }
   const bool queued = verdict == AdmissionQueue::Verdict::kParked;
+  // Journal the job BEFORE the accepted frame goes out: once a client
+  // holds an ack, a crash must not be able to forget the job.
+  if (journal_.enabled()) {
+    journal_.record(JournalEntry{job, spec.seed,
+                                 core::JobService::spec_identity(spec),
+                                 spec.name});
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     JobRecord rec;
@@ -434,6 +735,7 @@ void Server::finish_unrun(std::uint64_t job, JobRecord rec,
   // already removed the job from jobs_, and drain closes sockets once
   // jobs_ is empty — the terminal frame must not race that shutdown.
   if (sess) write_frame(sess, result_json(job, rep));
+  journal_.remove(job);
   const auto launched = admission_.release(job);
   jobs_cv_.notify_all();
   launch_all(launched);
@@ -458,9 +760,10 @@ void Server::on_progress(const core::JobProgress& p) {
     if (terminal) done_svc_.push_back(p.id);
   }
   if (terminal) done_cv_.notify_one();
-  // Streamed per session; write_frame serializes on the session's write
-  // mutex, so progress frames never interleave with results.
-  if (sess) write_frame(sess, progress_json(job, p));
+  // Streamed per session; the queue serializes on the session's write
+  // mutex, so progress frames never interleave with results — and under
+  // backpressure they are the frames that give way.
+  write_progress(sess, job, p);
 }
 
 void Server::completer_loop() {
@@ -501,6 +804,9 @@ void Server::completer_loop() {
     // jobs_ becoming empty and then closes the session sockets, so writing
     // after the erase would race the shutdown and could lose the report.
     write_frame(sess, result_json(job, report));
+    // The terminal frame is queued (a crash now loses at most the frame,
+    // which the client detects as EOF) — the journal's job is done.
+    journal_.remove(job);
     const auto launched = admission_.release(job);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -537,6 +843,25 @@ void Server::drain() {
                         [this] { return jobs_.empty(); });
     }
   }
+  // Phase 2.5: "result written" now means "enqueued" — give the pump a
+  // bounded window to flush the outbound queues before sockets shut down,
+  // so every accepted job's terminal frame still reaches a reading client.
+  {
+    const auto until = Clock::now() + std::chrono::seconds(5);
+    for (;;) {
+      bool empty = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [id, s] : sessions_) {
+          std::lock_guard<std::mutex> wl(s->write_mu);
+          empty = empty && (s->outq.empty() || s->closed.load());
+        }
+      }
+      if (empty || writer_paused_.load() || Clock::now() >= until) break;
+      pump_wake();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
   // Phase 3: close the sessions (results are already flushed) and join
   // their readers, then stop the completer and the service.
   std::vector<std::shared_ptr<Session>> open;
@@ -566,6 +891,9 @@ void Server::drain() {
   }
   done_cv_.notify_all();
   if (completer_.joinable()) completer_.join();
+  pump_stop_.store(true);
+  pump_wake();
+  if (pump_.joinable()) pump_.join();
   service_.reset();  // joins the dispatcher after the queue drains
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

@@ -8,14 +8,37 @@
 //                         listen socket and a self-pipe so request_drain()
 //                         (async-signal-safe) can interrupt it,
 //   * one reader thread per session — recv -> FrameReader -> requests;
-//                         replies and async events are written under the
-//                         session's write mutex, so frames never interleave,
+//                         replies and async events are *enqueued* on the
+//                         session's bounded outbound queue under its write
+//                         mutex (frames never interleave) and flushed with
+//                         non-blocking sends,
+//   * one pump thread    — poll()s POLLOUT for sessions with queued output
+//                         and runs the resilience timers: the write
+//                         deadline (a client that stalls the writer past
+//                         cfg.write_deadline_s is disconnected, its jobs
+//                         cancelled), the keepalive probe (at half the idle
+//                         timeout) and the idle/half-open reap,
 //   * JobService workers — run the jobs; the progress callback routes
 //                         events to the owning session,
-//   * one completer thread — collects terminal jobs, writes the `result`
+//   * one completer thread — collects terminal jobs, queues the `result`
 //                         frame, releases the admission slot and launches
 //                         parked jobs.  Single-threaded on purpose: result
 //                         delivery and admission hand-off stay ordered.
+//
+// Backpressure: a session's outbound queue is bounded
+// (cfg.queue_frames/queue_bytes).  Progress frames are droppable — at the
+// bound they are counted, not queued, and the count is echoed to the client
+// as a "dropped_progress" member on the next progress frame that does fit.
+// Result/error/ack frames are NEVER dropped: they are queued past the bound
+// and the write deadline is the backstop against a client that won't read
+// them.  A slow reader therefore loses only progress granularity; a stalled
+// one loses its session (and its jobs), never the server.
+//
+// Crash recovery: with cfg.journal_path set, every accepted job is recorded
+// in an atomically-rewritten journal until its terminal frame is queued.  A
+// daemon killed mid-job leaves the entries behind; the restarted daemon
+// loads them (take_orphans), logs each, serves them via the `orphans`
+// request as structured internal errors, and counts them in `stats`.
 //
 // Job lifecycle: submit -> admission verdict (run / parked / rejected) ->
 // JobService::submit (immediately or when a slot frees) -> progress frames
@@ -35,6 +58,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +71,7 @@
 
 #include "core/job_service.hpp"
 #include "service/admission.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 
 namespace afp::service {
@@ -60,6 +85,23 @@ struct ServerConfig {
   std::uint64_t base_seed = 1;    ///< derives seeds for seed-less submits
   double drain_grace_s = 5.0;     ///< drain: finish window before cancelling
   bool log = false;               ///< one stderr line per lifecycle event
+  /// A session whose outbound queue makes no forward progress for this long
+  /// is disconnected and its jobs cancelled (AFPD_WRITE_DEADLINE; <= 0
+  /// disables — a stalled client can then wedge only its own session's
+  /// memory, bounded by queue_frames, never a server thread).
+  double write_deadline_s = 10.0;
+  /// A session with no inbound traffic for this long is reaped as idle /
+  /// half-open (AFPD_IDLE_TIMEOUT; <= 0 disables).  A keepalive probe goes
+  /// out at half this; a live-but-quiet client answers it (the Client class
+  /// does so automatically) and is never reaped.
+  double idle_timeout_s = 300.0;
+  /// Outbound queue bounds per session (AFPD_QUEUE_FRAMES).  Progress
+  /// frames beyond either bound are dropped and counted; result/error
+  /// frames always queue.
+  std::size_t queue_frames = 256;
+  std::size_t queue_bytes = 1u << 20;
+  /// Crash-recovery journal path (AFPD_JOURNAL; "" disables).
+  std::string journal_path;
 };
 
 class Server {
@@ -85,13 +127,47 @@ class Server {
   /// Bound TCP port (after start(); 0 for a unix-socket server).
   int port() const { return bound_port_; }
 
+  /// Snapshot of the resilience counters (what the `stats` request serves).
+  ServerStats stats_snapshot();
+
+  /// Jobs a crashed predecessor accepted but never finished (loaded from
+  /// the journal at start(); immutable afterwards).
+  const std::vector<JournalEntry>& orphans() const { return orphans_; }
+
+  /// Test seam: while paused the pump (and the inline fast path) stops
+  /// flushing outbound queues — timers still run.  Deterministically
+  /// simulates a kernel socket buffer that accepts nothing, which real
+  /// sockets only do after absorbing ~100s of KB.
+  void set_writer_paused(bool paused);
+
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Session {
     std::uint64_t id = 0;
     int fd = -1;
     std::thread reader;
     std::mutex write_mu;
     std::atomic<bool> closed{false};
+    // Outbound queue (guarded by write_mu): encoded frames the pump
+    // flushes with non-blocking sends.
+    std::deque<std::string> outq;
+    std::size_t outq_head = 0;   ///< bytes of outq.front() already sent
+    std::size_t outq_bytes = 0;  ///< total bytes across outq
+    /// Progress frames dropped since the last delivered progress frame;
+    /// echoed (and reset) via the next one's "dropped_progress" member.
+    std::uint64_t dropped_progress = 0;
+    /// Last time the queue made forward progress (or became non-empty);
+    /// the write deadline measures from here.
+    Clock::time_point stall_since{};
+    // Liveness (reader writes, pump reads).
+    std::atomic<std::int64_t> last_recv_ms{0};
+    std::atomic<bool> keepalive_pending{false};
+    /// When the outstanding probe was sent (Server::now_ms clock): the reap
+    /// fires only after the probe has gone unanswered for half the idle
+    /// window, so a starved pump cannot reap before the client could ack.
+    std::atomic<std::int64_t> keepalive_sent_ms{0};
+    std::uint64_t keepalive_seq = 0;  ///< pump thread only
   };
 
   struct JobRecord {
@@ -108,7 +184,8 @@ class Server {
   void drain();
   void reader_loop(const std::shared_ptr<Session>& s);
   void session_closed(const std::shared_ptr<Session>& s);
-  void handle_request(const std::shared_ptr<Session>& s,
+  /// False: the session must close (strike limit reached).
+  bool handle_request(const std::shared_ptr<Session>& s,
                       const std::string& payload);
   void handle_submit(const std::shared_ptr<Session>& s, SubmitRequest req);
   /// Submits a record's spec to the JobService; mu_ must be held.
@@ -121,14 +198,27 @@ class Server {
                     const std::shared_ptr<Session>& sess);
   void completer_loop();
   void on_progress(const core::JobProgress& p);
+  /// Queues a non-droppable frame (result/error/ack/...) and flushes
+  /// opportunistically; never drops, never blocks.
   void write_frame(const std::shared_ptr<Session>& s,
                    const std::string& payload);
+  /// Queues a progress frame — droppable: at the queue bound it is counted
+  /// instead, and the pending count rides the next frame that fits.
+  void write_progress(const std::shared_ptr<Session>& s, std::uint64_t job,
+                      const core::JobProgress& p);
+  bool queue_full_locked(const Session& s) const;
+  void enqueue_locked(Session& s, std::string frame);
+  /// Non-blocking sends until the queue empties or the socket would block.
+  void flush_locked(Session& s);
+  void pump_loop();
+  void pump_wake();
   void logf(const char* fmt, ...);
 
   ServerConfig cfg_;
   int listen_fd_ = -1;
   int bound_port_ = 0;
   int wake_pipe_[2] = {-1, -1};
+  int pump_pipe_[2] = {-1, -1};
 
   metaheur::CancelToken drain_token_;
   AdmissionQueue admission_;
@@ -147,6 +237,18 @@ class Server {
   std::condition_variable done_cv_;
   bool completer_stop_ = false;
   std::thread completer_;
+
+  std::thread pump_;
+  std::atomic<bool> pump_stop_{false};
+  std::atomic<bool> writer_paused_{false};
+
+  Journal journal_;
+  std::vector<JournalEntry> orphans_;
+
+  std::atomic<std::uint64_t> dropped_progress_total_{0};
+  std::atomic<std::uint64_t> write_timeouts_{0};
+  std::atomic<std::uint64_t> idle_timeouts_{0};
+  std::atomic<std::uint64_t> keepalives_sent_{0};
 
   std::atomic<bool> draining_{false};
 };

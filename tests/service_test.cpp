@@ -10,6 +10,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -245,6 +248,27 @@ TEST(Admission, SessionLimitAndCloseDropParkedJobs) {
   EXPECT_TRUE(q.open_session(2));
 }
 
+TEST(Admission, StrikesAccumulateAndEjectAtTheLimit) {
+  AdmissionConfig cfg;
+  cfg.strike_limit = 3;
+  AdmissionQueue q(cfg);
+  ASSERT_TRUE(q.open_session(1));
+  EXPECT_FALSE(q.record_strike(1));
+  EXPECT_FALSE(q.record_strike(1));
+  EXPECT_TRUE(q.record_strike(1));  // third strike ejects
+  EXPECT_EQ(q.total_strikes(), 3u);
+  EXPECT_EQ(q.total_strike_ejections(), 1u);
+  // Unknown (already-closed) sessions never eject.
+  EXPECT_FALSE(q.record_strike(99));
+  // strike_limit 0 disables the limit entirely.
+  AdmissionConfig off;
+  off.strike_limit = 0;
+  AdmissionQueue q2(off);
+  ASSERT_TRUE(q2.open_session(1));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(q2.record_strike(1));
+  EXPECT_EQ(q2.total_strike_ejections(), 0u);
+}
+
 TEST(Admission, DrainRejectsNewAdmitsButParkedStillLaunch) {
   AdmissionConfig cfg;
   cfg.max_inflight = 1;
@@ -314,12 +338,30 @@ class ServiceE2E : public ::testing::Test {
 
   void start_server(AdmissionConfig adm, double drain_grace_s = 0.2) {
     service::ServerConfig cfg;
-    cfg.unix_path = sock();
     cfg.admission = adm;
     cfg.drain_grace_s = drain_grace_s;
+    start_server_cfg(std::move(cfg));
+  }
+
+  /// Full-config variant for the resilience tests (socket path is filled
+  /// in here; pass by value so a test can reuse one cfg across restarts).
+  void start_server_cfg(service::ServerConfig cfg) {
+    cfg.unix_path = sock();
     server_.emplace(std::move(cfg));
     server_->start();
     serve_thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  /// Polls the server's stats until `pred` holds (true) or 5 s elapse.
+  bool wait_stats(
+      const std::function<bool(const service::ServerStats&)>& pred) {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < until) {
+      if (pred(server_->stats_snapshot())) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
   }
 
   void stop_server() {
@@ -604,6 +646,197 @@ TEST_F(ServiceE2E, DrainCancelsInFlightJobsButFlushesTheirResults) {
       << res.status;
   stop_server();
   EXPECT_THROW((void)client.read_frame(), std::runtime_error);
+}
+
+// A submit frame sent raw (no reply wait) — for tests that must keep
+// submitting while the server's writer is paused.
+std::string submit_json(const std::string& circuit, std::uint64_t seed,
+                        int iterations) {
+  return "{\"type\": \"submit\", \"circuit\": \"" + circuit +
+         "\", \"seed\": " + std::to_string(seed) +
+         ", \"config\": " + config_json(iterations) + "}";
+}
+
+TEST_F(ServiceE2E, SlowReaderDropsOnlyProgressFramesAndAccountsForThem) {
+  service::ServerConfig cfg;
+  cfg.drain_grace_s = 0.2;
+  cfg.queue_frames = 1;        // one queued frame => backpressure
+  cfg.write_deadline_s = 0.0;  // a paused writer must not look stalled
+  cfg.idle_timeout_s = 0.0;
+  start_server_cfg(std::move(cfg));
+  Client client = connect();
+  server_->set_writer_paused(true);
+  // Park a pong at the head of the queue so it is full (and stays full,
+  // held by non-droppable frames) before any job can emit progress.
+  client.send_frame("{\"type\": \"ping\"}");
+  constexpr int kJobs = 3;
+  for (int j = 0; j < kJobs; ++j) {
+    client.send_frame(submit_json("ota_small", 30 + j, 40));
+  }
+  // Every accepted/result frame queues past the bound (non-droppable);
+  // every progress frame is dropped and counted.
+  ASSERT_TRUE(wait_stats([&](const service::ServerStats& st) {
+    return st.queued_frames == 1 + 2 * kJobs && st.inflight == 0;
+  }));
+  const std::uint64_t dropped = server_->stats_snapshot().dropped_progress;
+  EXPECT_GE(dropped, static_cast<std::uint64_t>(kJobs));  // >= 1 per job
+  // The slow reader catches up: the backlog is exactly the pong plus one
+  // accepted and one result per job — zero results were dropped.
+  server_->set_writer_paused(false);
+  int pongs = 0, accepted = 0, results = 0;
+  for (int i = 0; i < 1 + 2 * kJobs; ++i) {
+    const JsonValue v = service::json_parse(client.read_frame());
+    const std::string& type = v.at("type").as_string();
+    if (type == "pong") ++pongs;
+    if (type == "accepted") ++accepted;
+    if (type == "result") ++results;
+  }
+  EXPECT_EQ(pongs, 1);
+  EXPECT_EQ(accepted, kJobs);
+  EXPECT_EQ(results, kJobs);
+  // The next delivered progress frame carries the full drop count.
+  const auto acc = client.submit("ota_small", 40, 0, config_json(40));
+  EXPECT_EQ(client.await_result(acc.job).status, "done");
+  std::uint64_t echoed = 0;
+  for (const auto& p : client.progress()) echoed += p.dropped;
+  EXPECT_EQ(echoed, dropped);
+}
+
+TEST_F(ServiceE2E, WriteDeadlineDisconnectsStalledClientAndCancelsItsJobs) {
+  service::ServerConfig cfg;
+  cfg.drain_grace_s = 0.2;
+  cfg.write_deadline_s = 0.25;
+  cfg.idle_timeout_s = 0.0;
+  start_server_cfg(std::move(cfg));
+  Client client = connect();
+  server_->set_writer_paused(true);
+  // The accepted frame queues but never flushes; the session makes no
+  // write progress past the deadline and is disconnected, which cancels
+  // its near-endless job through the session CancelToken.
+  client.send_frame(submit_json("ota_small", 41, 1 << 28));
+  ASSERT_TRUE(wait_stats([](const service::ServerStats& st) {
+    return st.write_timeouts == 1 && st.inflight == 0 && st.sessions == 0;
+  }));
+  EXPECT_THROW((void)client.read_frame(), std::runtime_error);  // EOF
+  server_->set_writer_paused(false);
+  // The server survives: a fresh session runs a job end to end.
+  Client fresh = connect();
+  const auto acc = fresh.submit("ota_small", 42, 0, config_json(40));
+  EXPECT_EQ(fresh.await_result(acc.job).status, "done");
+}
+
+TEST_F(ServiceE2E, IdleSessionGetsAKeepaliveProbeThenReaped) {
+  service::ServerConfig cfg;
+  cfg.drain_grace_s = 0.2;
+  cfg.idle_timeout_s = 0.4;
+  start_server_cfg(std::move(cfg));
+  Client client = connect();  // sends nothing, acks nothing: half-open
+  const JsonValue ka = service::json_parse(client.read_frame());
+  EXPECT_EQ(ka.at("type").as_string(), "keepalive");
+  EXPECT_GE(ka.at("seq").as_uint("seq"), 1u);
+  const JsonValue err = service::json_parse(client.read_frame());
+  EXPECT_EQ(err.at("type").as_string(), "error");
+  EXPECT_EQ(err.at("kind").as_string(), "resource_exhausted");
+  EXPECT_NE(err.at("message").as_string().find("idle"), std::string::npos);
+  EXPECT_THROW((void)client.read_frame(), std::runtime_error);  // EOF
+  ASSERT_TRUE(wait_stats([](const service::ServerStats& st) {
+    return st.idle_timeouts == 1 && st.sessions == 0;
+  }));
+  EXPECT_GE(server_->stats_snapshot().keepalives_sent, 1u);
+}
+
+TEST_F(ServiceE2E, KeepaliveAckKeepsABlockedClientAlive) {
+  service::ServerConfig cfg;
+  cfg.drain_grace_s = 0.2;
+  cfg.idle_timeout_s = 0.8;
+  start_server_cfg(std::move(cfg));
+  Client client = connect();
+  // The client blocks in await_result for ~1.2 s — past the idle
+  // timeout — surviving on auto-acked keepalive probes alone.
+  const auto acc = client.submit("ota_small", 43, 0, config_json(1 << 28));
+  client.set_deadline(acc.job, 1.2);
+  const auto res = client.await_result(acc.job);
+  EXPECT_EQ(res.status, "deadline_exceeded");
+  const auto st = server_->stats_snapshot();
+  EXPECT_GE(st.keepalives_sent, 1u);
+  EXPECT_EQ(st.idle_timeouts, 0u);
+  EXPECT_FALSE(client.ping());  // the session is still fully alive
+}
+
+TEST_F(ServiceE2E, MalformedFloodTripsTheStrikeLimit) {
+  service::ServerConfig cfg;
+  cfg.drain_grace_s = 0.2;
+  cfg.admission.strike_limit = 3;
+  start_server_cfg(std::move(cfg));
+  Client client = connect();
+  for (int i = 0; i < 3; ++i) client.send_frame("{\"type\": \"teleport\"}");
+  // Three per-request errors, then the ejection error, then EOF.
+  for (int i = 0; i < 3; ++i) {
+    const JsonValue v = service::json_parse(client.read_frame());
+    EXPECT_EQ(v.at("type").as_string(), "error");
+    EXPECT_EQ(v.at("kind").as_string(), "invalid_config");
+  }
+  const JsonValue eject = service::json_parse(client.read_frame());
+  EXPECT_EQ(eject.at("type").as_string(), "error");
+  EXPECT_EQ(eject.at("kind").as_string(), "resource_exhausted");
+  EXPECT_NE(eject.at("message").as_string().find("strike"),
+            std::string::npos);
+  EXPECT_THROW((void)client.read_frame(), std::runtime_error);
+  // A fresh session is unaffected and sees the totals in `stats`.
+  Client fresh = connect();
+  const JsonValue st = fresh.stats();
+  EXPECT_EQ(st.at("strikes").as_uint("strikes"), 3u);
+  EXPECT_EQ(st.at("strike_ejections").as_uint("strike_ejections"), 1u);
+  const auto acc = fresh.submit("ota_small", 44, 0, config_json(40));
+  EXPECT_EQ(fresh.await_result(acc.job).status, "done");
+}
+
+TEST_F(ServiceE2E, JournalReplayAfterSimulatedCrashSurfacesOrphans) {
+  const std::string journal = dir_ + "/journal.afpw";
+  service::ServerConfig cfg;
+  cfg.drain_grace_s = 0.2;
+  cfg.journal_path = journal;
+  start_server_cfg(cfg);
+  Client client = connect();
+  const auto acc = client.submit("ota_small", 77, 0, config_json(1 << 28));
+  ASSERT_TRUE(wait_stats([](const service::ServerStats& st) {
+    return st.journal_live == 1;
+  }));
+  // Snapshot the on-disk journal exactly as a crash would leave it.
+  std::string crash_bytes;
+  {
+    std::ifstream in(journal, std::ios::binary);
+    crash_bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_FALSE(crash_bytes.empty());
+  client.cancel(acc.job);
+  (void)client.await_result(acc.job);
+  stop_server();
+  // "Crash": restore the journal the clean shutdown just emptied, then
+  // restart on the same path.
+  {
+    std::ofstream out(journal, std::ios::binary | std::ios::trunc);
+    out << crash_bytes;
+  }
+  start_server_cfg(cfg);
+  ASSERT_EQ(server_->orphans().size(), 1u);
+  EXPECT_EQ(server_->orphans()[0].job, acc.job);
+  Client fresh = connect();
+  const JsonValue orph = fresh.orphans();
+  EXPECT_EQ(orph.at("count").as_uint("count"), 1u);
+  const auto& jobs = orph.at("jobs").as_array();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].at("job").as_uint("job"), acc.job);
+  EXPECT_EQ(jobs[0].at("seed").as_uint("seed"), 77u);
+  EXPECT_EQ(jobs[0].at("name").as_string(), "ota_small");
+  EXPECT_EQ(jobs[0].at("error").at("kind").as_string(), "internal");
+  const JsonValue st = fresh.stats();
+  EXPECT_EQ(st.at("journal_orphans").as_uint("journal_orphans"), 1u);
+  EXPECT_EQ(st.at("journal_live").as_uint("journal_live"), 0u);
+  // The replayed journal was reset: a finished job leaves nothing behind.
+  const auto ok = fresh.submit("ota_small", 5, 0, config_json(40));
+  EXPECT_EQ(fresh.await_result(ok.job).status, "done");
+  EXPECT_EQ(server_->stats_snapshot().journal_live, 0u);
 }
 
 TEST_F(ServiceE2E, InjectedFaultsDoNotPerturbOtherSessionsJobs) {

@@ -2,17 +2,22 @@
 // afpd.
 //
 //   afp_loadgen --socket PATH [--spawn path/to/afpd] --clients N
-//               --seeds 7,8,9 [--circuit ota_small] [--baseline sa]
-//               [--iters N] [--write-reports DIR] [--bench-json FILE]
+//               --seeds 7,8,9 [--circuit ota_small[,driver,...]]
+//               [--baseline sa] [--iters N] [--write-reports DIR]
+//               [--bench-json FILE]
 //
-// Every client thread opens its own session and submits one job per seed
-// (same circuit, same config), awaiting each result.  Afterwards the
-// reports are checked pairwise: for a given seed, every client must have
-// received BYTE-IDENTICAL report bytes — the served pipeline is
-// deterministic and session multiplexing must not leak between jobs.  One
-// canonical copy per seed is then written to --write-reports as
-// report_seed<seed>.json, formatted exactly like `afp_cli --report-json`
-// output so a driver can bitwise-diff the two (modulo the timings line).
+// Every client thread opens its own session and submits one job per seed,
+// awaiting each result.  --circuit takes a comma-separated mix: client c
+// drives circuit list[c % len], so a 64-client run spreads load across
+// heterogeneous job sizes.  Afterwards the reports are checked pairwise:
+// for a given (circuit, seed), every client must have received
+// BYTE-IDENTICAL report bytes — the served pipeline is deterministic and
+// session multiplexing must not leak between jobs.  One canonical copy per
+// (circuit, seed) is then written to --write-reports as
+// report_seed<seed>.json (single circuit) or
+// report_<circuit>_seed<seed>.json (mix), formatted exactly like
+// `afp_cli --report-json` output so a driver can bitwise-diff the two
+// (modulo the timings line).
 //
 // --spawn forks/execs afpd on the given socket first, SIGTERMs it when the
 // load is done, and propagates a non-zero daemon exit — so one invocation
@@ -47,7 +52,7 @@ struct Args {
   std::string spawn;
   int clients = 4;
   std::vector<std::uint64_t> seeds = {7, 8, 9};
-  std::string circuit = "ota_small";
+  std::vector<std::string> circuits = {"ota_small"};
   std::string baseline = "sa";
   int iters = 60;
   std::string write_reports;
@@ -64,6 +69,7 @@ int usage(int rc) {
 }
 
 struct JobOutcome {
+  std::string circuit;
   std::uint64_t seed = 0;
   double latency_ms = 0.0;
   std::string status;
@@ -115,7 +121,16 @@ int main(int argc, char** argv) {
         at = comma + 1;
       }
     } else if (arg == "--circuit") {
-      args.circuit = value();
+      args.circuits.clear();
+      std::string list = value();
+      for (std::size_t at = 0; at < list.size();) {
+        const std::size_t comma = list.find(',', at);
+        const std::string tok =
+            list.substr(at, comma == std::string::npos ? comma : comma - at);
+        if (!tok.empty()) args.circuits.push_back(tok);
+        if (comma == std::string::npos) break;
+        at = comma + 1;
+      }
     } else if (arg == "--baseline") {
       args.baseline = value();
     } else if (arg == "--iters") {
@@ -130,7 +145,7 @@ int main(int argc, char** argv) {
     }
   }
   if (args.socket_path.empty() || args.clients < 1 || args.seeds.empty() ||
-      args.iters < 1) {
+      args.circuits.empty() || args.iters < 1) {
     return usage(2);
   }
 
@@ -181,14 +196,19 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (int c = 0; c < args.clients; ++c) {
     threads.emplace_back([&, c] {
+      // The circuit mix is assigned round-robin by client index, so a rerun
+      // with the same flags reproduces the exact same job set.
+      const std::string& circuit =
+          args.circuits[static_cast<std::size_t>(c) % args.circuits.size()];
       try {
         afp::service::Client client =
             afp::service::Client::connect_unix(args.socket_path);
         for (const std::uint64_t seed : args.seeds) {
           JobOutcome out;
+          out.circuit = circuit;
           out.seed = seed;
           const auto j0 = Clock::now();
-          const auto acc = client.submit(args.circuit, seed, 0, config);
+          const auto acc = client.submit(circuit, seed, 0, config);
           const auto res = client.await_result(acc.job);
           out.latency_ms =
               std::chrono::duration<double, std::milli>(Clock::now() - j0)
@@ -214,17 +234,18 @@ int main(int argc, char** argv) {
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
-  // Cross-client parity: for each seed, every client's report bytes must be
-  // identical (modulo the timings line) — a session must never perturb
-  // another session's jobs.
-  std::map<std::uint64_t, std::string> canonical;
+  // Cross-client parity: for each (circuit, seed), every client's report
+  // bytes must be identical (modulo the timings line) — a session must
+  // never perturb another session's jobs.
+  std::map<std::pair<std::string, std::uint64_t>, std::string> canonical;
   for (int c = 0; c < args.clients; ++c) {
     for (const auto& out : per_client[static_cast<std::size_t>(c)]) {
       if (out.status != "done") continue;
-      auto [it, fresh] = canonical.emplace(out.seed, out.report);
+      auto [it, fresh] =
+          canonical.emplace(std::make_pair(out.circuit, out.seed), out.report);
       if (!fresh &&
           normalize_timings(it->second) != normalize_timings(out.report)) {
-        failures.push_back("seed " + std::to_string(out.seed) +
+        failures.push_back(out.circuit + " seed " + std::to_string(out.seed) +
                            ": client " + std::to_string(c) +
                            " received different report bytes");
       }
@@ -232,9 +253,12 @@ int main(int argc, char** argv) {
   }
 
   if (!args.write_reports.empty()) {
-    for (const auto& [seed, report] : canonical) {
+    for (const auto& [key, report] : canonical) {
+      // Single-circuit runs keep the legacy name the smoke driver diffs.
       const std::string path =
-          args.write_reports + "/report_seed" + std::to_string(seed) + ".json";
+          args.write_reports + "/report_" +
+          (args.circuits.size() > 1 ? key.first + "_seed" : "seed") +
+          std::to_string(key.second) + ".json";
       std::ofstream os(path);
       os << report << "\n";  // afp_cli's write_file appends one newline too
       if (!os) failures.push_back("cannot write " + path);
@@ -264,12 +288,17 @@ int main(int argc, char** argv) {
       args.clients, args.seeds.size(), wall_s, jobs_per_s, pct(0.5),
       pct(0.99));
   if (!args.bench_json.empty()) {
+    std::string mix;
+    for (const auto& c : args.circuits) {
+      if (!mix.empty()) mix += ",";
+      mix += c;
+    }
     std::ofstream os(args.bench_json);
     os << "{\n"
        << "  \"bench\": \"service\",\n"
        << "  \"clients\": " << args.clients << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
-       << "  \"circuit\": \"" << args.circuit << "\",\n"
+       << "  \"circuit\": \"" << mix << "\",\n"
        << "  \"baseline\": \"" << args.baseline << "\",\n"
        << "  \"iters\": " << args.iters << ",\n"
        << "  \"wall_s\": " << wall_s << ",\n"

@@ -10,10 +10,24 @@
 //   --max-inflight N   jobs running at once           (env AFPD_MAX_INFLIGHT)
 //   --session-quota N  outstanding jobs per session   (env AFPD_SESSION_QUOTA)
 //   --max-parked N     total wait-queue capacity      (env AFPD_MAX_PARKED)
+//   --strike-limit N   malformed requests before ejection, 0 = off
+//                                                     (env AFPD_STRIKE_LIMIT)
+//   --write-deadline S stalled-writer disconnect, 0 = off
+//                                                     (env AFPD_WRITE_DEADLINE)
+//   --idle-timeout S   idle/half-open session reap, 0 = off; keepalive probe
+//                      at S/2                         (env AFPD_IDLE_TIMEOUT)
+//   --queue-frames N   outbound queue bound per session (progress frames
+//                      beyond it are dropped+counted) (env AFPD_QUEUE_FRAMES)
+//   --journal PATH     crash-recovery journal          (env AFPD_JOURNAL)
 //   --base-seed N      seed base for seed-less submits (default 1)
 //   --drain-grace S    drain: finish window before cancelling (default 5)
 //   --threads N        numeric thread-pool size
 //   --quiet            suppress per-event stderr lines
+//
+// A malformed AFPD_* value (non-numeric, out of range) is a configuration
+// error: afpd exits 2 with a usage message naming the variable — silently
+// running with a default the operator did not ask for hides typos until
+// the daemon misbehaves under load.
 //
 // SIGTERM/SIGINT trigger a graceful drain: new sessions and submits are
 // rejected, in-flight and queued jobs finish (or are cancelled after the
@@ -36,26 +50,48 @@ void on_signal(int) {
   if (g_server != nullptr) g_server->request_drain();
 }
 
-int env_int(const char* name, int dflt) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return dflt;
-  char* end = nullptr;
-  const long x = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || x < 1 || x > 1 << 20) {
-    std::fprintf(stderr, "afpd: ignoring bad %s='%s'\n", name, v);
-    return dflt;
-  }
-  return static_cast<int>(x);
-}
-
 int usage(int rc) {
   std::fprintf(rc == 0 ? stdout : stderr,
                "usage: afpd (--socket PATH | --port N) [--max-sessions N] "
                "[--max-inflight N]\n"
                "            [--session-quota N] [--max-parked N] "
-               "[--base-seed N]\n"
-               "            [--drain-grace S] [--threads N] [--quiet]\n");
+               "[--strike-limit N]\n"
+               "            [--write-deadline S] [--idle-timeout S] "
+               "[--queue-frames N]\n"
+               "            [--journal PATH] [--base-seed N] "
+               "[--drain-grace S] [--threads N]\n"
+               "            [--quiet]\n");
   return rc;
+}
+
+/// Strict env integer in [lo, hi]: a malformed or out-of-range value exits
+/// 2 with a usage line naming the variable (never a silent default).
+int env_int(const char* name, int dflt, long lo, long hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || x < lo || x > hi) {
+    std::fprintf(stderr,
+                 "afpd: %s='%s' is not an integer in [%ld, %ld]\n", name, v,
+                 lo, hi);
+    std::exit(usage(2));
+  }
+  return static_cast<int>(x);
+}
+
+/// Strict env seconds in [0, 1e9]; same exit-2 contract as env_int.
+double env_seconds(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(x >= 0.0) || x > 1e9) {
+    std::fprintf(stderr, "afpd: %s='%s' is not a number in [0, 1e9]\n", name,
+                 v);
+    std::exit(usage(2));
+  }
+  return x;
 }
 
 }  // namespace
@@ -67,10 +103,16 @@ int main(int argc, char** argv) {
 
   afp::service::ServerConfig cfg;
   cfg.log = true;
-  cfg.admission.max_sessions = env_int("AFPD_MAX_SESSIONS", 16);
-  cfg.admission.max_inflight = env_int("AFPD_MAX_INFLIGHT", 2);
-  cfg.admission.per_session = env_int("AFPD_SESSION_QUOTA", 8);
-  cfg.admission.max_parked = env_int("AFPD_MAX_PARKED", 256);
+  cfg.admission.max_sessions = env_int("AFPD_MAX_SESSIONS", 16, 1, 1 << 20);
+  cfg.admission.max_inflight = env_int("AFPD_MAX_INFLIGHT", 2, 1, 1 << 20);
+  cfg.admission.per_session = env_int("AFPD_SESSION_QUOTA", 8, 1, 1 << 20);
+  cfg.admission.max_parked = env_int("AFPD_MAX_PARKED", 256, 1, 1 << 20);
+  cfg.admission.strike_limit = env_int("AFPD_STRIKE_LIMIT", 16, 0, 1 << 20);
+  cfg.write_deadline_s = env_seconds("AFPD_WRITE_DEADLINE", 10.0);
+  cfg.idle_timeout_s = env_seconds("AFPD_IDLE_TIMEOUT", 300.0);
+  cfg.queue_frames = static_cast<std::size_t>(
+      env_int("AFPD_QUEUE_FRAMES", 256, 1, 1 << 20));
+  if (const char* j = std::getenv("AFPD_JOURNAL")) cfg.journal_path = j;
   int threads = 0;
 
   auto int_arg = [&](int& i, const char* what) {
@@ -83,6 +125,20 @@ int main(int argc, char** argv) {
     if (end == argv[i] || *end != '\0') {
       std::fprintf(stderr, "afpd: %s expects an integer, got '%s'\n", what,
                    argv[i]);
+      std::exit(usage(2));
+    }
+    return x;
+  };
+  auto seconds_arg = [&](int& i, const char* what) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "afpd: %s expects a value\n", what);
+      std::exit(usage(2));
+    }
+    char* end = nullptr;
+    const double x = std::strtod(argv[++i], &end);
+    if (end == argv[i] || *end != '\0' || !(x >= 0.0) || x > 1e9) {
+      std::fprintf(stderr, "afpd: %s expects seconds in [0, 1e9], got '%s'\n",
+                   what, argv[i]);
       std::exit(usage(2));
     }
     return x;
@@ -104,6 +160,22 @@ int main(int argc, char** argv) {
       cfg.admission.per_session = static_cast<int>(int_arg(i, arg.c_str()));
     } else if (arg == "--max-parked") {
       cfg.admission.max_parked = static_cast<int>(int_arg(i, arg.c_str()));
+    } else if (arg == "--strike-limit") {
+      cfg.admission.strike_limit = static_cast<int>(int_arg(i, arg.c_str()));
+    } else if (arg == "--write-deadline") {
+      cfg.write_deadline_s = seconds_arg(i, arg.c_str());
+    } else if (arg == "--idle-timeout") {
+      cfg.idle_timeout_s = seconds_arg(i, arg.c_str());
+    } else if (arg == "--queue-frames") {
+      const long q = int_arg(i, arg.c_str());
+      if (q < 1) {
+        std::fprintf(stderr, "afpd: --queue-frames must be >= 1\n");
+        return usage(2);
+      }
+      cfg.queue_frames = static_cast<std::size_t>(q);
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) return usage(2);
+      cfg.journal_path = argv[++i];
     } else if (arg == "--base-seed") {
       cfg.base_seed = static_cast<std::uint64_t>(int_arg(i, arg.c_str()));
     } else if (arg == "--drain-grace") {
@@ -124,6 +196,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "afpd: admission limits must be >= 1\n");
     return usage(2);
   }
+  if (cfg.admission.strike_limit < 0) {
+    std::fprintf(stderr, "afpd: --strike-limit must be >= 0\n");
+    return usage(2);
+  }
   if (threads > 0) afp::num::set_num_threads(threads);
 
   try {
@@ -132,6 +208,12 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
     server.start();
+    for (const auto& orphan : server.orphans()) {
+      std::fprintf(stderr,
+                   "afpd: orphaned job %llu ('%s') recovered from journal\n",
+                   static_cast<unsigned long long>(orphan.job),
+                   orphan.name.c_str());
+    }
     // One parseable ready line on stdout, for launchers that wait for it.
     if (server.port() > 0) {
       std::printf("afpd: ready port=%d\n", server.port());
