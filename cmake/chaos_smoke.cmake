@@ -50,11 +50,13 @@ endif()
 message(STATUS "${out}")
 
 # Bitwise parity for the well-behaved sessions, daemon vs CLI, modulo the
-# timings line.
+# timings/tt_cache lines.
 foreach(seed IN LISTS seeds)
   foreach(side cli report)
     file(READ ${WORK_DIR}/${side}_seed${seed}.json ${side}_bytes)
     string(REGEX REPLACE "\"timings\": {[^}]*}" "\"timings\": {}"
+           ${side}_bytes "${${side}_bytes}")
+    string(REGEX REPLACE "\"tt_cache\": {[^}]*}" "\"tt_cache\": {}"
            ${side}_bytes "${${side}_bytes}")
   endforeach()
   if(NOT cli_bytes STREQUAL report_bytes)

@@ -1,0 +1,4 @@
+* Malformed example: .subckt without .ends — must fail with a structured
+* file:line diagnostic (afp_cli ingest exits 2), never a crash.
+.subckt stage in out
+M1 out in VSS VSS nch w=2u l=1u

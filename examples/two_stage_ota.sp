@@ -1,0 +1,36 @@
+* Two-stage Miller-compensated OTA — workload-ingestion example deck.
+* Exercises the supported subset: .param arithmetic, .subckt hierarchy with
+* parameter overrides, X-card expansion, '+' continuations and comments.
+
+.param wdiff=8u ldiff=0.5u
+.param wtail={2*wdiff}   $ tail carries both branch currents
+.param wload=6u
+
+* --- differential input stage: NMOS pair over a tail source -------------
+.subckt diffpair inp inn outp outn tail w=4u l=0.5u
+M1 outp inp tail VSS nch w={w} l={l}
+M2 outn inn tail VSS nch w={w} l={l}
+.ends diffpair
+
+* --- PMOS current-mirror load (diode-connected reference) ---------------
+.subckt pload ref out
+MPD ref ref VDD VDD pch w=wload l=1u
+MPO out ref VDD VDD pch
++ w=wload l=1u
+.ends pload
+
+* --- top level ----------------------------------------------------------
+XIN inp inn d1 d2 ntail diffpair w=wdiff l=ldiff
+XLD d1 d2 pload
+MT ntail nbias VSS VSS nch w=wtail l=1u   ; shared tail source
+MB nbias nbias VSS VSS nch w=2u l=1u      ; bias diode sets ntail current
+
+* second stage: PMOS common-source with NMOS mirror sink
+MP2 out d2 VDD VDD pch w=16u l=0.5u
+MN2 out nbias VSS VSS nch w=4u l=1u
+
+* Miller compensation across the second stage, with a zero-nulling R
+RZ d2 cz 1.2k
+CC cz out 0.9p
+
+.end

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -166,7 +167,35 @@ FloorplanPipeline::Prepared FloorplanPipeline::prepare(
     graphir::apply_constraints(prep.graph,
                                graphir::default_constraints(prep.graph));
   }
+  if (!cfg_.scenario_constraints.empty()) {
+    // Scenario overlay: resolve the name-keyed constraints against the
+    // recognized blocks and merge them into whatever the default derivation
+    // installed (apply_constraints re-materializes the relation edges).
+    graphir::ConstraintSpec merged = prep.graph.constraints;
+    graphir::ConstraintSpec overlay =
+        graphir::resolve(cfg_.scenario_constraints, prep.graph);
+    auto append = [](auto& dst, auto& src) {
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+    };
+    append(merged.sym_pairs, overlay.sym_pairs);
+    append(merged.self_syms, overlay.self_syms);
+    append(merged.align_groups, overlay.align_groups);
+    append(merged.match_groups, overlay.match_groups);
+    append(merged.keep_outs, overlay.keep_outs);
+    append(merged.preplaced, overlay.preplaced);
+    graphir::apply_constraints(prep.graph, std::move(merged));
+  }
   prep.instance = floorplan::make_instance(prep.graph);
+  if (cfg_.scenario_constraints.extra_whitespace > 0.0) {
+    const double s =
+        std::sqrt(1.0 + cfg_.scenario_constraints.extra_whitespace);
+    prep.instance.canvas_w *= s;
+    prep.instance.canvas_h *= s;
+  }
+  if (cfg_.scenario_constraints.target_aspect) {
+    prep.instance.target_aspect = cfg_.scenario_constraints.target_aspect;
+  }
   if (cfg_.hpwl_ref > 0.0) {
     prep.instance.hpwl_ref = cfg_.hpwl_ref;
   } else {
@@ -376,6 +405,10 @@ PipelineResult FloorplanPipeline::run(const netlist::Netlist& nl,
   res.optimizer = opt.name();
   res.evaluations = evaluations;
   res.quanta = quanta;
+  res.tt.hits = tt.hits();
+  res.tt.misses = tt.misses();
+  res.tt.dropped = tt.dropped();
+  res.tt.entries = tt.size();
   return res;
 }
 

@@ -84,13 +84,21 @@ std::string report_json(const PipelineResult& res, const std::string& circuit,
      << ", \"max_retries\": " << search.retry.max_retries << "},\n";
   os << "  \"evaluations\": " << res.evaluations << ",\n";
   os << "  \"quanta\": " << res.quanta << ",\n";
+  // One line, like "timings": the hit/miss split depends on the thread
+  // schedule when restarts/replicas share the cache, so bitwise comparisons
+  // strip this object the same way they strip timings.
+  os << "  \"tt_cache\": {\"hits\": " << res.tt.hits
+     << ", \"misses\": " << res.tt.misses << ", \"dropped\": " << res.tt.dropped
+     << ", \"entries\": " << res.tt.entries << "},\n";
   os << "  \"cost\": " << num(metaheur::sp_cost(res.instance, res.rects))
      << ",\n";
   os << "  \"eval\": {\"area\": " << num(res.eval.area)
      << ", \"dead_space\": " << num(res.eval.dead_space)
      << ", \"hpwl\": " << num(res.eval.hpwl)
      << ", \"reward\": " << num(res.eval.reward) << ", \"constraints_ok\": "
-     << (res.eval.constraints_ok ? "true" : "false") << "},\n";
+     << (res.eval.constraints_ok ? "true" : "false")
+     << ", \"constraint_violations\": " << res.eval.constraint_violations
+     << ", \"constraint_items\": " << res.eval.constraint_items << "},\n";
   os << "  \"route\": {\"wirelength\": " << num(res.route.total_wirelength)
      << ", \"failed_nets\": " << res.route.failed_nets << "},\n";
   os << "  \"layout\": {\"wires\": " << res.layout.wires.size()

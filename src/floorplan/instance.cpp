@@ -155,10 +155,21 @@ double HpwlCache::update(const std::vector<geom::Rect>& rects,
   return sum();
 }
 
-bool constraints_satisfied(const Instance& inst,
-                           const std::vector<geom::Rect>& rects, double tol) {
+int constraint_violations(const Instance& inst,
+                          const std::vector<geom::Rect>& rects, double tol,
+                          int* total_items) {
   const auto& cs = inst.constraints;
-  if (cs.empty()) return true;
+  if (total_items) *total_items = 0;
+  if (cs.empty()) return 0;
+  int items = 0;
+  int violated = 0;
+  // One item per constraint element; the item count is a pure function of
+  // the constraint spec (never of the placement), so violated/items is a
+  // stable fraction the metaheuristic penalty can anneal against.
+  auto check = [&](bool ok) {
+    ++items;
+    if (!ok) ++violated;
+  };
 
   // All vertical-symmetry constraints share one vertical axis; same for
   // horizontal.  Derive each axis from the first constraint that pins it.
@@ -185,7 +196,7 @@ bool constraints_satisfied(const Instance& inst,
     for (const auto& ss : cs.self_syms) {
       if (ss.vertical != vertical) continue;
       const auto c = rects[static_cast<std::size_t>(ss.block)].center();
-      if (std::abs((vertical ? c.x : c.y) - *axis) > tol) return false;
+      check(std::abs((vertical ? c.x : c.y) - *axis) <= tol);
     }
     for (const auto& sp : cs.sym_pairs) {
       if (sp.vertical != vertical) continue;
@@ -195,19 +206,18 @@ bool constraints_satisfied(const Instance& inst,
       // its partner's footprint, so mismatched dimensions can never satisfy
       // the pair — including the pair the axis itself was derived from,
       // whose midpoint check is vacuously true by construction.
-      if (std::abs(ra.w - rb.w) > tol || std::abs(ra.h - rb.h) > tol) {
-        return false;
-      }
+      bool ok = std::abs(ra.w - rb.w) <= tol && std::abs(ra.h - rb.h) <= tol;
       if (vertical) {
         // Mirrored about x = axis, same row.
-        if (std::abs((ra.center().x + rb.center().x) / 2.0 - *axis) > tol)
-          return false;
-        if (std::abs(ra.y - rb.y) > tol) return false;
+        ok = ok &&
+             std::abs((ra.center().x + rb.center().x) / 2.0 - *axis) <= tol &&
+             std::abs(ra.y - rb.y) <= tol;
       } else {
-        if (std::abs((ra.center().y + rb.center().y) / 2.0 - *axis) > tol)
-          return false;
-        if (std::abs(ra.x - rb.x) > tol) return false;
+        ok = ok &&
+             std::abs((ra.center().y + rb.center().y) / 2.0 - *axis) <= tol &&
+             std::abs(ra.x - rb.x) <= tol;
       }
+      check(ok);
     }
   }
 
@@ -216,14 +226,54 @@ bool constraints_satisfied(const Instance& inst,
     const auto& r0 = rects[static_cast<std::size_t>(ag.blocks[0])];
     for (std::size_t i = 1; i < ag.blocks.size(); ++i) {
       const auto& ri = rects[static_cast<std::size_t>(ag.blocks[i])];
-      if (ag.horizontal) {
-        if (std::abs(ri.y - r0.y) > tol) return false;  // common bottom edge
-      } else {
-        if (std::abs(ri.x - r0.x) > tol) return false;  // common left edge
-      }
+      // One item per follower: a common bottom (left) edge with the leader.
+      check(ag.horizontal ? std::abs(ri.y - r0.y) <= tol
+                          : std::abs(ri.x - r0.x) <= tol);
     }
   }
-  return true;
+
+  // Matching groups: every member takes the same footprint.
+  for (const auto& mg : cs.match_groups) {
+    if (mg.blocks.size() < 2) continue;
+    const auto& r0 = rects[static_cast<std::size_t>(mg.blocks[0])];
+    for (std::size_t i = 1; i < mg.blocks.size(); ++i) {
+      const auto& ri = rects[static_cast<std::size_t>(mg.blocks[i])];
+      check(std::abs(ri.w - r0.w) <= tol && std::abs(ri.h - r0.h) <= tol);
+    }
+  }
+
+  // Keep-out regions: no block may overlap a forbidden rectangle.  Shrink
+  // by tol on each side so a shared edge within tolerance does not count as
+  // an overlap (geom::Rect is half-open already; this guards fp noise).
+  for (const auto& ko : cs.keep_outs) {
+    geom::Rect shrunk = ko.region;
+    shrunk.x += tol;
+    shrunk.y += tol;
+    shrunk.w = std::max(0.0, shrunk.w - 2.0 * tol);
+    shrunk.h = std::max(0.0, shrunk.h - 2.0 * tol);
+    if (shrunk.w <= 0.0 || shrunk.h <= 0.0) continue;
+    bool clear = true;
+    for (const auto& r : rects) {
+      if (r.overlaps(shrunk)) {
+        clear = false;
+        break;
+      }
+    }
+    check(clear);
+  }
+
+  // Pre-placed blocks: lower-left corner pinned.
+  for (const auto& pp : cs.preplaced) {
+    const auto& r = rects[static_cast<std::size_t>(pp.block)];
+    check(std::abs(r.x - pp.x) <= tol && std::abs(r.y - pp.y) <= tol);
+  }
+  if (total_items) *total_items = items;
+  return violated;
+}
+
+bool constraints_satisfied(const Instance& inst,
+                           const std::vector<geom::Rect>& rects, double tol) {
+  return constraint_violations(inst, rects, tol, nullptr) == 0;
 }
 
 Evaluation evaluate_floorplan(const Instance& inst,
@@ -236,7 +286,10 @@ Evaluation evaluate_floorplan(const Instance& inst,
   ev.dead_space = ev.area > 0.0 ? 1.0 - total / ev.area : 1.0;
   ev.hpwl = hpwl_of(inst, rects);
   ev.aspect = geom::aspect_ratio(bb);
-  ev.constraints_ok = constraints_satisfied(inst, rects, constraint_tol);
+  ev.constraint_violations =
+      constraint_violations(inst, rects, constraint_tol,
+                            &ev.constraint_items);
+  ev.constraints_ok = ev.constraint_violations == 0;
   if (!ev.constraints_ok) {
     ev.reward = w.violation_penalty;
     return ev;

@@ -69,6 +69,10 @@ struct Evaluation {
   double aspect = 1.0;       ///< bounding-box aspect ratio
   double reward = 0.0;       ///< Eq. (5) with alpha=1, beta=5, gamma=5
   bool constraints_ok = true;
+  /// Violation breakdown behind constraints_ok: violated / total constraint
+  /// items (see constraint_violations).  0/0 for unconstrained instances.
+  int constraint_violations = 0;
+  int constraint_items = 0;
 };
 
 /// Reward weights of Eq. (5).
@@ -126,10 +130,31 @@ class HpwlCache {
   std::vector<char> dirty_;  ///< per-net scratch flag for update()
 };
 
+/// Counts violated constraint items with tolerance `tol` (um).  One item
+/// per constraint element: each self-symmetry, symmetry pair, alignment
+/// follower, matching follower, keep-out region and pre-placed pin.  The
+/// item total (written to `total_items` when non-null) depends only on the
+/// constraint spec, never on the placement, so violated/total is a stable
+/// violation fraction.
+int constraint_violations(const Instance& inst,
+                          const std::vector<geom::Rect>& rects, double tol,
+                          int* total_items = nullptr);
+
 /// Checks the instance's symmetry / alignment constraints on continuous
 /// rectangles with tolerance `tol` (um).
 bool constraints_satisfied(const Instance& inst,
                            const std::vector<geom::Rect>& rects,
                            double tol = 1e-6);
+
+/// Graded soft penalty for the metaheuristic cost: 0 when satisfied, up to
+/// 10.0 when every item is violated.  Proportional to the violation
+/// fraction so annealers can repair constraints one element at a time
+/// instead of facing a flat cliff.  Shared by sp_cost and the incremental
+/// evaluator so both produce bitwise-identical costs.
+inline double constraint_penalty(int violated, int total_items) {
+  if (violated <= 0) return 0.0;
+  return 10.0 * static_cast<double>(violated) /
+         static_cast<double>(total_items < 1 ? 1 : total_items);
+}
 
 }  // namespace afp::floorplan

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace afp::graphir {
 
@@ -100,6 +101,10 @@ void apply_constraints(CircuitGraph& g, ConstraintSpec spec) {
   for (const auto& ag : spec.align_groups) {
     for (int b : ag.blocks) check(b, "align_group");
   }
+  for (const auto& mg : spec.match_groups) {
+    for (int b : mg.blocks) check(b, "match_group");
+  }
+  for (const auto& pp : spec.preplaced) check(pp.block, "preplaced");
 
   g.constraints = std::move(spec);
   auto& hsym = g.edges[static_cast<std::size_t>(Relation::kHorizontalSymmetry)];
@@ -186,6 +191,43 @@ ConstraintSpec default_constraints(const CircuitGraph& g) {
       }
     }
     if (group.blocks.size() >= 2) spec.align_groups.push_back(std::move(group));
+  }
+  return spec;
+}
+
+ConstraintSpec resolve(const NamedConstraintSpec& named,
+                       const CircuitGraph& g) {
+  std::unordered_map<std::string, int> index;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    index.emplace(g.nodes[static_cast<std::size_t>(i)].name, i);
+  }
+  auto lookup = [&](const std::string& name) {
+    auto it = index.find(name);
+    if (it == index.end()) {
+      throw std::invalid_argument("resolve: unknown block '" + name + "' in " +
+                                  g.name);
+    }
+    return it->second;
+  };
+
+  ConstraintSpec spec;
+  for (const auto& sp : named.sym_pairs) {
+    spec.sym_pairs.push_back({lookup(sp.a), lookup(sp.b), sp.vertical});
+  }
+  for (const auto& ag : named.align_groups) {
+    ConstraintSpec::AlignGroup out;
+    out.horizontal = ag.horizontal;
+    for (const auto& b : ag.blocks) out.blocks.push_back(lookup(b));
+    spec.align_groups.push_back(std::move(out));
+  }
+  for (const auto& mg : named.match_groups) {
+    ConstraintSpec::MatchGroup out;
+    for (const auto& b : mg.blocks) out.blocks.push_back(lookup(b));
+    spec.match_groups.push_back(std::move(out));
+  }
+  spec.keep_outs = named.keep_outs;
+  for (const auto& pp : named.preplaced) {
+    spec.preplaced.push_back({lookup(pp.block), pp.x, pp.y});
   }
   return spec;
 }

@@ -7,9 +7,11 @@
 // count, and a 28-dim one-hot of the functional structure type.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "geom/geom.hpp"
 #include "netlist/netlist.hpp"
 #include "nn/rgcn_layer.hpp"
 #include "numeric/tensor.hpp"
@@ -47,15 +49,83 @@ struct ConstraintSpec {
     std::vector<int> blocks;
     bool horizontal = true;  ///< align bottom edges in a row (else left edges)
   };
+  /// Matching group: every member must take the same footprint (equal width
+  /// AND height), the layout analog of device matching.
+  struct MatchGroup {
+    std::vector<int> blocks;
+  };
+  /// Keep-out region: no block rectangle may overlap `region` (canvas
+  /// coordinates, half-open like geom::Rect).
+  struct KeepOut {
+    geom::Rect region;
+  };
+  /// Pre-placed block: the lower-left corner is pinned at (x, y).
+  struct PrePlaced {
+    int block = -1;
+    double x = 0.0;
+    double y = 0.0;
+  };
 
   std::vector<SymPair> sym_pairs;
   std::vector<SelfSym> self_syms;
   std::vector<AlignGroup> align_groups;
+  std::vector<MatchGroup> match_groups;
+  std::vector<KeepOut> keep_outs;
+  std::vector<PrePlaced> preplaced;
 
   bool empty() const {
-    return sym_pairs.empty() && self_syms.empty() && align_groups.empty();
+    return sym_pairs.empty() && self_syms.empty() && align_groups.empty() &&
+           match_groups.empty() && keep_outs.empty() && preplaced.empty();
   }
 };
+
+class CircuitGraph;
+
+/// Constraint overlay keyed by block NAME rather than node index — the form
+/// scenario generators and deck sidecars speak, resolved against a built
+/// graph (whose node order is a recognition artifact the author of a
+/// scenario cannot know).  `resolve` maps names to indices and throws
+/// std::invalid_argument on an unknown block.
+struct NamedConstraintSpec {
+  struct SymPair {
+    std::string a, b;
+    bool vertical = true;
+  };
+  struct AlignGroup {
+    std::vector<std::string> blocks;
+    bool horizontal = true;
+  };
+  struct MatchGroup {
+    std::vector<std::string> blocks;
+  };
+  struct PrePlaced {
+    std::string block;
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  std::vector<SymPair> sym_pairs;
+  std::vector<AlignGroup> align_groups;
+  std::vector<MatchGroup> match_groups;
+  std::vector<ConstraintSpec::KeepOut> keep_outs;
+  std::vector<PrePlaced> preplaced;
+  /// Optional fixed-outline aspect target for the instance (R*).
+  std::optional<double> target_aspect;
+  /// Extra whitespace factor (>= 0): scales the canvas side by
+  /// sqrt(1 + extra_whitespace) so sweeps can study loose vs tight outlines.
+  double extra_whitespace = 0.0;
+
+  bool empty() const {
+    return sym_pairs.empty() && align_groups.empty() && match_groups.empty() &&
+           keep_outs.empty() && preplaced.empty() && !target_aspect &&
+           extra_whitespace == 0.0;
+  }
+};
+
+/// Resolves a name-keyed overlay against graph `g` (block names are the
+/// structure-recognition names).  Throws std::invalid_argument naming the
+/// first unknown block.
+ConstraintSpec resolve(const NamedConstraintSpec& named, const CircuitGraph& g);
 
 /// A block-level net: the blocks it connects (>= 2, non-supply).
 struct BlockNet {

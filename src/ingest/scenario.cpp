@@ -1,0 +1,492 @@
+#include "ingest/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/geom.hpp"
+
+namespace afp::ingest {
+
+namespace {
+
+using netlist::Device;
+using netlist::DeviceType;
+using netlist::Netlist;
+
+/// Local SplitMix64 (ingest stays independent of metaheur): the standard
+/// finalizer, fixed constants, byte-stable everywhere.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(next() %
+                                 static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  /// Quantized width in [lo, hi] um on a 0.25 um grid (realistic sizing;
+  /// quantization cannot cause accidental structure merges because every
+  /// grouping rule also requires shared nets the generator controls).
+  double width(double lo, double hi) {
+    const double w = lo + (hi - lo) * uniform();
+    return std::max(lo, std::round(w * 4.0) / 4.0);
+  }
+};
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Emits motifs the structrec rule engine recognizes 1:1 and tracks the
+/// names recognition will assign (member device names joined with '+').
+struct Gen {
+  Netlist nl;
+  SplitMix64 rng;
+  std::vector<std::string> blocks;  ///< recognized-block names, in order
+  std::vector<std::string> outs;    ///< recent interface nets (fanout <= 4)
+  int motif = 0;                    ///< unique per-motif suffix
+  int resistors = 0;                ///< total resistor count (rule-5 cost cap)
+
+  explicit Gen(std::string name) : nl(std::move(name)) {}
+
+  std::string tag() { return std::to_string(motif++); }
+
+  /// Interface net feeding this motif: one of the last four outputs (keeps
+  /// per-net fanout bounded), or a fresh dangling net before any exist.
+  std::string input() {
+    if (outs.empty()) return "nin" + tag();
+    const int lo = std::max(0, static_cast<int>(outs.size()) - 4);
+    return outs[static_cast<std::size_t>(
+        rng.range(lo, static_cast<int>(outs.size()) - 1))];
+  }
+  std::string emit_out(const std::string& net) {
+    outs.push_back(net);
+    if (outs.size() > 64) outs.erase(outs.begin(), outs.begin() + 32);
+    return net;
+  }
+
+  void nmos(const std::string& name, const std::string& d,
+            const std::string& g, const std::string& s, double w,
+            double l = 0.18, int nf = 1) {
+    nl.add_device({name, DeviceType::kNmos, {d, g, s, "VSS"}, w, l, nf, 0.0});
+  }
+  void pmos(const std::string& name, const std::string& d,
+            const std::string& g, const std::string& s, double w,
+            double l = 0.18, int nf = 1) {
+    nl.add_device({name, DeviceType::kPmos, {d, g, s, "VDD"}, w, l, nf, 0.0});
+  }
+
+  /// Differential pair (1 block): shared private tail net, distinct gates.
+  std::string diff_pair(bool pmos_pair, double w) {
+    const std::string t = tag();
+    const std::string tail = "tail" + t;
+    const std::string out = "w" + t;
+    const std::string a = "MD" + t + "a", b = "MD" + t + "b";
+    if (pmos_pair) {
+      pmos(a, out, input(), tail, w, 0.18, 2);
+      pmos(b, "d" + t, "g" + t, tail, w, 0.18, 2);
+    } else {
+      nmos(a, out, input(), tail, w, 0.18, 2);
+      nmos(b, "d" + t, "g" + t, tail, w, 0.18, 2);
+    }
+    emit_out(out);
+    blocks.push_back(a + "+" + b);
+    return tail;
+  }
+
+  /// Tail current source for `tail` (1 block, singleton NMOS).
+  void tail_source(const std::string& tail, double w) {
+    const std::string t = tag();
+    const std::string name = "MT" + t;
+    nmos(name, tail, "vb" + t, "VSS", w, 0.36, 2);
+    blocks.push_back(name);
+  }
+
+  /// Current mirror (1 block): diode + nouts outputs on a private gate net.
+  void mirror(bool pmos_mirror, int nouts, double w) {
+    const std::string t = tag();
+    const std::string g = "mg" + t;
+    std::string name = "MM" + t + "r";
+    std::string joined = name;
+    if (pmos_mirror) {
+      pmos(name, g, g, "VDD", w, 0.36, 2);
+    } else {
+      nmos(name, g, g, "VSS", w, 0.36, 2);
+    }
+    for (int k = 0; k < nouts; ++k) {
+      // First output drives the interface; extras sink previous outputs.
+      const std::string d = k == 0 ? emit_out("w" + t) : input();
+      name = "MM" + t + "o" + std::to_string(k);
+      if (pmos_mirror) {
+        pmos(name, d, g, "VDD", w, 0.36, 2);
+      } else {
+        nmos(name, d, g, "VSS", w, 0.36, 2);
+      }
+      joined += "+" + name;
+    }
+    blocks.push_back(joined);
+  }
+
+  /// Supply-referenced single (1 block); the gate consumes an interface net.
+  std::string single(bool pmos_single, double w) {
+    const std::string t = tag();
+    const std::string name = "MS" + t;
+    if (pmos_single) {
+      pmos(name, emit_out("w" + t), input(), "VDD", w);
+    } else {
+      nmos(name, emit_out("w" + t), input(), "VSS", w);
+    }
+    blocks.push_back(name);
+    return name;
+  }
+
+  /// Cross-coupled pair (1 block): gates crossed to drains, shared source.
+  void cross_pair(bool pmos_pair, double w) {
+    const std::string t = tag();
+    const std::string qa = "q" + t + "a", qb = "q" + t + "b";
+    const std::string s = input();  // shared source doubles as the interface
+    const std::string a = "MX" + t + "a", b = "MX" + t + "b";
+    if (pmos_pair) {
+      pmos(a, qa, qb, s, w);
+      pmos(b, qb, qa, s, w);
+    } else {
+      nmos(a, qa, qb, s, w);
+      nmos(b, qb, qa, s, w);
+    }
+    emit_out(qa);
+    blocks.push_back(a + "+" + b);
+  }
+
+  /// Power device (1 block): NMOS >= 100 um.
+  void power(double w) {
+    const std::string t = tag();
+    const std::string name = "MP" + t;
+    nmos(name, emit_out("w" + t), input(), "VSS", w, 0.5, 8);
+    blocks.push_back(name);
+  }
+
+  /// Series resistor string (1 block): private chain nets, supply-tied ends
+  /// so no two strings can merge through a shared exclusive net.
+  void res_string(int len, double ohms) {
+    const std::string t = tag();
+    std::string prev = "VSS";
+    std::string joined;
+    for (int k = 0; k < len; ++k) {
+      const std::string name = "R" + t + "s" + std::to_string(k);
+      const std::string next =
+          k + 1 == len ? "VDD" : "r" + t + "n" + std::to_string(k);
+      nl.add_device(
+          {name, DeviceType::kResistor, {prev, next}, 0, 0, 1, ohms});
+      joined += (k ? "+" : "") + name;
+      prev = next;
+    }
+    resistors += len;
+    blocks.push_back(joined);
+  }
+
+  /// Capacitor (1 block) bridging two interface nets.
+  void cap(double farads) {
+    const std::string t = tag();
+    const std::string name = "CC" + t;
+    const std::string a = input();
+    std::string b = input();
+    if (b == a) b = "cn" + t;
+    nl.add_device({name, DeviceType::kCapacitor, {a, b}, 0, 0, 1, farads});
+    blocks.push_back(name);
+  }
+
+  const std::string& last_block() const { return blocks.back(); }
+};
+
+int parse_int(const std::string& s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return static_cast<int>(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: bad " + what + " '" + s + "'");
+  }
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: bad " + what + " '" + s + "'");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_families() {
+  static const std::vector<std::string> kFamilies = {"ota", "bias", "latch",
+                                                     "driver"};
+  return kFamilies;
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t at = text.find(':', start);
+    parts.push_back(text.substr(start, at - start));
+    if (at == std::string::npos) break;
+    start = at + 1;
+  }
+  if (parts.size() < 3) {
+    throw std::invalid_argument(
+        "scenario: expected family:size:seed[:key=value...], got '" + text +
+        "'");
+  }
+  ScenarioSpec spec;
+  spec.family = parts[0];
+  const auto& fams = scenario_families();
+  if (std::find(fams.begin(), fams.end(), spec.family) == fams.end()) {
+    throw std::invalid_argument("scenario: unknown family '" + spec.family +
+                                "' (ota|bias|latch|driver)");
+  }
+  spec.size = parse_int(parts[1], "size");
+  if (spec.size < 4 || spec.size > 5000) {
+    throw std::invalid_argument("scenario: size " + parts[1] +
+                                " out of range [4, 5000]");
+  }
+  const int seed = parse_int(parts[2], "seed");
+  if (seed < 0) throw std::invalid_argument("scenario: negative seed");
+  spec.seed = static_cast<std::uint64_t>(seed);
+  for (std::size_t i = 3; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("scenario: expected key=value, got '" +
+                                  parts[i] + "'");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    const std::string val = parts[i].substr(eq + 1);
+    if (key == "ar") {
+      spec.aspect = parse_double(val, "ar");
+      if (spec.aspect <= 0.0) {
+        throw std::invalid_argument("scenario: ar must be positive");
+      }
+    } else if (key == "ws") {
+      spec.whitespace = parse_double(val, "ws");
+      if (spec.whitespace < 0.0) {
+        throw std::invalid_argument("scenario: ws must be >= 0");
+      }
+    } else if (key == "plain") {
+      spec.constrained = parse_int(val, "plain") == 0;
+    } else {
+      throw std::invalid_argument("scenario: unknown key '" + key +
+                                  "' (ar|ws|plain)");
+    }
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::string s = family + ":" + std::to_string(size) + ":" +
+                  std::to_string(seed);
+  auto fmt = [](double v) {
+    std::string t = std::to_string(v);
+    while (t.size() > 1 && t.back() == '0') t.pop_back();
+    if (!t.empty() && t.back() == '.') t.pop_back();
+    return t;
+  };
+  if (aspect > 0.0) s += ":ar=" + fmt(aspect);
+  if (whitespace > 0.0) s += ":ws=" + fmt(whitespace);
+  if (!constrained) s += ":plain=1";
+  return s;
+}
+
+Scenario make_scenario(const ScenarioSpec& spec) {
+  const auto& fams = scenario_families();
+  const auto fam_it = std::find(fams.begin(), fams.end(), spec.family);
+  if (fam_it == fams.end()) {
+    throw std::invalid_argument("make_scenario: unknown family '" +
+                                spec.family + "'");
+  }
+  const int fam = static_cast<int>(fam_it - fams.begin());
+
+  Scenario sc;
+  sc.spec = spec;
+  Gen g(spec.to_string());
+  g.rng.state = fnv1a(spec.family) ^ (spec.seed * 0x9e3779b97f4a7c15ULL) ^
+                (static_cast<std::uint64_t>(spec.size) << 32);
+  g.nl.set_ports({"VDD", "VSS"});
+
+  // ---- block budget -------------------------------------------------------
+  int budget = spec.size;
+  const bool con = spec.constrained;
+  // Constraint classes are disjoint per block; counts scale with size and
+  // are clamped so small instances stay feasible.
+  const int n_sym = con ? std::clamp(spec.size / 10, 1, 12) : 0;
+  int n_match = 0;
+  int preplace = 0;
+  if (con) {
+    budget -= 1;  // pre-placed anchor
+    preplace = 1;
+    budget -= 2 * n_sym;
+    n_match = std::clamp((budget - 1) / 6, 0, 4);  // groups of 3
+    budget -= 3 * n_match;
+  }
+  if (budget < 1) {
+    throw std::invalid_argument("scenario: size " + std::to_string(spec.size) +
+                                " too small for the constraint scenario");
+  }
+
+  // ---- pre-placed anchor --------------------------------------------------
+  if (preplace) {
+    // Family-typed anchor block, pinned at the canvas origin below.
+    g.single(fam == 0, g.rng.width(6.0, 14.0));
+    sc.constraints.preplaced.push_back({g.last_block(), 0.0, 0.0});
+  }
+
+  // ---- symmetric twins ----------------------------------------------------
+  // Twins are emitted with identical sizing, so they carry identical
+  // candidate shapes and a mirrored placement exists by construction.
+  for (int k = 0; k < n_sym; ++k) {
+    std::string a, b;
+    switch (fam) {
+      case 2: {  // latch: twin cross-coupled cores
+        const double w = g.rng.width(4.0, 16.0);
+        g.cross_pair(k % 2 == 1, w);
+        a = g.last_block();
+        g.cross_pair(k % 2 == 1, w);
+        b = g.last_block();
+        break;
+      }
+      case 3: {  // driver: twin power fingers
+        const double w = g.rng.width(100.0, 400.0);
+        g.power(w);
+        a = g.last_block();
+        g.power(w);
+        b = g.last_block();
+        break;
+      }
+      default: {  // ota / bias: twin mirror loads
+        const double w = g.rng.width(4.0, 12.0);
+        const bool p = fam == 0;
+        g.mirror(p, 1, w);
+        a = g.last_block();
+        g.mirror(p, 1, w);
+        b = g.last_block();
+        break;
+      }
+    }
+    sc.constraints.sym_pairs.push_back({a, b, /*vertical=*/true});
+  }
+
+  // ---- matching groups ----------------------------------------------------
+  for (int k = 0; k < n_match; ++k) {
+    graphir::NamedConstraintSpec::MatchGroup mg;
+    const double w = g.rng.width(3.0, 10.0);
+    const bool p = fam == 0 || (fam == 1 && k % 2 == 1);
+    for (int j = 0; j < 3; ++j) {
+      g.single(p, w);
+      mg.blocks.push_back(g.last_block());
+    }
+    sc.constraints.match_groups.push_back(std::move(mg));
+  }
+
+  // ---- family texture fillers --------------------------------------------
+  std::vector<std::string> fillers;
+  while (budget > 0) {
+    const int roll = g.rng.range(0, 9);
+    switch (fam) {
+      case 0:  // ota: diff stages, mirror loads, compensation, output singles
+        if (roll < 4 && budget >= 2) {
+          const std::string tail = g.diff_pair(roll % 2 == 1,
+                                               g.rng.width(4.0, 16.0));
+          fillers.push_back(g.last_block());
+          g.tail_source(tail, g.rng.width(8.0, 24.0));
+          fillers.push_back(g.last_block());
+          budget -= 2;
+          continue;
+        } else if (roll < 7) {
+          g.mirror(roll % 2 == 0, g.rng.range(1, 2), g.rng.width(4.0, 12.0));
+        } else if (roll < 9) {
+          g.single(roll % 2 == 0, g.rng.width(4.0, 24.0));
+        } else {
+          g.cap(0.2e-12 + 0.4e-12 * g.rng.uniform());
+        }
+        break;
+      case 1:  // bias: mirror trees, resistor strings, setpoint singles
+        if (roll < 5) {
+          g.mirror(roll % 2 == 1, g.rng.range(1, 3), g.rng.width(3.0, 10.0));
+        } else if (roll < 7 && g.resistors < 36) {
+          g.res_string(g.rng.range(2, 3), 5e3 + 2e4 * g.rng.uniform());
+        } else if (roll < 9) {
+          g.single(roll % 2 == 0, g.rng.width(2.0, 12.0));
+        } else {
+          g.cap(0.1e-12 + 0.3e-12 * g.rng.uniform());
+        }
+        break;
+      case 2:  // latch: cross-coupled cores, clocking singles, keeper caps
+        if (roll < 5) {
+          g.cross_pair(roll % 2 == 1, g.rng.width(4.0, 16.0));
+        } else if (roll < 9) {
+          g.single(roll % 2 == 0, g.rng.width(3.0, 18.0));
+        } else {
+          g.cap(0.05e-12 + 0.2e-12 * g.rng.uniform());
+        }
+        break;
+      default:  // driver: power fingers, predrivers, decap
+        if (roll < 4) {
+          g.power(g.rng.width(100.0, 500.0));
+        } else if (roll < 9) {
+          g.single(roll % 2 == 0, g.rng.width(6.0, 40.0));
+        } else {
+          g.cap(0.5e-12 + 1.5e-12 * g.rng.uniform());
+        }
+        break;
+    }
+    fillers.push_back(g.last_block());
+    --budget;
+  }
+
+  // ---- alignment group + keep-out ----------------------------------------
+  if (con && fillers.size() >= 3) {
+    graphir::NamedConstraintSpec::AlignGroup ag;
+    ag.horizontal = true;
+    for (int j = 0; j < 3; ++j) {
+      ag.blocks.push_back(fillers[static_cast<std::size_t>(j)]);
+    }
+    sc.constraints.align_groups.push_back(std::move(ag));
+  }
+  if (con) {
+    // Keep-out strip across the top of the (unscaled) canvas: the canvas
+    // holds ~11x the block area, so packing below the strip always fits.
+    const double side = geom::canvas_side(g.nl.total_device_area(), 11.0);
+    sc.constraints.keep_outs.push_back(
+        {{0.0, 0.8 * side, side, 0.15 * side}});
+  }
+  if (spec.aspect > 0.0) sc.constraints.target_aspect = spec.aspect;
+  sc.constraints.extra_whitespace = spec.whitespace;
+
+  sc.netlist = std::move(g.nl);
+  sc.block_names = std::move(g.blocks);
+  if (static_cast<int>(sc.block_names.size()) != spec.size) {
+    throw std::logic_error("scenario generator block accounting drifted");
+  }
+  return sc;
+}
+
+}  // namespace afp::ingest

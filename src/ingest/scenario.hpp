@@ -1,0 +1,73 @@
+// Deterministic parameterized workload generator.
+//
+// A scenario is a pure function of (family, size, seed): SplitMix64 streams
+// derived from the spec drive every choice, so the same spec always yields
+// the same netlist and constraint overlay on every machine and thread
+// count.  Four circuit families cover the paper's workload axes:
+//
+//   ota    — differential stages: diff pairs + tail sources + mirror loads
+//            + compensation caps (analog gain-path texture),
+//   bias   — mirror trees and resistor strings (many small matched blocks),
+//   latch  — cross-coupled cores + clocking singles (symmetry-heavy),
+//   driver — power devices (>= 100 um) + predrivers (extreme area spread).
+//
+// `size` is the target *block* count after structure recognition (10..1000
+// in the sweeps); the generator composes motifs that the structrec rule
+// engine recognizes 1:1, so the recognized block count is exact, and it
+// computes each motif's block name (member device names joined with '+')
+// so the constraint overlay can be emitted name-keyed alongside.
+//
+// Constraint scenarios: symmetry pairs over identically-sized motif twins,
+// matching groups over same-area singles, a keep-out strip and pre-placed
+// anchor blocks — each satisfiable by construction (the property suite
+// builds an analytic witness placement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphir/graph.hpp"
+#include "netlist/netlist.hpp"
+
+namespace afp::ingest {
+
+/// Parsed "family:size:seed[:key=value...]" scenario spec.  Optional
+/// suffix keys: ar=<aspect> (target outline aspect R*), ws=<fraction>
+/// (extra whitespace), plain=1 (suppress the constraint scenario).
+struct ScenarioSpec {
+  std::string family = "ota";
+  int size = 10;               ///< target recognized-block count
+  std::uint64_t seed = 1;
+  double aspect = 0.0;         ///< 0 = no outline aspect target
+  double whitespace = 0.0;     ///< extra canvas whitespace fraction
+  bool constrained = true;     ///< emit the constraint scenario
+
+  /// Parses the grammar above; throws std::invalid_argument with a
+  /// diagnostic on malformed specs (unknown family, size out of [4, 5000],
+  /// bad numbers).
+  static ScenarioSpec parse(const std::string& text);
+
+  /// Canonical "family:size:seed[:ar=..][:ws=..][:plain=1]" round-trip.
+  std::string to_string() const;
+};
+
+/// A generated workload instance: the netlist plus its name-keyed
+/// constraint overlay (empty when spec.constrained is false).
+struct Scenario {
+  ScenarioSpec spec;
+  netlist::Netlist netlist;
+  graphir::NamedConstraintSpec constraints;
+  /// Recognized-block names per motif, in emission order (the generator's
+  /// own accounting; recognition reproduces exactly this set).
+  std::vector<std::string> block_names;
+};
+
+/// The four families, in canonical order.
+const std::vector<std::string>& scenario_families();
+
+/// Generates the scenario for `spec`; throws std::invalid_argument on an
+/// unknown family.  Pure function of the spec.
+Scenario make_scenario(const ScenarioSpec& spec);
+
+}  // namespace afp::ingest

@@ -1,0 +1,74 @@
+// SPICE-deck front end for the workload ingestion subsystem.
+//
+// Parses a practical subset of SPICE into a flat netlist::Netlist:
+//
+//   * title line (first line of a file is ignored, SPICE convention),
+//     '*' full-line comments, '$'/';' trailing comments, '+' continuations,
+//   * .subckt <name> <port>... [<param>=<val>...] / .ends [<name>]
+//     definitions with recursive X-card expansion (depth / elaborated-size
+//     caps, cycle detection),
+//   * .param definitions with a small arithmetic evaluator (+ - * /,
+//     parentheses, SPICE scale suffixes t g meg k m u n p f) usable in any
+//     device value, with global -> subckt-default -> X-override scoping,
+//   * device cards: M (MOS), R, C, Q (BJT, mapped to a MOS-equivalent
+//     block), D (diode, mapped to a diode-connected MOS), X (subckt
+//     instance; the last bare token is the subckt name),
+//   * harmless simulator directives (.model/.option/.temp/.global/
+//     analyses/...) are skipped; anything unknown is an error.
+//
+// Every diagnostic is a ParseError carrying file:line; a malformed deck
+// must surface as a structured error (the CLI maps it to exit 2), never a
+// crash.  Elaboration is deterministic: cloned device order follows the
+// deck order depth-first, so the same deck always yields the same netlist.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace afp::ingest {
+
+/// Structured deck diagnostic; what() is "<file>:<line>: <message>".
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string file, int line, const std::string& message)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + message),
+        file_(std::move(file)),
+        line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+struct ParseOptions {
+  /// Maximum X-card nesting depth during elaboration.
+  int max_depth = 32;
+  /// Maximum devices in the elaborated netlist (hierarchy bomb guard).
+  std::size_t max_devices = 200000;
+  /// Maximum raw physical line length in bytes.
+  std::size_t max_line_bytes = 4096;
+  /// Subcircuit to elaborate as the top cell; "" selects automatically
+  /// (top-level device cards if any, else the single subckt no other
+  /// subckt instantiates).
+  std::string top;
+  /// Whether the deck text starts with a title line to skip.  parse_file
+  /// always skips one; parse_deck defaults to false (embedded snippets).
+  bool title_line = false;
+};
+
+/// Parses and elaborates deck text.  `filename` is used in diagnostics.
+netlist::Netlist parse_deck(const std::string& text,
+                            const std::string& filename = "<deck>",
+                            const ParseOptions& opts = {});
+
+/// Reads `path` and parses it (title line skipped).  Throws ParseError for
+/// unreadable files (line 0) and all deck errors.
+netlist::Netlist parse_file(const std::string& path,
+                            const ParseOptions& opts = {});
+
+}  // namespace afp::ingest

@@ -137,7 +137,10 @@ bool TranspositionCache::lookup(const Key& k, double* cost) const {
 }
 
 void TranspositionCache::insert(const Key& k, double cost) {
-  if (per_stripe_cap_ == 0) return;
+  if (per_stripe_cap_ == 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Stripe& s = stripes_[k.h1 % static_cast<std::uint64_t>(kStripes)];
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(k.h1);
@@ -145,7 +148,10 @@ void TranspositionCache::insert(const Key& k, double cost) {
     it->second = {k.h2, cost};  // refresh (h1 collision overwrite is a wash)
     return;
   }
-  if (s.map.size() >= per_stripe_cap_) return;  // full stripe: drop, no evict
+  if (s.map.size() >= per_stripe_cap_) {  // full stripe: drop, no evict
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   s.map.emplace(k.h1, std::make_pair(k.h2, cost));
 }
 
@@ -229,14 +235,16 @@ double RectScorer::cost(const std::vector<geom::Rect>& rects,
   const bool rescan_all = full || 2 * moved.size() >= rects.size();
   const double hpwl =
       rescan_all ? hpwl_.recompute(rects) : hpwl_.update(rects, moved);
-  const bool ok = floorplan::constraints_satisfied(*inst_, rects, 1e-6);
+  int total = 0;
+  const int violated = floorplan::constraint_violations(*inst_, rects, 1e-6,
+                                                        &total);
   double r = w.alpha * (area / std::max(1e-12, total_area_) - 1.0) +
              w.beta * (hpwl / inst_->hpwl_ref - 1.0);
   if (inst_->target_aspect) {
     const double d = *inst_->target_aspect - geom::aspect_ratio(bb);
     r += w.gamma * d * d;
   }
-  return ok ? r : r + 10.0;
+  return r + floorplan::constraint_penalty(violated, total);
 }
 
 }  // namespace detail

@@ -76,6 +76,9 @@ class TranspositionCache {
 
   long hits() const { return hits_.load(std::memory_order_relaxed); }
   long misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Inserts dropped because the target stripe was full — the bounded
+  /// table's stand-in for an eviction count (nothing is ever evicted).
+  long dropped() const { return dropped_.load(std::memory_order_relaxed); }
   long size() const;
 
   static Key hash(const SequencePair& sp);
@@ -92,6 +95,7 @@ class TranspositionCache {
   std::size_t per_stripe_cap_ = 0;
   mutable std::atomic<long> hits_{0};
   mutable std::atomic<long> misses_{0};
+  mutable std::atomic<long> dropped_{0};
 };
 
 namespace detail {

@@ -122,16 +122,19 @@ double sp_cost(const floorplan::Instance& inst,
                const std::vector<geom::Rect>& rects) {
   floorplan::RewardWeights w;
   // Score geometry without the -50 cliff: metaheuristics need a smooth
-  // landscape, so constraint violations add a proportional penalty instead.
-  floorplan::Evaluation ev = floorplan::evaluate_floorplan(inst, rects, w);
-  double cost = ev.constraints_ok ? -ev.reward : 0.0;
-  if (!ev.constraints_ok) {
-    floorplan::Instance relaxed = inst;
-    relaxed.constraints = {};
-    const auto free_ev = floorplan::evaluate_floorplan(relaxed, rects, w);
-    cost = -free_ev.reward + 10.0;
+  // landscape, so constraint violations add a graded penalty (proportional
+  // to the violated-item fraction) instead — repairing one more symmetry
+  // pair or matching follower always lowers the cost.
+  int total = 0;
+  const int violated = floorplan::constraint_violations(inst, rects, 1e-6,
+                                                        &total);
+  if (violated == 0) {
+    return -floorplan::evaluate_floorplan(inst, rects, w).reward;
   }
-  return cost;
+  floorplan::Instance relaxed = inst;
+  relaxed.constraints = {};
+  const auto free_ev = floorplan::evaluate_floorplan(relaxed, rects, w);
+  return -free_ev.reward + floorplan::constraint_penalty(violated, total);
 }
 
 }  // namespace afp::metaheur

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
 #include <set>
@@ -68,14 +69,31 @@ class EscapeGraph {
     ys_.assign(yset.begin(), yset.end());
     nx_ = static_cast<int>(xs_.size());
     ny_ = static_cast<int>(ys_.size());
-    blocked_.assign(static_cast<std::size_t>(nx_) * ny_, false);
-    for (int i = 0; i < nx_; ++i) {
-      for (int j = 0; j < ny_; ++j) {
-        const geom::Point p{xs_[static_cast<std::size_t>(i)],
-                            ys_[static_cast<std::size_t>(j)]};
-        blocked_[id(i, j)] = inside_obstacle(p);
-      }
+    // Occlusion bitmaps are range-marked per obstacle instead of testing
+    // every grid point against every obstacle: a vertex (edge midpoint) is
+    // covered exactly when its coordinate falls in the obstacle's half-open
+    // span, so binary-searching the span's index range marks the same
+    // vertices the old O(grid x obstacles) scan did.
+    xmid_.resize(nx_ > 0 ? static_cast<std::size_t>(nx_ - 1) : 0);
+    for (std::size_t i = 0; i + 1 < xs_.size(); ++i) {
+      xmid_[i] = (xs_[i] + xs_[i + 1]) / 2.0;
     }
+    ymid_.resize(ny_ > 0 ? static_cast<std::size_t>(ny_ - 1) : 0);
+    for (std::size_t j = 0; j + 1 < ys_.size(); ++j) {
+      ymid_[j] = (ys_[j] + ys_[j + 1]) / 2.0;
+    }
+    blocked_.assign(static_cast<std::size_t>(nx_) * ny_, false);
+    hblocked_.assign(xmid_.size() * static_cast<std::size_t>(ny_), false);
+    vblocked_.assign(static_cast<std::size_t>(nx_) * ymid_.size(), false);
+    for (const auto& o : obstacles_) {
+      mark_covered(xs_, ys_, o, nx_, blocked_);
+      mark_covered(xmid_, ys_, o, nx_ - 1, hblocked_);
+      mark_covered(xs_, ymid_, o, nx_, vblocked_);
+    }
+    const std::size_t nv = blocked_.size();
+    dist_.assign(nv, std::numeric_limits<double>::infinity());
+    prev_.assign(nv, nv);
+    stamp_.assign(nv, 0);
   }
 
   int nx() const { return nx_; }
@@ -101,24 +119,31 @@ class EscapeGraph {
 
   /// Multi-source Dijkstra from `sources` until any vertex of `targets`
   /// is settled.  Returns the path (vertex ids) or empty when unreachable.
+  /// Scratch arrays are epoch-stamped so consecutive rounds of the Steiner
+  /// construction skip the O(vertices) reset.
   std::vector<std::size_t> shortest_path(
       const std::vector<std::size_t>& sources,
       const std::set<std::size_t>& targets) const {
     const std::size_t nv = blocked_.size();
-    std::vector<double> dist(nv, std::numeric_limits<double>::infinity());
-    std::vector<std::size_t> prev(nv, nv);
+    ++epoch_;
+    const double inf = std::numeric_limits<double>::infinity();
+    auto dist_of = [&](std::size_t v) {
+      return stamp_[v] == epoch_ ? dist_[v] : inf;
+    };
     using QE = std::pair<double, std::size_t>;
     std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
     for (std::size_t s : sources) {
       if (blocked_[s]) continue;
-      dist[s] = 0.0;
+      stamp_[s] = epoch_;
+      dist_[s] = 0.0;
+      prev_[s] = nv;
       pq.emplace(0.0, s);
     }
     std::size_t goal = nv;
     while (!pq.empty()) {
       const auto [d, v] = pq.top();
       pq.pop();
-      if (d > dist[v]) continue;
+      if (d > dist_of(v)) continue;
       if (targets.count(v)) {
         goal = v;
         break;
@@ -130,44 +155,73 @@ class EscapeGraph {
       for (const auto& [ni, nj] : nbrs) {
         if (ni < 0 || ni >= nx_ || nj < 0 || nj >= ny_) continue;
         const std::size_t u = id(ni, nj);
-        if (blocked_[u] || segment_blocked(i, j, ni, nj)) continue;
+        if (blocked_[u] || edge_blocked(i, j, ni, nj)) continue;
         const double w =
             std::abs(xs_[static_cast<std::size_t>(ni)] - xs_[static_cast<std::size_t>(i)]) +
             std::abs(ys_[static_cast<std::size_t>(nj)] - ys_[static_cast<std::size_t>(j)]);
-        if (dist[v] + w < dist[u] - 1e-12) {
-          dist[u] = dist[v] + w;
-          prev[u] = v;
-          pq.emplace(dist[u], u);
+        if (dist_[v] + w < dist_of(u) - 1e-12) {
+          stamp_[u] = epoch_;
+          dist_[u] = dist_[v] + w;
+          prev_[u] = v;
+          pq.emplace(dist_[u], u);
         }
       }
     }
     std::vector<std::size_t> path;
     if (goal == nv) return path;
-    for (std::size_t v = goal; v != nv; v = prev[v]) path.push_back(v);
+    for (std::size_t v = goal; v != nv; v = prev_[v]) path.push_back(v);
     std::reverse(path.begin(), path.end());
     return path;
   }
 
  private:
-  bool inside_obstacle(const geom::Point& p) const {
-    for (const auto& o : obstacles_) {
-      if (o.contains(p)) return true;
+  /// Marks every (x, y) grid cell covered by the half-open obstacle span,
+  /// exactly reproducing Rect::contains on each coordinate pair.
+  static void mark_covered(const std::vector<double>& xcoords,
+                           const std::vector<double>& ycoords,
+                           const geom::Rect& o, int stride,
+                           std::vector<bool>& grid) {
+    if (stride <= 0) return;
+    const auto ix0 =
+        std::lower_bound(xcoords.begin(), xcoords.end(), o.x) - xcoords.begin();
+    const auto ix1 =
+        std::lower_bound(xcoords.begin(), xcoords.end(), o.right()) -
+        xcoords.begin();
+    const auto iy0 =
+        std::lower_bound(ycoords.begin(), ycoords.end(), o.y) - ycoords.begin();
+    const auto iy1 =
+        std::lower_bound(ycoords.begin(), ycoords.end(), o.top()) -
+        ycoords.begin();
+    for (auto j = iy0; j < iy1; ++j) {
+      for (auto i = ix0; i < ix1; ++i) {
+        grid[static_cast<std::size_t>(j) * stride + static_cast<std::size_t>(i)] =
+            true;
+      }
     }
-    return false;
   }
-  /// Mid-point occlusion test is exact because obstacle edge coordinates
-  /// participate in the grid.
-  bool segment_blocked(int i0, int j0, int i1, int j1) const {
-    const geom::Point mid{
-        (xs_[static_cast<std::size_t>(i0)] + xs_[static_cast<std::size_t>(i1)]) / 2.0,
-        (ys_[static_cast<std::size_t>(j0)] + ys_[static_cast<std::size_t>(j1)]) / 2.0};
-    return inside_obstacle(mid);
+
+  /// Mid-point occlusion, looked up in the precomputed edge bitmaps (the
+  /// midpoint of two adjacent grid lines is exact, so this matches the old
+  /// per-query obstacle scan bit for bit).
+  bool edge_blocked(int i0, int j0, int i1, int j1) const {
+    if (j0 == j1) {
+      return hblocked_[static_cast<std::size_t>(j0) * (nx_ - 1) +
+                       static_cast<std::size_t>(std::min(i0, i1))];
+    }
+    return vblocked_[static_cast<std::size_t>(std::min(j0, j1)) * nx_ +
+                     static_cast<std::size_t>(i0)];
   }
 
   std::vector<geom::Rect> obstacles_;
   std::vector<double> xs_, ys_;
+  std::vector<double> xmid_, ymid_;  ///< midpoints of adjacent grid lines
   int nx_ = 0, ny_ = 0;
-  std::vector<bool> blocked_;
+  std::vector<bool> blocked_;            ///< vertex inside an obstacle
+  std::vector<bool> hblocked_, vblocked_;  ///< edge midpoint inside one
+  mutable std::vector<double> dist_;
+  mutable std::vector<std::size_t> prev_;
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace
@@ -277,26 +331,52 @@ GlobalRoute global_route(const floorplan::Instance& inst,
                          const std::vector<geom::Rect>& rects,
                          const std::vector<int>& routing_dirs) {
   GlobalRoute gr;
+  // Above this block count the escape graph is clipped to a window around
+  // each net's pins (obstacles far outside the pin bounding box cannot
+  // improve the route, but their Hanan lines quadratically inflate the
+  // grid).  Small instances keep the historic full-canvas graph so their
+  // routes stay bit-identical.
+  constexpr int kWindowMinBlocks = 64;
+  const bool windowed = inst.num_blocks() > kWindowMinBlocks;
+  std::vector<char> on_net(static_cast<std::size_t>(inst.num_blocks()), 0);
   for (std::size_t ni = 0; ni < inst.nets.size(); ++ni) {
     const auto& net = inst.nets[ni];
     if (net.size() < 2) continue;
     std::vector<geom::Point> pins;
-    std::vector<geom::Rect> obstacles;
     for (int b : net) {
       const int dir = b < static_cast<int>(routing_dirs.size())
                           ? routing_dirs[static_cast<std::size_t>(b)]
                           : 0;
       pins.push_back(
           block_pin_for_net(rects[static_cast<std::size_t>(b)], dir, ni));
+      on_net[static_cast<std::size_t>(b)] = 1;
     }
-    for (int b = 0; b < inst.num_blocks(); ++b) {
-      if (std::find(net.begin(), net.end(), b) == net.end()) {
-        obstacles.push_back(rects[static_cast<std::size_t>(b)]);
+    geom::Rect window;
+    if (windowed) {
+      window = geom::bounding_box_points(pins);
+      window = window.inflated(0.25 * std::max(window.w, window.h) + 2.0);
+    }
+    auto gather_obstacles = [&](bool clip) {
+      std::vector<geom::Rect> obstacles;
+      for (int b = 0; b < inst.num_blocks(); ++b) {
+        if (on_net[static_cast<std::size_t>(b)]) continue;
+        const geom::Rect& r = rects[static_cast<std::size_t>(b)];
+        if (clip && !r.overlaps(window)) continue;
+        obstacles.push_back(r);
       }
-    }
+      return obstacles;
+    };
     const std::string name = "net" + std::to_string(ni);
     try {
-      SteinerTree tree = route_net(pins, obstacles);
+      SteinerTree tree;
+      try {
+        tree = route_net(pins, gather_obstacles(windowed));
+      } catch (const std::runtime_error&) {
+        // A pin walled in by window-boundary obstacles may still escape on
+        // the full graph; retry once before declaring the net failed.
+        if (!windowed) throw;
+        tree = route_net(pins, gather_obstacles(false));
+      }
       gr.total_wirelength += tree.length();
       const auto cs = to_conduits(tree, name);
       gr.conduits.insert(gr.conduits.end(), cs.begin(), cs.end());
@@ -305,6 +385,7 @@ GlobalRoute global_route(const floorplan::Instance& inst,
     } catch (const std::runtime_error&) {
       ++gr.failed_nets;
     }
+    for (int b : net) on_net[static_cast<std::size_t>(b)] = 0;
   }
   return gr;
 }

@@ -197,6 +197,23 @@ Client::Accepted Client::submit_spice(const std::string& spice,
   return Accepted{v.at("job").as_uint("job"), v.at("queued").as_bool()};
 }
 
+Client::Accepted Client::submit_scenario(const std::string& scenario,
+                                         std::uint64_t seed, int priority,
+                                         const std::string& config_json) {
+  std::ostringstream os;
+  os << "{\"type\": \"submit\", \"scenario\": \""
+     << core::json_escape(scenario) << "\", \"seed\": " << seed
+     << ", \"priority\": " << priority;
+  if (!config_json.empty()) os << ", \"config\": " << config_json;
+  os << "}";
+  send_frame(os.str());
+  const JsonValue v = read_reply();
+  if (v.at("type").as_string() != "accepted") {
+    throw std::runtime_error("expected an accepted reply");
+  }
+  return Accepted{v.at("job").as_uint("job"), v.at("queued").as_bool()};
+}
+
 void Client::cancel(std::uint64_t job) {
   send_frame("{\"type\": \"cancel\", \"job\": " + std::to_string(job) + "}");
   (void)read_reply();  // ok

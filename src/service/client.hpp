@@ -72,6 +72,10 @@ class Client {
   Accepted submit_spice(const std::string& spice, const std::string& name,
                         std::uint64_t seed, int priority = 0,
                         const std::string& config_json = "");
+  /// Same, with a generated-workload spec "family:size:seed[:key=val...]".
+  Accepted submit_scenario(const std::string& scenario, std::uint64_t seed,
+                           int priority = 0,
+                           const std::string& config_json = "");
   void cancel(std::uint64_t job);
   void set_deadline(std::uint64_t job, double seconds);
   /// Liveness probe; returns the server's draining flag.

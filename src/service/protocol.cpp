@@ -154,23 +154,32 @@ void parse_config(const JsonValue& v, core::PipelineConfig* config) {
 }
 
 Request parse_submit(const JsonValue& v) {
-  check_members(v, "submit", {"type", "circuit", "spice", "name", "seed",
-                              "priority", "config"});
+  check_members(v, "submit", {"type", "circuit", "spice", "scenario", "name",
+                              "seed", "priority", "config"});
   Request req;
   req.kind = Request::Kind::kSubmit;
   const JsonValue* circuit = v.find("circuit");
   const JsonValue* spice = v.find("spice");
-  if (!!circuit == !!spice) {
-    bad("submit needs exactly one of \"circuit\" or \"spice\"");
+  const JsonValue* scenario = v.find("scenario");
+  const int sources = static_cast<int>(circuit != nullptr) +
+                      static_cast<int>(spice != nullptr) +
+                      static_cast<int>(scenario != nullptr);
+  if (sources != 1) {
+    bad("submit needs exactly one of \"circuit\", \"spice\" or \"scenario\"");
   }
   if (circuit) {
     req.submit.circuit = circuit->as_string();
     if (req.submit.circuit.empty()) bad("submit.circuit must be non-empty");
-  } else {
+  } else if (spice) {
     req.submit.spice = spice->as_string();
     if (req.submit.spice.empty()) bad("submit.spice must be non-empty");
+  } else {
+    req.submit.scenario = scenario->as_string();
+    if (req.submit.scenario.empty()) bad("submit.scenario must be non-empty");
   }
-  req.submit.name = req.submit.circuit.empty() ? "spice" : req.submit.circuit;
+  req.submit.name = !req.submit.circuit.empty() ? req.submit.circuit
+                    : !req.submit.scenario.empty() ? req.submit.scenario
+                                                   : "spice";
   if (const JsonValue* m = v.find("name")) req.submit.name = m->as_string();
   if (const JsonValue* m = v.find("seed")) req.submit.seed = m->as_uint("seed");
   if (const JsonValue* m = v.find("priority")) {

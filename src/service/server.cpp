@@ -15,6 +15,7 @@
 #include <cstring>
 #include <limits>
 
+#include "ingest/scenario.hpp"
 #include "metaheur/optimizer.hpp"
 #include "netlist/library.hpp"
 
@@ -658,6 +659,14 @@ void Server::handle_submit(const std::shared_ptr<Session>& s,
         throw std::runtime_error("'" + req.circuit +
                                  "' is not a registry circuit");
       }
+    } else if (!req.scenario.empty()) {
+      // Generated workload: the spec string is the whole job definition
+      // (pure function of family/size/seed), so replay after a crash
+      // regenerates the identical netlist and constraint overlay.
+      const auto sc =
+          ingest::make_scenario(ingest::ScenarioSpec::parse(req.scenario));
+      spec.netlist = sc.netlist;
+      spec.config.scenario_constraints = sc.constraints;
     } else {
       spec.netlist = netlist::Netlist::from_spice(req.spice);
     }

@@ -21,6 +21,7 @@
 #include "core/fault.hpp"
 #include "core/job_service.hpp"
 #include "core/report.hpp"
+#include "ingest/scenario.hpp"
 #include "netlist/library.hpp"
 #include "service/admission.hpp"
 #include "service/client.hpp"
@@ -285,13 +286,16 @@ TEST(Admission, DrainRejectsNewAdmitsButParkedStillLaunch) {
 
 // ------------------------------------------------------------ end-to-end ---
 
-// The "timings" object is the report's one non-deterministic member.
+// "timings" and "tt_cache" are the report's non-deterministic members.
 std::string normalize_timings(std::string report) {
-  const std::size_t at = report.find("\"timings\": {");
-  if (at == std::string::npos) return report;
-  const std::size_t open = report.find('{', at);
-  const std::size_t close = report.find('}', open);
-  report.replace(open, close - open + 1, "{}");
+  for (const char* member : {"\"timings\": {", "\"tt_cache\": {"}) {
+    const std::size_t at = report.find(member);
+    if (at == std::string::npos) continue;
+    const std::size_t open = report.find('{', at);
+    const std::size_t close = report.find('}', open);
+    if (close == std::string::npos) continue;
+    report.replace(open, close - open + 1, "{}");
+  }
   return report;
 }
 
@@ -396,6 +400,52 @@ TEST_F(ServiceE2E, ServedReportIsBitwiseIdenticalToRunJob) {
     if (p.job == acc.job && p.status == "running") saw_running = true;
   }
   EXPECT_TRUE(saw_running);
+}
+
+TEST_F(ServiceE2E, ScenarioSubmitMatchesInProcessGeneration) {
+  start_server({});
+  Client client = connect();
+  const std::string spec_text = "latch:8:3";
+  const auto acc = client.submit_scenario(spec_text, 21, 0, config_json(60));
+  const Client::Result res = client.await_result(acc.job);
+  EXPECT_EQ(res.status, "done");
+
+  // The served report must be byte-identical to generating the scenario
+  // here and running the same job in process (modulo timings/tt_cache).
+  const auto sc =
+      afp::ingest::make_scenario(afp::ingest::ScenarioSpec::parse(spec_text));
+  core::JobSpec spec;
+  spec.name = spec_text;
+  spec.netlist = sc.netlist;
+  spec.config.scenario_constraints = sc.constraints;
+  spec.config.search.budget.iterations = 60;
+  const core::JobReport rep =
+      core::JobService::run_job(spec, 0, 21, nullptr, {});
+  EXPECT_EQ(rep.status, core::JobStatus::kDone);
+  EXPECT_TRUE(rep.result.instance.constraints.sym_pairs.size() +
+                  rep.result.instance.constraints.preplaced.size() >
+              0);
+  EXPECT_EQ(normalize_timings(res.report_raw),
+            normalize_timings(core::report_json(rep.result, rep.name,
+                                                rep.optimizer, rep.options,
+                                                rep.search, rep.seed)));
+
+  // A malformed scenario spec is a structured invalid_config rejection and
+  // the session survives it.
+  try {
+    client.submit_scenario("warp_core:10:1", 1);
+    FAIL() << "unknown family accepted";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.kind, "invalid_config");
+  }
+  try {
+    client.submit_scenario("ota:2:1", 1);
+    FAIL() << "undersized scenario accepted";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.kind, "invalid_config");
+  }
+  const auto again = client.submit_scenario("ota:6:1", 5, 0, config_json(40));
+  EXPECT_EQ(client.await_result(again.job).status, "done");
 }
 
 TEST_F(ServiceE2E, SeedlessSubmitsDeriveDistinctSeeds) {

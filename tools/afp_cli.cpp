@@ -43,6 +43,8 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/training.hpp"
+#include "ingest/scenario.hpp"
+#include "ingest/spice_parser.hpp"
 #include "netlist/library.hpp"
 #include "nn/checkpoint.hpp"
 #include "numeric/parallel.hpp"
@@ -62,12 +64,19 @@ commands:
                                     encoding and tunable options.
   floorplan <circuit|netlist.sp>    Run the full pipeline with a registry
       [--baseline B] [--opt k=v]    optimizer.  --batch runs an async job
-      [--batch dir|manifest]        batch instead of one circuit.
+      [--batch dir|manifest]        batch instead of one circuit;
+      [--scenario F:S:SEED]         --scenario runs one generated workload
+      [--scenario-matrix SPEC]      and --scenario-matrix a whole sweep.
       [--time-budget S]
       [--constrained] [--seed N]
       [--svg out.svg]
       [--report out.txt]
       [--report-json out.json]
+  ingest <deck.sp> [--top CELL]     Parse a SPICE deck (.subckt hierarchy,
+      [--parse-only]                .param expressions, M/R/C/Q/D/X cards),
+      [search options]              elaborate it flat and run the pipeline.
+                                    --parse-only stops after elaboration.
+                                    Malformed decks exit 2 with file:line.
   train [--episodes N] [--seed N]   Pre-train the R-GCN and HCL-train the
       [--out prefix]                PPO agent; writes <prefix>_policy.bin
                                     and <prefix>_encoder.bin.
@@ -122,6 +131,18 @@ search options (floorplan):
   --report-json F  Write the JSON run report (single run: one report
                 object; batch: batch metadata + per-job reports).  Schema:
                 cmake/report_schema.json.
+  --scenario F:S:SEED[:ar=..][:ws=..][:plain=1]
+                Run one generated workload instead of a circuit: family
+                (ota|bias|latch|driver), target block count S (4..5000) and
+                generator seed.  Constraint scenarios (symmetry pairs,
+                matching groups, keep-outs, pre-placed anchors) are on by
+                default; plain=1 suppresses them.  ar= sets a target outline
+                aspect, ws= extra canvas whitespace.
+  --scenario-matrix FAMS:SIZES:NSEEDS[:key=val...]
+                Sweep the cross product: comma-separated families x comma-
+                separated sizes x generator seeds 1..NSEEDS, run as a
+                deterministic job batch (family-major order; per-job search
+                seeds from --seed).  Trailing keys apply to every instance.
 
 global options:
   --threads N   Size of the shared numeric thread pool (kernels, rollouts,
@@ -155,7 +176,13 @@ const std::map<std::string, std::set<std::string>> kCommandOptions = {
      {"method", "baseline", "constrained", "seed", "svg", "report",
       "report-json", "restarts", "iters", "opt", "batch", "time-budget",
       "quanta", "job-timeout", "max-retries", "checkpoint", "resume",
-      "pt-replicas", "pt-swap-interval", "pt-adaptive"}},
+      "pt-replicas", "pt-swap-interval", "pt-adaptive", "scenario",
+      "scenario-matrix"}},
+    {"ingest",
+     {"top", "parse-only", "method", "baseline", "constrained", "seed",
+      "svg", "report", "report-json", "restarts", "iters", "opt",
+      "time-budget", "quanta", "job-timeout", "max-retries", "checkpoint",
+      "resume", "pt-replicas", "pt-swap-interval", "pt-adaptive"}},
     {"train", {"episodes", "seed", "out"}},
     {"eval", {"agent", "attempts", "seed", "constrained", "svg"}},
     {"graph", {"dot"}},
@@ -541,20 +568,17 @@ int cmd_floorplan_batch(const Args& args, const core::PipelineConfig& cfg,
   return done == 0 ? 1 : 3;
 }
 
-int cmd_floorplan(const Args& args) {
-  const bool batch = args.has("batch");
-  if (args.positional.empty() && !batch) {
-    std::fprintf(stderr, "usage: afp floorplan <circuit> [--baseline sa]\n");
-    return 2;
-  }
-  if (!args.positional.empty() && batch) {
-    throw UsageError("--batch replaces the positional <circuit> argument");
-  }
-  if (batch && (args.has("svg") || args.has("report"))) {
-    throw UsageError(
-        "--svg/--report apply to single-circuit runs; batches emit "
-        "--report-json");
-  }
+/// The fully validated search configuration shared by the floorplan,
+/// ingest and scenario paths: pipeline config, resolved optimizer options
+/// and the base seed.
+struct SearchSetup {
+  core::PipelineConfig cfg;
+  std::string baseline;
+  metaheur::Options resolved;
+  std::uint64_t seed = 1;
+};
+
+SearchSetup build_search(const Args& args) {
   const std::string name = baseline_name(args);
 
   core::PipelineConfig cfg;
@@ -618,26 +642,31 @@ int cmd_floorplan(const Args& args) {
   }
   // Validate the optimizer + option map up front: a bad --opt key/value is
   // a usage error (exit 2), not a runtime failure.
-  metaheur::Options resolved;
+  SearchSetup setup;
   try {
-    resolved = metaheur::make_optimizer(name, cfg.options)->options();
+    setup.resolved = metaheur::make_optimizer(name, cfg.options)->options();
   } catch (const std::invalid_argument& e) {
     throw UsageError(e.what());
   }
+  setup.cfg = std::move(cfg);
+  setup.baseline = name;
+  setup.seed = parse_u64_or_die(args, "seed", 1);
+  return setup;
+}
 
-  const std::uint64_t seed = parse_u64_or_die(args, "seed", 1);
-  if (batch) return cmd_floorplan_batch(args, cfg, name, seed);
-
-  // Single runs go through the same fault-tolerance path as batch jobs
-  // (watchdog, exception firewall, retry/backoff).  Attempt 0 seeds
-  // mt19937_64(seed) exactly as the historic direct pipe.run() call did, so
-  // existing goldens stay bitwise identical.
+/// Runs one circuit through the fault-tolerant job path (watchdog,
+/// exception firewall, retry/backoff) and honors --svg/--report/
+/// --report-json.  Attempt 0 seeds mt19937_64(seed) exactly as the
+/// historic direct pipe.run() call did, so existing goldens stay bitwise
+/// identical.
+int run_single(const Args& args, const SearchSetup& setup,
+               const std::string& name, netlist::Netlist nl) {
   core::JobSpec spec;
-  spec.name = args.positional[0];
-  spec.netlist = load_circuit(args.positional[0]);
-  spec.config = cfg;
+  spec.name = name;
+  spec.netlist = std::move(nl);
+  spec.config = setup.cfg;
   const core::JobReport job =
-      core::JobService::run_job(spec, 0, seed, nullptr, nullptr);
+      core::JobService::run_job(spec, 0, setup.seed, nullptr, nullptr);
   if (job.status != core::JobStatus::kDone) {
     // Out-of-range option values were already rejected as usage errors by
     // the make_optimizer validation above, so any terminal failure here is
@@ -668,11 +697,200 @@ int cmd_floorplan(const Args& args) {
   }
   if (args.has("report-json")) {
     const std::string path = args.get("report-json", "report.json");
-    write_file(path, core::report_json(res, args.positional[0], name,
-                                       resolved, cfg.search, seed));
+    write_file(path, core::report_json(res, name, setup.baseline,
+                                       setup.resolved, setup.cfg.search,
+                                       setup.seed));
     std::printf("wrote %s\n", path.c_str());
   }
   return 0;
+}
+
+/// --scenario-matrix FAMS:SIZES:NSEEDS[:key=val...] — the cross product of
+/// generated workloads as one deterministic job batch.
+int cmd_scenario_matrix(const Args& args, const SearchSetup& setup) {
+  const std::string text = args.get("scenario-matrix", "");
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t at = text.find(':', start);
+    parts.push_back(text.substr(start, at - start));
+    if (at == std::string::npos) break;
+    start = at + 1;
+  }
+  if (parts.size() < 3) {
+    throw UsageError(
+        "option '--scenario-matrix' expects FAMS:SIZES:NSEEDS[:key=val...], "
+        "got '" + text + "'");
+  }
+  auto split_commas = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) out.push_back(tok);
+    return out;
+  };
+  std::string suffix;
+  for (std::size_t i = 3; i < parts.size(); ++i) suffix += ":" + parts[i];
+  long long nseeds = 0;
+  if (!metaheur::parse_strict_int(parts[2], &nseeds) || nseeds < 1) {
+    throw UsageError("option '--scenario-matrix' NSEEDS must be a positive "
+                     "integer, got '" + parts[2] + "'");
+  }
+
+  // Family-major, then size, then seed: the instance list (and with it the
+  // per-job search seeds) is a pure function of the matrix spec.
+  std::vector<core::JobSpec> jobs;
+  for (const auto& fam : split_commas(parts[0])) {
+    for (const auto& size : split_commas(parts[1])) {
+      for (long long s = 1; s <= nseeds; ++s) {
+        ingest::ScenarioSpec spec;
+        try {
+          spec = ingest::ScenarioSpec::parse(fam + ":" + size + ":" +
+                                             std::to_string(s) + suffix);
+        } catch (const std::invalid_argument& e) {
+          throw UsageError(e.what());
+        }
+        auto sc = ingest::make_scenario(spec);
+        core::JobSpec job;
+        job.name = spec.to_string();
+        job.netlist = std::move(sc.netlist);
+        job.config = setup.cfg;
+        job.config.scenario_constraints = std::move(sc.constraints);
+        if (!setup.cfg.search.checkpoint_path.empty()) {
+          job.config.search.checkpoint_path =
+              setup.cfg.search.checkpoint_path + ".job" +
+              std::to_string(jobs.size());
+        }
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  std::printf("scenario matrix: %zu instances | optimizer %s | %d threads | "
+              "seed %llu\n",
+              jobs.size(), setup.baseline.c_str(), num::num_threads(),
+              static_cast<unsigned long long>(setup.seed));
+  std::vector<core::JobReport> reports(jobs.size());
+  num::parallel_for(
+      static_cast<std::int64_t>(jobs.size()), 1,
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const auto j = static_cast<std::size_t>(b);
+          reports[j] = core::JobService::run_job(
+              jobs[j], j, core::JobService::job_seed(setup.seed, j), nullptr,
+              nullptr);
+        }
+      });
+
+  std::printf("\n%-24s %-10s %12s %12s %11s %8s\n", "instance", "status",
+              "cost", "HPWL(um)", "constraints", "blocks");
+  std::size_t done = 0, satisfied = 0, constrained = 0;
+  for (const auto& r : reports) {
+    if (r.status != core::JobStatus::kDone) {
+      std::printf("%-24s %-10s %12s %12s %11s %8s  [%s] %s\n",
+                  r.name.c_str(), core::to_string(r.status), "-", "-", "-",
+                  "-", core::to_string(r.error.kind),
+                  r.error.message.c_str());
+      continue;
+    }
+    ++done;
+    const bool has_constraints = !r.result.instance.constraints.empty();
+    if (has_constraints) {
+      ++constrained;
+      if (r.result.eval.constraints_ok) ++satisfied;
+    }
+    // Constrained instances show the violated/total item breakdown, so a
+    // near-miss reads differently from an unconstrained run.
+    char cons[24];
+    if (!has_constraints) {
+      std::snprintf(cons, sizeof cons, "none");
+    } else if (r.result.eval.constraints_ok) {
+      std::snprintf(cons, sizeof cons, "ok");
+    } else {
+      std::snprintf(cons, sizeof cons, "%d/%d",
+                    r.result.eval.constraint_violations,
+                    r.result.eval.constraint_items);
+    }
+    std::printf("%-24s %-10s %12.4f %12.1f %11s %8zu\n", r.name.c_str(),
+                core::to_string(r.status),
+                metaheur::sp_cost(r.result.instance, r.result.rects),
+                r.result.eval.hpwl, cons, r.result.rects.size());
+  }
+  std::printf("\nmatrix: %zu/%zu done | constraints satisfied %zu/%zu\n",
+              done, reports.size(), satisfied, constrained);
+  if (args.has("report-json")) {
+    const std::string path = args.get("report-json", "matrix.json");
+    write_file(path, core::batch_report_json(
+                         reports, setup.seed,
+                         setup.cfg.search.budget.wall_clock_s,
+                         num::num_threads()));
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (done == reports.size()) return 0;
+  return done == 0 ? 1 : 3;
+}
+
+int cmd_floorplan(const Args& args) {
+  const bool batch = args.has("batch");
+  const bool scenario = args.has("scenario");
+  const bool matrix = args.has("scenario-matrix");
+  const int sources = static_cast<int>(!args.positional.empty()) +
+                      static_cast<int>(batch) + static_cast<int>(scenario) +
+                      static_cast<int>(matrix);
+  if (sources == 0) {
+    std::fprintf(stderr, "usage: afp floorplan <circuit> [--baseline sa]\n");
+    return 2;
+  }
+  if (sources > 1) {
+    throw UsageError("<circuit>, --batch, --scenario and --scenario-matrix "
+                     "are mutually exclusive workload sources");
+  }
+  if ((batch || matrix) && (args.has("svg") || args.has("report"))) {
+    throw UsageError(
+        "--svg/--report apply to single-circuit runs; batches emit "
+        "--report-json");
+  }
+  const SearchSetup setup = build_search(args);
+  if (batch) {
+    return cmd_floorplan_batch(args, setup.cfg, setup.baseline, setup.seed);
+  }
+  if (matrix) return cmd_scenario_matrix(args, setup);
+  if (scenario) {
+    ingest::ScenarioSpec spec;
+    try {
+      spec = ingest::ScenarioSpec::parse(args.get("scenario", ""));
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+    auto sc = ingest::make_scenario(spec);
+    SearchSetup with_overlay = setup;
+    with_overlay.cfg.scenario_constraints = std::move(sc.constraints);
+    return run_single(args, with_overlay, spec.to_string(),
+                      std::move(sc.netlist));
+  }
+  return run_single(args, setup, args.positional[0],
+                    load_circuit(args.positional[0]));
+}
+
+/// `afp ingest <deck.sp>`: SPICE-deck front end.  Parse + elaborate, then
+/// either stop (--parse-only) or run the full pipeline like floorplan.
+int cmd_ingest(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: afp ingest <deck.sp> [--top CELL] "
+                         "[--parse-only]\n");
+    return 2;
+  }
+  ingest::ParseOptions popts;
+  popts.top = args.get("top", "");
+  netlist::Netlist nl = ingest::parse_file(args.positional[0], popts);
+  if (args.has("parse-only")) {
+    std::printf("deck: %s\n", args.positional[0].c_str());
+    std::printf("top: %s\n", nl.name().c_str());
+    std::printf("devices: %d\n", nl.num_devices());
+    std::printf("nets: %zu\n", nl.nets().size());
+    return 0;
+  }
+  return run_single(args, build_search(args), nl.name(), std::move(nl));
 }
 
 int cmd_train(const Args& args) {
@@ -826,12 +1044,19 @@ int main(int argc, char** argv) {
     if (cmd == "list") return finish(cmd_list());
     if (cmd == "list-baselines") return finish(cmd_list_baselines());
     if (cmd == "floorplan") return finish(cmd_floorplan(args));
+    if (cmd == "ingest") return finish(cmd_ingest(args));
     if (cmd == "train") return finish(cmd_train(args));
     if (cmd == "eval") return finish(cmd_eval(args));
     if (cmd == "graph") return finish(cmd_graph(args));
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n\n", e.what());
     std::fputs(kUsage, stderr);
+    return 2;
+  } catch (const ingest::ParseError& e) {
+    // A malformed deck is an input problem like a bad flag: a structured
+    // file:line diagnostic and exit 2, never a crash (no usage dump — the
+    // flags were fine).
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
